@@ -1,0 +1,16 @@
+"""Shared state for the benchmark harness.
+
+The :class:`EvalContext` memoizes machine runs, so experiments that need
+the same simulations (Figure 6, Table 6, the overhead callout) share
+them across benchmark modules instead of re-simulating.
+"""
+
+import pytest
+
+from repro.evaluation.experiments import EvalContext
+
+
+@pytest.fixture(scope="session")
+def ctx() -> EvalContext:
+    """One evaluation context (all fifteen benchmarks) per session."""
+    return EvalContext()

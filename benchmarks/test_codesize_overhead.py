@@ -1,0 +1,21 @@
+"""E6 — code size overhead of Liquid binaries.
+
+Paper: the Liquid binary grows by less than 1% (maximum: hydro2d),
+because outlining adds only a branch-and-link/return pair per hot loop,
+idioms add a handful of instructions, and data alignment pads arrays to
+the maximum vectorizable length.
+"""
+
+from repro.evaluation.experiments import code_size_overhead
+from repro.evaluation.report import render_code_size
+
+
+def test_code_size(benchmark, ctx):
+    rows = benchmark(code_size_overhead, ctx)
+    print("\n" + render_code_size(rows))
+    for row in rows:
+        assert row["liquid_bytes"] >= row["baseline_bytes"], row
+        assert row["overhead_pct"] < 1.0, row  # paper: < 1% everywhere
+    worst = max(rows, key=lambda r: r["overhead_pct"])
+    print(f"\nworst overhead: {worst['benchmark']} "
+          f"({worst['overhead_pct']:.2f}%)")

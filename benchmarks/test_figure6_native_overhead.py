@@ -1,0 +1,34 @@
+"""E5 — Figure 6 callout: Liquid SIMD vs. built-in ISA support.
+
+Paper: replacing dynamic translation with native SIMD execution from the
+first call improved speedup by at most 0.001 (worst case FIR) — i.e.
+virtualization overhead is negligible once hot loops execute many times.
+
+Our schedules repeat orders of magnitude fewer times than SPEC runs, so
+the experiment separates the one-time translation cost (first call or
+two run scalar) from the steady-state cost.  The paper-comparable number
+is the steady-state slowdown, which is **exactly zero** here by
+construction: after translation, the injected microcode is identical to
+what a native-ISA machine executes.
+"""
+
+from repro.evaluation.experiments import native_overhead
+from repro.evaluation.report import render_native_overhead
+
+
+def test_native_overhead(benchmark, ctx):
+    rows = benchmark.pedantic(native_overhead, args=(ctx, 16),
+                              rounds=1, iterations=1)
+    print("\n" + render_native_overhead(rows))
+    for row in rows:
+        # Steady-state overhead ~0: the paper's headline claim.
+        assert abs(row["steady_slowdown_pct"]) < 0.5, row
+        # Translation can only cost, never gain.
+        assert row["one_time_cycles"] >= 0
+        assert row["native_speedup"] >= row["liquid_speedup"] * 0.999
+
+    # The one-time cost is bounded by a couple of scalar executions of
+    # each hot loop — microscopic against a real benchmark's lifetime.
+    worst = max(rows, key=lambda r: r["one_time_cycles"])
+    print(f"\nworst one-time translation cost: {worst['benchmark']} "
+          f"({worst['one_time_cycles']:,} cycles)")

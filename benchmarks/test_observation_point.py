@@ -1,0 +1,42 @@
+"""E10 (extension) — decode-time vs. post-retirement translation.
+
+Section 4 of the paper lists both hardware tap points and chooses
+post-retirement because it is "far off the critical path of the
+processor".  There is a second reason the paper leaves implicit, which
+this ablation surfaces: the decode stage never sees *data values*, and
+Table 3's permutation (rules 3/5/8) and constant (rule 7) recognition
+work from previously-loaded values.  A decode-time translator therefore
+forfeits every permutation loop.
+"""
+
+from repro.evaluation.experiments import observation_point_comparison
+
+
+def test_decode_vs_retirement(benchmark):
+    rows = benchmark.pedantic(
+        observation_point_comparison,
+        args=(("FFT", "FIR", "093.nasa7", "MPEG2 Dec.", "171.swim"), 8),
+        rounds=1, iterations=1)
+    print(f"\n{'Benchmark':<14}{'retire cyc':>12}{'decode cyc':>12}"
+          f"{'penalty':>9}{'translated (r/d)':>18}")
+    for row in rows:
+        print(f"{row['benchmark']:<14}{row['retirement_cycles']:>12,}"
+              f"{row['decode_cycles']:>12,}"
+              f"{row['decode_penalty_pct']:>8.1f}%"
+              f"{row['retirement_translated']:>10}/"
+              f"{row['decode_translated']}")
+    by_name = {r["benchmark"]: r for r in rows}
+
+    # Decode-time can never translate more loops than retirement-time.
+    for row in rows:
+        assert row["decode_translated"] <= row["retirement_translated"]
+        assert row["decode_cycles"] >= row["retirement_cycles"]
+
+    # Permutation-free loops lose nothing at decode time...
+    assert by_name["FIR"]["decode_penalty_pct"] < 1.0
+    assert by_name["171.swim"]["decode_penalty_pct"] < 1.0
+    # ...but permutation users forfeit those loops entirely.
+    for name in ("FFT", "093.nasa7", "MPEG2 Dec."):
+        assert by_name[name]["decode_translated"] < \
+            by_name[name]["retirement_translated"], name
+        assert by_name[name]["decode_penalty_pct"] > 10.0, name

@@ -1,0 +1,47 @@
+"""E9 (extension) — hardware vs. software (JIT) dynamic translation.
+
+The paper implements hardware translation but explicitly leaves the
+door open: "Nothing about our virtualization technique precludes
+software-based translation" (section 2), arguing hardware's advantage
+is efficiency and not needing "a separate translation process to share
+the CPU".  This ablation quantifies that argument: the JIT variant
+steals core cycles once per hot loop but produces identical microcode.
+"""
+
+from repro.evaluation.experiments import software_translation_comparison
+
+
+def test_hardware_vs_software_translation(benchmark):
+    rows = benchmark.pedantic(
+        software_translation_comparison,
+        args=(("MPEG2 Dec.", "GSM Enc.", "LU", "FIR", "FFT"), 8),
+        rounds=1, iterations=1)
+    print(f"\n{'Benchmark':<14}{'HW cycles':>12}{'JIT cycles':>12}"
+          f"{'JIT cost':>10}")
+    for row in rows:
+        print(f"{row['benchmark']:<14}{row['hardware_cycles']:>12,}"
+              f"{row['software_cycles']:>12,}{row['jit_cost_pct']:>9.2f}%")
+    by_name = {r["benchmark"]: r for r in rows}
+    for row in rows:
+        # The JIT can only cost cycles, never correctness or coverage.
+        assert row["software_cycles"] >= row["hardware_cycles"]
+        assert row["sw_simd_runs"] >= row["hw_simd_runs"] - 1
+    # Coarse-grained hot loops amortize the JIT easily...
+    for name in ("GSM Enc.", "LU", "FIR", "FFT"):
+        assert by_name[name]["jit_cost_pct"] < 20.0, name
+    # ...but MPEG2's fine-grained 8-element loops do not: sharing the CPU
+    # with a software translator "may be unacceptable in embedded
+    # systems" (paper section 2) — here is that claim, quantified.
+    assert by_name["MPEG2 Dec."]["jit_cost_pct"] > 10.0
+    assert by_name["MPEG2 Dec."]["jit_cost_pct"] == max(
+        r["jit_cost_pct"] for r in rows)
+
+
+def test_software_translation_scales_with_jit_speed(benchmark):
+    def sweep():
+        return [software_translation_comparison(("LU",), 8, cpi)[0]
+                for cpi in (10, 30, 100)]
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    costs = [r["jit_cost_pct"] for r in rows]
+    print(f"\nJIT cycles/instruction 10/30/100 -> cost {costs}")
+    assert costs == sorted(costs)

@@ -1,0 +1,39 @@
+"""E3 — Table 6: cycles between the first two calls of outlined hot loops.
+
+Paper: every benchmark except MPEG2 encode/decode has >300 cycles
+between consecutive calls of its hot loops, which is what gives the
+post-retirement translator its latency budget.  179.art's distances are
+the largest by far (its scalar phases are cache-miss bound).
+
+Our schedules are shortened for simulation time, so absolute means are
+smaller than the paper's (which range up to 2.1M cycles for art); the
+*bucket structure* — MPEG2 short, everything else >300, art the largest
+— is the reproduced result.
+"""
+
+from repro.evaluation.experiments import table6_call_distances
+from repro.evaluation.report import render_table6
+
+
+def test_table6(benchmark, ctx):
+    rows = benchmark.pedantic(table6_call_distances, args=(ctx, 8),
+                              rounds=1, iterations=1)
+    print("\n" + render_table6(rows))
+    by_name = {r["benchmark"]: r for r in rows}
+
+    # MPEG2 is the only benchmark family with sub-300-cycle distances.
+    for name, row in by_name.items():
+        if name.startswith("MPEG2"):
+            assert row["lt150"] + row["lt300"] >= 1, name
+        else:
+            assert row["lt150"] + row["lt300"] == 0, name
+            assert row["mean"] > 300, name
+
+    # art has the largest mean distance of all benchmarks.
+    art = by_name["179.art"]["mean"]
+    assert art == max(r["mean"] for r in rows)
+
+    # The >300-cycle window is what makes translation latency harmless
+    # (cross-checked quantitatively by the latency ablation).
+    slow = [r for r in rows if r["mean"] > 300]
+    assert len(slow) >= 13

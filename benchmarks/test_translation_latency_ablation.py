@@ -1,0 +1,45 @@
+"""E8 — translation latency tolerance sweep.
+
+Paper: post-retirement placement means translation "could have taken
+tens of cycles per scalar instruction without affecting performance",
+because hot-loop call distances exceed 300 cycles (Table 6).  The sweep
+varies the translator's cycles-per-observed-instruction from 1 to 500
+and measures whole-program slowdown.
+"""
+
+from repro.evaluation.experiments import translation_latency_ablation
+from repro.evaluation.report import render_ablation
+
+
+def test_translation_latency_tolerance(benchmark):
+    rows = benchmark.pedantic(
+        translation_latency_ablation,
+        args=("171.swim", 8, (1, 10, 50, 100, 500, 5000)),
+        rounds=1, iterations=1)
+    print("\n" + render_ablation(rows, "cycles_per_instruction",
+                                 "Translation latency sweep (171.swim)"))
+    by_cpi = {r["cycles_per_instruction"]: r for r in rows}
+    # Tens of cycles per instruction: performance unaffected (paper claim).
+    assert by_cpi[10]["slowdown_pct"] < 1.0
+    assert by_cpi[50]["slowdown_pct"] < 3.0
+    assert by_cpi[100]["slowdown_pct"] < 3.0
+    # Slowdown grows monotonically once latency exceeds call distances.
+    slowdowns = [by_cpi[n]["slowdown_pct"]
+                 for n in (1, 10, 50, 100, 500, 5000)]
+    assert all(a <= b + 0.01 for a, b in zip(slowdowns, slowdowns[1:]))
+    # A pathologically slow translator finally costs extra scalar runs.
+    assert by_cpi[5000]["scalar_runs"] > by_cpi[1]["scalar_runs"]
+    assert by_cpi[5000]["slowdown_pct"] > 0.0
+
+
+def test_latency_tolerance_on_short_distance_benchmark(benchmark):
+    """MPEG2's back-to-back calls are the worst case for slow translation."""
+    rows = benchmark.pedantic(translation_latency_ablation,
+                              args=("MPEG2 Dec.", 8, (1, 10, 100)),
+                              rounds=1, iterations=1)
+    print("\n" + render_ablation(rows, "cycles_per_instruction",
+                                 "Translation latency sweep (MPEG2 Dec.)"))
+    by_cpi = {r["cycles_per_instruction"]: r for r in rows}
+    # Short call distances make MPEG2 pay for slow translation earlier
+    # than swim does — the flip side of Table 6.
+    assert by_cpi[100]["scalar_runs"] >= by_cpi[1]["scalar_runs"]

@@ -1,0 +1,83 @@
+#!/usr/bin/env python3
+"""Forward (and backward) migration across SIMD accelerator generations.
+
+The paper's motivation: a binary compiled for one SIMD generation is
+stranded when the accelerator changes.  A Liquid binary is not — this
+script takes ONE binary for a media kernel (saturating arithmetic +
+permutations) and runs it unmodified on five machine generations:
+
+* ``legacy``   — no SIMD hardware at all (the binary just runs scalar),
+* ``gen1``     — 4 lanes, no saturating ops (translation of the
+  saturating loop aborts; it stays scalar; everything else accelerates),
+* ``gen2``     — 8 lanes, full Neon-like repertoire,
+* ``gen3``     — 16 lanes, same repertoire (wider),
+* ``future``   — 16 lanes but a *reduced permutation repertoire* (a
+  hypothetical redesign): permutation loops degrade gracefully.
+
+Every generation produces bit-identical results — binary compatibility
+across the whole family, with performance scaling to whatever the
+hardware offers.
+
+Run:  python examples/accelerator_migration.py
+"""
+
+from repro import (
+    AcceleratorConfig,
+    Machine,
+    MachineConfig,
+    arrays_equal,
+    build_baseline_program,
+    build_liquid_program,
+)
+from repro.kernels.suite import build_kernel
+from repro.simd.permutations import PermPattern
+
+
+def machine_for(accelerator) -> Machine:
+    return Machine(MachineConfig(accelerator=accelerator))
+
+
+def main() -> None:
+    kernel = build_kernel("MPEG2 Dec.")  # saturating adds + a reverse perm
+    liquid = build_liquid_program(kernel)
+    reference = Machine(MachineConfig()).run(build_baseline_program(kernel))
+
+    generations = [
+        ("legacy (no SIMD)", None),
+        ("gen1: 4 lanes, no saturation",
+         AcceleratorConfig(width=4, supports_saturation=False, name="gen1")),
+        ("gen2: 8 lanes, full repertoire",
+         AcceleratorConfig(width=8, name="gen2")),
+        ("gen3: 16 lanes, full repertoire",
+         AcceleratorConfig(width=16, name="gen3")),
+        ("future: 16 lanes, rotations only",
+         AcceleratorConfig(width=16, name="future",
+                           permutations=(PermPattern("rot", 4, 1),
+                                         PermPattern("rot", 8, 1)))),
+    ]
+
+    print(f"one Liquid binary: {liquid.name!r} "
+          f"({len(liquid.instructions)} instructions, "
+          f"{len(liquid.outlined_functions)} outlined hot loops)\n")
+    print(f"{'generation':<34}{'cycles':>10}{'speedup':>9}"
+          f"{'translated':>12}{'aborted':>9}{'results':>9}")
+    for label, accelerator in generations:
+        config = MachineConfig(accelerator=accelerator)
+        run = Machine(config).run(liquid)
+        ok = sum(1 for t in run.translations if t.ok)
+        bad = sum(1 for t in run.translations if not t.ok)
+        match = "match" if arrays_equal(reference, run) else "DIVERGED"
+        print(f"{label:<34}{run.cycles:>10,}"
+              f"{run.speedup_over(reference):>9.2f}{ok:>12}{bad:>9}"
+              f"{match:>9}")
+        for t in run.translations:
+            if not t.ok:
+                print(f"    - {t.function}: stayed scalar "
+                      f"({t.reason.value})")
+
+    print("\nEvery generation computed identical results from the same "
+          "binary; no recompilation, no new ISA.")
+
+
+if __name__ == "__main__":
+    main()

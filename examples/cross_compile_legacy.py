@@ -1,0 +1,84 @@
+#!/usr/bin/env python3
+"""Cross-compiling a legacy scalar binary into a Liquid SIMD binary.
+
+The paper (section 2) allows the SIMD-to-scalar conversion to happen "at
+compile time or by using a post-compilation cross compiler".  The most
+interesting corollary: a binary that was never SIMD to begin with — a
+plain scalar element loop IS the scalar representation — can be made
+Liquid by just outlining its hot loops.  The dynamic translator then
+vectorizes it at run time, on whatever accelerator the machine has.
+
+This script writes a small DSP routine in *assembly*, with no vector
+instruction anywhere, cross-compiles it, and runs the result across
+accelerator widths.
+
+Run:  python examples/cross_compile_legacy.py
+"""
+
+from repro import Machine, MachineConfig, arrays_equal, assemble, config_for_width
+from repro.core.scalarize import cross_compile, find_candidate_loops
+
+LEGACY_SOURCE = """
+; A scalar biquad-ish filter + energy scan, as a compiler in 2007 might
+; have emitted it.  No SIMD instructions, no annotations.
+.data samples f32 256 = 0.35
+.data state   f32 256 = 0.1
+.data out_buf f32 256 = 0.0
+.data energy  f32 1   = 0.0
+
+main:
+    mov r7, #0
+frame_loop:
+    fmov f1, #0.0
+    mov r0, #0
+filter_loop:
+    ldf f2, [samples + r0]
+    ldf f3, [state + r0]
+    fmul f4, f2, f3
+    fadd f5, f4, f2
+    fmul f5, f5, #0.5
+    stf f5, [out_buf + r0]
+    fadd f1, f1, f5
+    add r0, r0, #1
+    cmp r0, #256
+    blt filter_loop
+    stf f1, [energy + #0]
+    add r7, r7, #1
+    cmp r7, #12
+    blt frame_loop
+    halt
+"""
+
+
+def main() -> None:
+    legacy = assemble(LEGACY_SOURCE, name="legacy_dsp")
+    print(f"legacy scalar binary: {len(legacy.instructions)} instructions, "
+          "0 vector instructions\n")
+
+    regions = find_candidate_loops(legacy)
+    print("cross-compiler found candidate loops:")
+    for region in regions:
+        print(f"  instructions [{region.start}..{region.end}] "
+              f"trip={region.trip} induction={region.induction}")
+
+    liquid = cross_compile(legacy)
+    print(f"\ncross-compiled binary: {len(liquid.instructions)} instructions, "
+          f"outlined: {liquid.outlined_functions}\n")
+
+    reference = Machine(MachineConfig()).run(legacy)
+    print(f"{'machine':<16}{'cycles':>10}{'speedup':>9}{'results':>10}")
+    print(f"{'scalar (orig)':<16}{reference.cycles:>10,}{1.0:>9.2f}"
+          f"{'—':>10}")
+    for width in (2, 4, 8, 16):
+        machine = Machine(MachineConfig(accelerator=config_for_width(width)))
+        run = machine.run(liquid)
+        ok = "match" if arrays_equal(reference, run) else "DIVERGED"
+        print(f"{'simd' + str(width):<16}{run.cycles:>10,}"
+              f"{run.speedup_over(reference):>9.2f}{ok:>10}")
+
+    print("\nA binary with no SIMD in it now exploits every SIMD "
+          "generation — the translator did the vectorization at run time.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,59 @@
+#!/usr/bin/env python3
+"""Debugging a Liquid SIMD translation with the tracer and run summaries.
+
+Shows the observability surface a systems developer would actually use:
+
+1. trace the interleaved scalar/microcode retirement stream of a hot
+   loop (first call scalar, later calls injected SIMD),
+2. read the run summary (CPI, stall breakdown, per-loop translation
+   outcomes, microcode-cache behaviour),
+3. diagnose an abort: run the same binary on an accelerator generation
+   that lacks an opcode and see exactly which loop stayed scalar and why.
+
+Run:  python examples/debugging_translation.py
+"""
+
+from repro import Machine, MachineConfig, build_liquid_program, config_for_width
+from repro.kernels.suite import build_kernel
+from repro.simd.accelerator import first_generation
+from repro.system import TraceRecorder
+
+
+def main() -> None:
+    kernel = build_kernel("GSM Enc.")  # saturating + abs/max reductions
+    liquid = build_liquid_program(kernel)
+
+    print("=" * 68)
+    print("1. Tracing the first two calls of a hot loop")
+    print("=" * 68)
+    tracer = TraceRecorder(limit=24,
+                           opcodes={"blo", "ldh", "sth", "vld", "vst",
+                                    "vqsub", "vredmax"})
+    machine = Machine(MachineConfig(accelerator=config_for_width(8)),
+                      tracer=tracer)
+    result = machine.run(liquid)
+    print(tracer.render())
+    print("\ncaptured opcode mix:", tracer.opcode_histogram())
+
+    print()
+    print("=" * 68)
+    print("2. Run summary")
+    print("=" * 68)
+    print(result.summary())
+
+    print()
+    print("=" * 68)
+    print("3. Diagnosing an abort on an older accelerator generation")
+    print("=" * 68)
+    gen1 = first_generation(8)
+    old = Machine(MachineConfig(accelerator=gen1)).run(liquid)
+    print(old.summary())
+    print("\nabort details:")
+    for translation in old.translations:
+        if not translation.ok:
+            print(f"  {translation.function}: {translation.reason.value}"
+                  f"  ({translation.detail})")
+
+
+if __name__ == "__main__":
+    main()

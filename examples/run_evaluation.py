@@ -1,0 +1,19 @@
+#!/usr/bin/env python3
+"""Regenerate the paper's evaluation tables and figures from the CLI.
+
+Runs any subset of the eight experiments (see DESIGN.md section 4) and
+prints each artifact in the paper's table format.
+
+Examples:
+    python examples/run_evaluation.py --experiments table2 table5
+    python examples/run_evaluation.py --benchmarks FIR "MPEG2 Dec." \\
+        --experiments figure6 table6
+    python examples/run_evaluation.py --all            # everything (slow)
+"""
+
+import sys
+
+from repro.evaluation.cli import run
+
+if __name__ == "__main__":
+    sys.exit(run())

@@ -1,0 +1,84 @@
+"""Liquid SIMD reproduction (Clark et al., HPCA 2007).
+
+A complete simulated system demonstrating *Liquid SIMD*: SIMD code is
+compiled into an equivalent scalar representation (Table 1 of the
+paper), outlined behind marked calls, and dynamically re-translated into
+width-specific SIMD microcode by a post-retirement hardware translator
+(Table 3) — decoupling the SIMD accelerator from the instruction set.
+
+Quickstart::
+
+    from repro import (
+        LoopBuilder, Kernel, build_liquid_program, build_baseline_program,
+        Machine, MachineConfig, config_for_width,
+    )
+
+    b = LoopBuilder("scale", trip=256, elem="f32")
+    x = b.load("x")
+    b.store("y", b.mul(x, b.imm(2.0)))
+    kernel = Kernel("demo", arrays=[...], stages=[b.build()],
+                    schedule=["scale", "scale"])
+
+    liquid = build_liquid_program(kernel)
+    result = Machine(MachineConfig(accelerator=config_for_width(8))).run(liquid)
+"""
+
+from repro.core.scalarize import (
+    DEFAULT_MVL,
+    Kernel,
+    ScalarBlock,
+    SimdLoop,
+    build_baseline_program,
+    build_liquid_program,
+    build_native_program,
+    scalarize_loop,
+)
+from repro.core.translate import (
+    AbortReason,
+    DynamicTranslator,
+    MicrocodeCache,
+    TranslationResult,
+    TranslatorConfig,
+    TranslatorHardwareModel,
+)
+from repro.isa import DataArray, Program, assemble
+from repro.kernels.dsl import LoopBuilder
+from repro.simd.accelerator import AcceleratorConfig, config_for_width
+from repro.system import (
+    Machine,
+    MachineConfig,
+    RunResult,
+    arrays_equal,
+    outlined_function_sizes,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "DEFAULT_MVL",
+    "Kernel",
+    "ScalarBlock",
+    "SimdLoop",
+    "build_baseline_program",
+    "build_liquid_program",
+    "build_native_program",
+    "scalarize_loop",
+    "AbortReason",
+    "DynamicTranslator",
+    "MicrocodeCache",
+    "TranslationResult",
+    "TranslatorConfig",
+    "TranslatorHardwareModel",
+    "DataArray",
+    "Program",
+    "assemble",
+    "LoopBuilder",
+    "AcceleratorConfig",
+    "config_for_width",
+    "Machine",
+    "MachineConfig",
+    "RunResult",
+    "arrays_equal",
+    "outlined_function_sizes",
+    "__version__",
+]

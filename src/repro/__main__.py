@@ -1,0 +1,86 @@
+"""``python -m repro`` — command-line front end.
+
+Subcommands:
+
+* ``evaluate``  — regenerate the paper's tables/figures
+  (thin wrapper over :mod:`repro.evaluation`); same flags as
+  ``examples/run_evaluation.py``.
+* ``list``      — list the benchmark suite.
+* ``run NAME``  — run one benchmark across the width sweep and print its
+  Figure 6 row plus translation outcomes.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.core.scalarize import build_baseline_program, build_liquid_program
+from repro.kernels.suite import BENCHMARK_ORDER, build_kernel
+from repro.simd.accelerator import config_for_width
+from repro.system.machine import Machine, MachineConfig
+from repro.system.metrics import arrays_equal
+
+
+def _cmd_list(_args) -> int:
+    print("benchmark suite (paper order):")
+    for name in BENCHMARK_ORDER:
+        kernel = build_kernel(name)
+        loops = ", ".join(s.name for s in kernel.simd_loops)
+        print(f"  {name:<14} {kernel.description}")
+        print(f"  {'':<14} hot loops: {loops}")
+    return 0
+
+
+def _cmd_run(args) -> int:
+    kernel = build_kernel(args.benchmark)
+    baseline = build_baseline_program(kernel)
+    liquid = build_liquid_program(kernel)
+    base = Machine(MachineConfig()).run(baseline)
+    print(f"{kernel.name}: baseline {base.cycles:,} cycles")
+    print(f"{'width':<8}{'cycles':>12}{'speedup':>9}{'translations':>14}"
+          f"{'results':>9}")
+    for width in args.widths:
+        machine = Machine(MachineConfig(accelerator=config_for_width(width)))
+        run = machine.run(liquid)
+        ok = sum(1 for t in run.translations if t.ok)
+        bad = sum(1 for t in run.translations if not t.ok)
+        match = "match" if arrays_equal(base, run) else "DIVERGED"
+        print(f"{width:<8}{run.cycles:>12,}{run.speedup_over(base):>9.2f}"
+              f"{f'{ok} ok / {bad} abort':>14}{match:>9}")
+        for t in run.translations:
+            if not t.ok:
+                print(f"         {t.function}: {t.reason.value}")
+    return 0
+
+
+def main(argv=None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if argv and argv[0] == "evaluate":
+        # Delegate everything after the subcommand to the evaluation CLI,
+        # which owns its own flags.
+        from repro.evaluation.cli import run as eval_run
+        return eval_run(argv[1:])
+
+    parser = argparse.ArgumentParser(prog="repro", description=__doc__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list the benchmark suite")
+
+    run_p = sub.add_parser("run", help="run one benchmark across widths")
+    run_p.add_argument("benchmark", choices=BENCHMARK_ORDER)
+    run_p.add_argument("--widths", nargs="*", type=int, default=[2, 4, 8, 16])
+
+    sub.add_parser("evaluate", help="regenerate evaluation artifacts "
+                                    "(see `repro evaluate --help`)")
+
+    args = parser.parse_args(argv)
+    if args.command == "list":
+        return _cmd_list(args)
+    if args.command == "run":
+        return _cmd_run(args)
+    return 2  # pragma: no cover
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,162 @@
+"""Shared arithmetic semantics for the scalar ISA and the SIMD lanes.
+
+Both the scalar interpreter and the vector-lane implementations call
+into this module, which guarantees that a scalarized Liquid SIMD loop,
+the native SIMD loop, and the dynamically translated microcode all
+produce **bit-identical** results — the property the paper's correctness
+argument rests on ("the translator is simply converting between
+functionally equivalent representations").
+
+Integer operations wrap to the signed width of their element type;
+float operations round through IEEE binary32 (``numpy.float32``) so the
+simulated 32-bit FPU matches real SIMD hardware lane behaviour.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Union
+
+import numpy as np
+
+Number = Union[int, float]
+
+#: Signed bounds per integer element type.
+INT_BOUNDS = {
+    "i8": (-128, 127),
+    "i16": (-32768, 32767),
+    "i32": (-(1 << 31), (1 << 31) - 1),
+}
+
+_WIDTH_BITS = {"i8": 8, "i16": 16, "i32": 32}
+
+
+def wrap_int(value: int, elem: str = "i32") -> int:
+    """Wrap *value* to the signed two's-complement range of *elem*."""
+    bits = _WIDTH_BITS[elem]
+    mask = (1 << bits) - 1
+    value = int(value) & mask
+    if value >= 1 << (bits - 1):
+        value -= 1 << bits
+    return value
+
+
+def f32(value: float) -> float:
+    """Round *value* through IEEE binary32."""
+    return float(np.float32(value))
+
+
+def float_bits(value: float) -> int:
+    """The IEEE binary32 bit pattern of *value* as an unsigned int."""
+    return struct.unpack("<I", struct.pack("<f", float(value)))[0]
+
+
+def bits_float(bits: int) -> float:
+    """Inverse of :func:`float_bits`."""
+    return struct.unpack("<f", struct.pack("<I", bits & 0xFFFFFFFF))[0]
+
+
+def saturate(value: int, elem: str) -> int:
+    """Clamp *value* into the signed range of *elem*."""
+    lo, hi = INT_BOUNDS[elem]
+    return max(lo, min(hi, int(value)))
+
+
+def qadd(a: int, b: int, elem: str) -> int:
+    """Signed saturating add."""
+    return saturate(int(a) + int(b), elem)
+
+
+def qsub(a: int, b: int, elem: str) -> int:
+    """Signed saturating subtract."""
+    return saturate(int(a) - int(b), elem)
+
+
+def int_op(opcode: str, a: int, b: int, elem: str = "i32") -> int:
+    """Integer data-processing semantics (wrapping to *elem*)."""
+    a, b = int(a), int(b)
+    if opcode == "add":
+        result = a + b
+    elif opcode == "sub":
+        result = a - b
+    elif opcode == "rsb":
+        result = b - a
+    elif opcode == "mul":
+        result = a * b
+    elif opcode == "and":
+        result = a & b
+    elif opcode == "orr":
+        result = a | b
+    elif opcode == "eor":
+        result = a ^ b
+    elif opcode == "bic":
+        result = a & ~b
+    elif opcode == "lsl":
+        result = a << (b & 31)
+    elif opcode == "lsr":
+        bits = _WIDTH_BITS[elem]
+        result = (a & ((1 << bits) - 1)) >> (b & 31)
+    elif opcode == "asr":
+        result = a >> (b & 31)
+    elif opcode == "min":
+        result = min(a, b)
+    elif opcode == "max":
+        result = max(a, b)
+    elif opcode == "qadd":
+        return qadd(a, b, elem)
+    elif opcode == "qsub":
+        return qsub(a, b, elem)
+    else:
+        raise ValueError(f"unknown integer op {opcode!r}")
+    return wrap_int(result, elem)
+
+
+def float_op(opcode: str, a: float, b: float = 0.0) -> float:
+    """Float data-processing semantics with binary32 rounding."""
+    fa, fb = np.float32(a), np.float32(b)
+    if opcode == "fadd":
+        result = fa + fb
+    elif opcode == "fsub":
+        result = fa - fb
+    elif opcode == "fmul":
+        result = fa * fb
+    elif opcode == "fdiv":
+        result = fa / fb
+    elif opcode == "fmin":
+        result = min(fa, fb)
+    elif opcode == "fmax":
+        result = max(fa, fb)
+    elif opcode == "fneg":
+        result = -fa
+    elif opcode == "fabs":
+        result = abs(fa)
+    else:
+        raise ValueError(f"unknown float op {opcode!r}")
+    return float(np.float32(result))
+
+
+def float_bitwise(opcode: str, a: float, mask_bits: int) -> float:
+    """Bitwise AND/OR of a float's binary32 pattern with an integer mask.
+
+    This implements the paper's FFT masking idiom, where integer masks
+    loaded from a read-only array are ANDed with float data to select
+    lanes (``and f3, f3, r2``).
+    """
+    bits = float_bits(a)
+    if opcode in ("fand", "and", "vmask", "vand"):
+        out = bits & (mask_bits & 0xFFFFFFFF)
+    elif opcode in ("forr", "orr", "vorr"):
+        out = bits | (mask_bits & 0xFFFFFFFF)
+    else:
+        raise ValueError(f"unknown float bitwise op {opcode!r}")
+    return bits_float(out)
+
+
+def float_or_floats(a: float, b: float) -> float:
+    """Bitwise OR of two floats' binary32 patterns (lane-combining idiom)."""
+    return bits_float(float_bits(a) | float_bits(b))
+
+
+def float_and_floats(a: float, b: float) -> float:
+    """Bitwise AND of two floats' binary32 patterns."""
+    return bits_float(float_bits(a) & float_bits(b))

@@ -1,0 +1,41 @@
+"""The paper's primary contribution: SIMD scalarization + dynamic translation.
+
+``repro.core.scalarize`` implements the compile-time half (paper section
+3, Table 1): re-expressing SIMD loops as equivalent scalar loops in the
+baseline ISA, with function outlining.  ``repro.core.translate``
+implements the run-time half (paper section 4, Table 3): the
+post-retirement hardware translator that regenerates width-specific SIMD
+microcode from the scalar representation.
+"""
+
+from repro.core.scalarize import (
+    Kernel,
+    ScalarBlock,
+    SimdLoop,
+    build_baseline_program,
+    build_liquid_program,
+    build_native_program,
+    scalarize_loop,
+)
+from repro.core.translate import (
+    AbortReason,
+    DynamicTranslator,
+    MicrocodeCache,
+    TranslationResult,
+    TranslatorConfig,
+)
+
+__all__ = [
+    "Kernel",
+    "ScalarBlock",
+    "SimdLoop",
+    "build_baseline_program",
+    "build_liquid_program",
+    "build_native_program",
+    "scalarize_loop",
+    "AbortReason",
+    "DynamicTranslator",
+    "MicrocodeCache",
+    "TranslationResult",
+    "TranslatorConfig",
+]

@@ -1,0 +1,228 @@
+"""Post-compilation cross-compiler: retrofit Liquid SIMD onto scalar binaries.
+
+The paper (section 2) notes the SIMD-to-scalar conversion "can either be
+done at compile time or by using a post-compilation cross compiler" —
+i.e. an existing *scalar* binary whose hot loops already look like the
+scalar representation (plain element loops are exactly that) can be made
+Liquid simply by **outlining** those loops behind marked calls (section
+3.5's transformation).  No vector knowledge is needed offline: the
+dynamic translator does the real work at run time, and any loop it
+cannot handle just keeps running scalar.
+
+:func:`find_candidate_loops` scans a program for the canonical loop
+shape (``mov rX, #0`` … body … ``add rX, rX, #1; cmp rX, #K; blt``) and
+applies a *lenient* static legality screen — false positives are safe by
+construction, because the runtime legality checker aborts them.
+:func:`outline_loops` rewrites the program, moving each candidate into
+an outlined function called through ``blo``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.isa.instructions import Imm, Instruction, Reg, Sym
+from repro.isa.opcodes import OPCODES, InstrClass
+from repro.isa.program import Program
+
+
+@dataclass(frozen=True)
+class LoopRegion:
+    """One candidate loop: instruction indexes [start, end] inclusive.
+
+    ``start`` is the ``mov rX, #0``; ``end`` is the closing ``blt``.
+    """
+
+    start: int
+    end: int
+    induction: str
+    trip: int
+
+    @property
+    def length(self) -> int:
+        return self.end - self.start + 1
+
+
+#: Instruction classes that can appear inside a translatable loop body.
+_BODY_CLASSES = {
+    InstrClass.ALU, InstrClass.MUL, InstrClass.FALU, InstrClass.FMUL,
+    InstrClass.MOVE, InstrClass.CMP, InstrClass.LOAD, InstrClass.STORE,
+}
+
+
+def find_candidate_loops(program: Program, *,
+                         max_body: int = 61) -> List[LoopRegion]:
+    """Scan *program* for outline-able scalar loops.
+
+    The screen requires the canonical induction scaffold, a constant trip
+    count, a body of translatable instruction classes with symbolic
+    ``[array + index]`` addressing, and no control flow other than the
+    closing branch.  It deliberately does **not** re-implement the
+    translator's full legality rules — a candidate the translator later
+    rejects costs nothing (it stays scalar).
+    """
+    instructions = program.instructions
+    regions: List[LoopRegion] = []
+    index = 0
+    while index < len(instructions):
+        region = _match_loop(program, index, max_body)
+        if region is not None:
+            regions.append(region)
+            index = region.end + 1
+        else:
+            index += 1
+    return regions
+
+
+def _match_loop(program: Program, start: int,
+                max_body: int) -> Optional[LoopRegion]:
+    instructions = program.instructions
+    mov = instructions[start]
+    if mov.opcode != "mov" or mov.dst is None or not mov.srcs:
+        return None
+    if not isinstance(mov.srcs[0], Imm) or mov.srcs[0].value != 0:
+        return None
+    induction = mov.dst.name
+    if not induction.startswith("r"):
+        return None
+    # The loop header label sits at start+1; find the closing blt that
+    # targets it.
+    header = start + 1
+    end = None
+    limit = min(len(instructions), start + max_body + 4)
+    for i in range(header, limit):
+        instr = instructions[i]
+        if instr.opcode == "blt" and instr.target is not None \
+                and program.labels.get(instr.target) == header:
+            end = i
+            break
+    if end is None or end - header < 3:
+        return None
+    # Scaffold: ... add ind, ind, #1 ; cmp ind, #K ; blt header
+    add, cmp = instructions[end - 2], instructions[end - 1]
+    if not (add.opcode == "add" and add.dst == Reg(induction)
+            and add.srcs == (Reg(induction), Imm(1))):
+        return None
+    if not (cmp.opcode == "cmp" and len(cmp.srcs) == 2
+            and cmp.srcs[0] == Reg(induction)
+            and isinstance(cmp.srcs[1], Imm)):
+        return None
+    trip = int(cmp.srcs[1].value)
+    if trip < 2:
+        return None
+    if not _body_is_clean(program, header, end - 2, induction):
+        return None
+    return LoopRegion(start=start, end=end, induction=induction, trip=trip)
+
+
+def _body_is_clean(program: Program, lo: int, hi: int,
+                   induction: str) -> bool:
+    """Lenient legality screen over body instructions [lo, hi)."""
+    for i in range(lo, hi):
+        instr = program.instructions[i]
+        spec = OPCODES.get(instr.opcode)
+        if spec is None or spec.is_vector:
+            return False
+        if spec.cls not in _BODY_CLASSES:
+            return False
+        if instr.target is not None:
+            return False
+        if instr.dst is not None and instr.dst.name == induction:
+            return False  # extra induction writes break the scaffold
+        if instr.mem is not None and not isinstance(instr.mem.base, Sym):
+            return False
+        # Labels inside the body (other than the header) indicate entry
+        # points we must not outline across.
+        if i != lo and program.labels_at(i):
+            return False
+    return True
+
+
+def outline_loops(program: Program,
+                  regions: Optional[List[LoopRegion]] = None, *,
+                  mark_opcode: str = "blo",
+                  prefix: str = "xloop") -> Program:
+    """Rewrite *program* with each region outlined behind a marked call.
+
+    Returns a new program; the input is not modified.  Region bodies are
+    appended as functions after the original code (which must therefore
+    end in ``halt``/unconditional control flow — true of generated and
+    assembled programs alike since execution never falls off the end).
+    """
+    if mark_opcode not in ("bl", "blo"):
+        raise ValueError("mark_opcode must be 'bl' or 'blo'")
+    if regions is None:
+        regions = find_candidate_loops(program)
+    regions = sorted(regions, key=lambda r: r.start)
+    _check_disjoint(regions)
+
+    out = Program(f"{program.name}_xliquid")
+    for arr in program.data.values():
+        out.add_array(arr)
+    out.entry = program.entry
+    out.outlined_functions = list(program.outlined_functions)
+
+    # Map old instruction index -> new index as we emit.
+    index_map = {}
+    by_start = {r.start: r for r in regions}
+    old_index = 0
+    instructions = program.instructions
+    pending_functions = []
+    while old_index < len(instructions):
+        region = by_start.get(old_index)
+        if region is not None:
+            name = f"{prefix}{len(pending_functions)}_fn"
+            for covered in range(region.start, region.end + 1):
+                index_map[covered] = len(out.instructions)
+            out.emit(Instruction(mark_opcode, target=name,
+                                 comment="outlined by cross-compiler"))
+            pending_functions.append((name, region))
+            old_index = region.end + 1
+        else:
+            index_map[old_index] = len(out.instructions)
+            out.emit(instructions[old_index])
+            old_index += 1
+
+    # Re-home labels (labels inside outlined regions point at the call).
+    for label, target in program.labels.items():
+        if target >= len(instructions):
+            out.labels[label] = len(out.instructions)
+        else:
+            out.labels.setdefault(label, index_map[target])
+
+    for name, region in pending_functions:
+        out.mark_label(name)
+        out.outlined_functions.append(name)
+        base = len(out.instructions)
+        for i in range(region.start, region.end + 1):
+            instr = instructions[i]
+            if instr.target is not None:
+                # The only branch is the loop closer; rebase its target.
+                offset = program.labels[instr.target] - region.start
+                local = f"{name}_L"
+                if local not in out.labels:
+                    out.labels[local] = base + offset
+                instr = Instruction(
+                    opcode=instr.opcode, dst=instr.dst, srcs=instr.srcs,
+                    mem=instr.mem, target=local, elem=instr.elem,
+                    comment=instr.comment,
+                )
+            out.emit(instr)
+        out.emit(Instruction("ret"))
+    return out
+
+
+def _check_disjoint(regions: List[LoopRegion]) -> None:
+    for left, right in zip(regions, regions[1:]):
+        if right.start <= left.end:
+            raise ValueError(
+                f"overlapping loop regions: [{left.start},{left.end}] and "
+                f"[{right.start},{right.end}]"
+            )
+
+
+def cross_compile(program: Program, *, mark_opcode: str = "blo") -> Program:
+    """Find and outline every candidate loop: scalar binary in, Liquid out."""
+    return outline_loops(program, find_candidate_loops(program),
+                         mark_opcode=mark_opcode)

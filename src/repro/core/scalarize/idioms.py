@@ -1,0 +1,118 @@
+"""Scalar idioms for SIMD operations with no single scalar equivalent.
+
+The paper (section 3.2) handles SIMD operations that the scalar ISA
+cannot express directly — its running example is saturating arithmetic —
+by emitting a fixed multi-instruction *idiom* that the dynamic
+translator recognizes and collapses back into one SIMD instruction, "so
+no efficiency is lost in the dynamically translated code".
+
+This module is shared by both halves of the system: the scalarizer
+emits idioms from these templates, and the translator's idiom
+recognizer (:mod:`repro.core.translate.idiom_recognizer`) matches the
+same shapes.
+
+Implemented idioms:
+
+* **Saturating add/sub** (``vqadd``/``vqsub``, signed i8/i16)::
+
+      add d, a, b        ; wraps in 32-bit, so the true sum is exact
+      cmp d, #HI
+      movgt d, #HI
+      cmp d, #LO
+      movlt d, #LO
+
+* **Integer/float min/max** (``vmin``/``vmax``), used when the
+  scalarizer is configured not to rely on the scalar ``min``/``max``
+  pseudo-ops::
+
+      mov d, a           ; (fmov for float)
+      cmp a, b           ; (fcmp)
+      movgt d, b         ;  -> min   (movlt -> max)
+
+* **Integer absolute difference** (``vabd``)::
+
+      sub t1, a, b
+      sub t2, b, a
+      max d, t1, t2
+
+* **Integer negate/abs** (``vneg``/``vabs``)::
+
+      rsb d, a, #0                      ; vneg
+      rsb t, a, #0 ; max d, a, t        ; vabs
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.isa.instructions import Imm, Instruction, Reg
+
+#: Saturation bounds (HI, LO) per element type; i32 saturation cannot be
+#: expressed with 32-bit scalar wrapping arithmetic and is rejected.
+SAT_BOUNDS: Dict[str, Tuple[int, int]] = {
+    "i8": (127, -128),
+    "i16": (32767, -32768),
+}
+
+
+def sat_elem_for_bounds(hi: int, lo: int) -> Optional[str]:
+    """Element type whose saturation bounds are (*hi*, *lo*), if any."""
+    for elem, (bound_hi, bound_lo) in SAT_BOUNDS.items():
+        if hi == bound_hi and lo == bound_lo:
+            return elem
+    return None
+
+
+def emit_saturating(opcode: str, dst: str, a: str, b, elem: str) -> List[Instruction]:
+    """Scalar idiom for ``vqadd``/``vqsub`` on signed *elem* lanes."""
+    if elem not in SAT_BOUNDS:
+        raise ValueError(f"saturating idiom unsupported for {elem!r}")
+    hi, lo = SAT_BOUNDS[elem]
+    base = {"vqadd": "add", "vqsub": "sub"}[opcode]
+    b_operand = b if isinstance(b, Imm) else Reg(b)
+    return [
+        Instruction(base, dst=Reg(dst), srcs=(Reg(a), b_operand)),
+        Instruction("cmp", srcs=(Reg(dst), Imm(hi))),
+        Instruction("movgt", dst=Reg(dst), srcs=(Imm(hi),)),
+        Instruction("cmp", srcs=(Reg(dst), Imm(lo))),
+        Instruction("movlt", dst=Reg(dst), srcs=(Imm(lo),)),
+    ]
+
+
+def emit_minmax(opcode: str, dst: str, a: str, b: str,
+                is_float: bool) -> List[Instruction]:
+    """Conditional-move idiom for ``vmin``/``vmax``.
+
+    ``min``: copy *a*, replace with *b* when ``a > b``.
+    ``max``: copy *a*, replace with *b* when ``a < b``.
+    """
+    mov = "fmov" if is_float else "mov"
+    cmp = "fcmp" if is_float else "cmp"
+    cond = {"vmin": "gt", "vmax": "lt"}[opcode]
+    return [
+        Instruction(mov, dst=Reg(dst), srcs=(Reg(a),)),
+        Instruction(cmp, srcs=(Reg(a), Reg(b))),
+        Instruction(f"{mov}{cond}", dst=Reg(dst), srcs=(Reg(b),)),
+    ]
+
+
+def emit_abd(dst: str, a: str, b: str, t1: str, t2: str) -> List[Instruction]:
+    """Scalar idiom for integer absolute difference (``vabd``)."""
+    return [
+        Instruction("sub", dst=Reg(t1), srcs=(Reg(a), Reg(b))),
+        Instruction("sub", dst=Reg(t2), srcs=(Reg(b), Reg(a))),
+        Instruction("max", dst=Reg(dst), srcs=(Reg(t1), Reg(t2))),
+    ]
+
+
+def emit_neg(dst: str, a: str) -> List[Instruction]:
+    """Scalar idiom for integer negate (``vneg``)."""
+    return [Instruction("rsb", dst=Reg(dst), srcs=(Reg(a), Imm(0)))]
+
+
+def emit_abs(dst: str, a: str, t: str) -> List[Instruction]:
+    """Scalar idiom for integer absolute value (``vabs``)."""
+    return [
+        Instruction("rsb", dst=Reg(t), srcs=(Reg(a), Imm(0))),
+        Instruction("max", dst=Reg(dst), srcs=(Reg(a), Reg(t))),
+    ]

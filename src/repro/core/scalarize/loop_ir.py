@@ -1,0 +1,228 @@
+"""Width-agnostic SIMD loop IR — the scalarizer's input language.
+
+The paper's compiler consumes SIMD assembly (hand-written or produced by
+an auto-SIMDizer; section 3 stresses the two are orthogonal).  This
+module defines that input: a :class:`SimdLoop` is a vectorized loop over
+``trip`` elements whose body uses vector registers, the induction
+register, and ``[symbol + induction]`` memory operands.  The body is
+*width-agnostic*: it never mentions a hardware vector width.  Per-lane
+constants are expressed as periodic :class:`~repro.isa.instructions.VImm`
+patterns (the lane tuple gives one period), which each code generator
+tiles to its concrete width.
+
+A :class:`Kernel` is a whole benchmark: data arrays, a set of stages
+(SIMD loops and non-vectorizable scalar blocks), and a schedule saying
+which stage runs when.  Three code generators consume kernels
+(:mod:`repro.core.scalarize.codegen`): the scalar baseline, the native
+SIMD binary, and the Liquid SIMD binary (scalarized + outlined).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Union
+
+from repro.isa.instructions import Instruction, Reg, Sym, VImm
+from repro.isa.opcodes import OPCODES, InstrClass
+from repro.isa.program import DataArray
+from repro.isa.registers import is_vector_reg
+from repro.memory.alignment import is_power_of_two
+
+
+class LoopIRError(ValueError):
+    """Malformed SIMD loop IR."""
+
+
+@dataclass
+class SimdLoop:
+    """One vectorizable loop in width-agnostic SIMD form.
+
+    Attributes:
+        name: stage name, used in labels and reports.
+        trip: total number of elements processed (loop bound).
+        body: SIMD instructions; memory operands must be
+            ``[Sym + induction]`` and vector constants periodic ``VImm``s.
+        pre: scalar instructions run once before the loop (e.g. reduction
+            accumulator initialization); included in the outlined region.
+        post: scalar instructions run once after the loop (e.g. storing a
+            reduction result).
+        induction: the integer register used as the element index.
+    """
+
+    name: str
+    trip: int
+    body: List[Instruction]
+    pre: List[Instruction] = field(default_factory=list)
+    post: List[Instruction] = field(default_factory=list)
+    induction: str = "r0"
+
+    def validate(self) -> None:
+        """Check the structural rules the scalarizer relies on."""
+        if self.trip <= 0:
+            raise LoopIRError(f"{self.name}: trip must be positive")
+        for instr in self.body:
+            spec = OPCODES.get(instr.opcode)
+            if spec is None:
+                raise LoopIRError(f"{self.name}: unknown opcode {instr.opcode!r}")
+            if not spec.is_vector:
+                raise LoopIRError(
+                    f"{self.name}: scalar instruction {instr.opcode!r} in SIMD "
+                    "body (scalar work belongs in pre/post or a ScalarBlock)"
+                )
+            if instr.mem is not None:
+                self._validate_mem(instr)
+            for operand in instr.srcs:
+                if isinstance(operand, VImm):
+                    if not is_power_of_two(len(operand.lanes)):
+                        raise LoopIRError(
+                            f"{self.name}: VImm period must be a power of two, "
+                            f"got {len(operand.lanes)}"
+                        )
+        for instr in self.pre + self.post:
+            spec = OPCODES.get(instr.opcode)
+            if spec is None or spec.is_vector:
+                raise LoopIRError(
+                    f"{self.name}: pre/post must be scalar instructions"
+                )
+
+    def _validate_mem(self, instr: Instruction) -> None:
+        mem = instr.mem
+        if not isinstance(mem.base, Sym):
+            raise LoopIRError(
+                f"{self.name}: vector memory base must be a data symbol "
+                f"(got {mem.base})"
+            )
+        if not (isinstance(mem.index, Reg) and mem.index.name == self.induction):
+            raise LoopIRError(
+                f"{self.name}: vector memory index must be the induction "
+                f"register {self.induction} (got {mem.index})"
+            )
+
+    def vector_regs(self) -> List[str]:
+        """All vector register names the body mentions (in first-use order)."""
+        seen: List[str] = []
+        for instr in self.body:
+            for reg in list(instr.writes()) + list(instr.reads()):
+                if is_vector_reg(reg) and reg not in seen:
+                    seen.append(reg)
+        return seen
+
+
+@dataclass
+class ScalarBlock:
+    """A non-vectorizable stage: plain scalar code with local labels.
+
+    ``labels`` maps local label names to indices into ``body``; branch
+    targets inside ``body`` must name local labels.  Code generators
+    splice blocks into programs with name mangling, so the same block can
+    appear several times in a schedule.
+    """
+
+    name: str
+    body: List[Instruction]
+    labels: Dict[str, int] = field(default_factory=dict)
+
+    def validate(self) -> None:
+        for instr in self.body:
+            spec = OPCODES.get(instr.opcode)
+            if spec is None:
+                raise LoopIRError(f"{self.name}: unknown opcode {instr.opcode!r}")
+            if spec.is_vector:
+                raise LoopIRError(
+                    f"{self.name}: vector instruction {instr.opcode!r} in a "
+                    "scalar block"
+                )
+            if spec.cls in (InstrClass.CALL, InstrClass.RET):
+                raise LoopIRError(
+                    f"{self.name}: scalar blocks cannot contain calls/returns"
+                )
+            if instr.target is not None and instr.target not in self.labels:
+                raise LoopIRError(
+                    f"{self.name}: branch to unknown local label "
+                    f"{instr.target!r}"
+                )
+
+
+Stage = Union[SimdLoop, ScalarBlock]
+
+
+@dataclass
+class Kernel:
+    """A whole benchmark: arrays + stages + schedule pattern.
+
+    The schedule lists stage names in execution order; a stage may appear
+    multiple times.  The whole pattern executes ``repeats`` times inside
+    an outer loop emitted by the code generators — so hot loops are
+    called repeatedly (as the paper's Table 6 experiment requires)
+    without duplicating their code in the binary.
+    """
+
+    name: str
+    arrays: List[DataArray]
+    stages: List[Stage]
+    schedule: List[str]
+    repeats: int = 1
+    description: str = ""
+
+    def stage(self, name: str) -> Stage:
+        for stage in self.stages:
+            if stage.name == name:
+                return stage
+        raise KeyError(f"kernel {self.name!r} has no stage {name!r}")
+
+    @property
+    def simd_loops(self) -> List[SimdLoop]:
+        return [s for s in self.stages if isinstance(s, SimdLoop)]
+
+    def validate(self) -> None:
+        names = [s.name for s in self.stages]
+        if len(set(names)) != len(names):
+            raise LoopIRError(f"kernel {self.name!r} has duplicate stage names")
+        if self.repeats < 1:
+            raise LoopIRError(f"kernel {self.name!r}: repeats must be >= 1")
+        array_names = {a.name for a in self.arrays}
+        if len(array_names) != len(self.arrays):
+            raise LoopIRError(f"kernel {self.name!r} has duplicate array names")
+        for stage in self.stages:
+            stage.validate()
+        for entry in self.schedule:
+            if entry not in names:
+                raise LoopIRError(
+                    f"kernel {self.name!r}: schedule refers to unknown stage "
+                    f"{entry!r}"
+                )
+        self._validate_symbols(array_names)
+
+    def _validate_symbols(self, array_names) -> None:
+        for stage in self.stages:
+            body = stage.body if isinstance(stage, ScalarBlock) else (
+                stage.pre + stage.body + stage.post
+            )
+            for instr in body:
+                if instr.mem is not None and isinstance(instr.mem.base, Sym):
+                    if instr.mem.base.name not in array_names:
+                        raise LoopIRError(
+                            f"{stage.name}: unknown array "
+                            f"{instr.mem.base.name!r}"
+                        )
+
+
+def vimm_lanes_for_width(vimm: VImm, width: int) -> Optional[List]:
+    """Tile a periodic lane pattern to *width* lanes; None if period > width.
+
+    A period-``p`` pattern tiles any width that is a multiple of ``p``.
+    When the hardware is narrower than the period the constant varies
+    across loop iterations and cannot be a vector immediate — callers
+    fall back to loading the synthesized constant array each iteration.
+    """
+    period = len(vimm.lanes)
+    if period > width:
+        return None
+    if width % period != 0:
+        return None
+    return list(vimm.lanes) * (width // period)
+
+
+def lane_value(vimm: VImm, index: int):
+    """Lane value at element *index* of the periodic pattern."""
+    return vimm.lanes[index % len(vimm.lanes)]

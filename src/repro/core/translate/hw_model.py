@@ -1,0 +1,150 @@
+"""Hardware cost model of the dynamic translator (paper Table 2).
+
+The paper synthesized its HDL translator with a 90 nm IBM standard-cell
+library and reported, for the 8-wide configuration: a 16-gate critical
+path, 1.51 ns delay (>650 MHz), and 174,117 cells (<0.2 mm^2).  Section
+4.1 gives a per-block breakdown and two scaling laws (register-state
+area grows linearly with register count and with vector width; the
+microcode buffer is about half SRAM, half alignment network).
+
+We cannot synthesize HDL in this reproduction, so this module is a
+*calibrated analytic substitute*: block constants are fitted so the
+default configuration reproduces the published row exactly, and the
+paper's own scaling laws extrapolate other configurations (used by the
+ablation benchmarks).  The published per-block numbers are approximate
+and slightly inconsistent (55% register state + 77 k buffer + 9 k opcode
+logic exceeds the stated total), so the register-state constant absorbs
+the residual; it lands at ~48% of total area, in reasonable agreement
+with the "55%" claim.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+#: Calibration targets from Table 2 / section 4.1.
+PAPER_TOTAL_CELLS = 174_117
+PAPER_CRIT_PATH_GATES = 16
+PAPER_DELAY_NS = 1.51
+PAPER_AREA_MM2 = 0.2
+
+_DECODER_CELLS = 4_000         # "a few thousand cells"
+_LEGALITY_CELLS = 400          # "a few hundred cells"
+_OPCODE_GEN_CELLS = 9_000      # "approximately 9000 cells"
+_BUFFER_CELLS = 77_000         # "77,000 cells", 64 entries x 32 bits
+_BUFFER_SRAM_FRACTION = 0.52   # "a little more than half" is the SRAM
+_REGSTATE_CELLS = (PAPER_TOTAL_CELLS - _DECODER_CELLS - _LEGALITY_CELLS
+                   - _OPCODE_GEN_CELLS - _BUFFER_CELLS)
+
+_DECODER_GATES = 5             # "5 of the 16 gates in the critical path"
+_REGSTATE_GATES = 11           # "11 of the 16 gates on the critical path"
+
+_MM2_PER_CELL = PAPER_AREA_MM2 / PAPER_TOTAL_CELLS
+_NS_PER_GATE = PAPER_DELAY_NS / PAPER_CRIT_PATH_GATES
+
+#: Reference configuration the constants were fitted at.
+_REF_WIDTH = 8
+_REF_REGS = 16
+_REF_BUFFER_ENTRIES = 64
+
+
+@dataclass(frozen=True)
+class TranslatorHardwareModel:
+    """Area/timing estimate for one translator configuration.
+
+    Attributes:
+        width: accelerator vector width the translator targets.
+        arch_registers: architectural registers tracked (ARM has 16
+            integer registers; the paper notes ISAs with more registers
+            scale the register-state block proportionally).
+        buffer_entries: microcode buffer capacity in instructions.
+        state_bits_per_reg: register-state bits per register (56 in the
+            paper's design at width 8).
+    """
+
+    width: int = _REF_WIDTH
+    arch_registers: int = _REF_REGS
+    buffer_entries: int = _REF_BUFFER_ENTRIES
+    state_bits_per_reg: int = 56
+
+    # -- per-block areas (cells) ------------------------------------------------
+
+    def decoder_cells(self) -> int:
+        """Partial decoder: independent of width and register count."""
+        return _DECODER_CELLS
+
+    def legality_cells(self) -> int:
+        return _LEGALITY_CELLS
+
+    def opcode_gen_cells(self) -> int:
+        return _OPCODE_GEN_CELLS
+
+    def register_state_cells(self) -> int:
+        """Register state: linear in register count and vector width."""
+        scale = (self.arch_registers / _REF_REGS) * (self.width / _REF_WIDTH)
+        bit_scale = self.state_bits_per_reg / 56
+        return round(_REGSTATE_CELLS * scale * bit_scale)
+
+    def buffer_cells(self) -> int:
+        """Microcode buffer: SRAM scales with entries; so does the
+        alignment network (it collapses across the whole buffer)."""
+        scale = self.buffer_entries / _REF_BUFFER_ENTRIES
+        sram = _BUFFER_CELLS * _BUFFER_SRAM_FRACTION * scale
+        align = _BUFFER_CELLS * (1 - _BUFFER_SRAM_FRACTION) * scale
+        return round(sram + align)
+
+    # -- aggregates ------------------------------------------------------------
+
+    def total_cells(self) -> int:
+        return (self.decoder_cells() + self.legality_cells()
+                + self.opcode_gen_cells() + self.register_state_cells()
+                + self.buffer_cells())
+
+    def area_mm2(self) -> float:
+        """Die area in mm^2 (90 nm standard cells)."""
+        return self.total_cells() * _MM2_PER_CELL
+
+    def critical_path_gates(self) -> int:
+        """Decoder gates + register-state read/modify gates.
+
+        The paper notes the register-state path dominates; wider value
+        histories add one mux level per doubling beyond the reference.
+        """
+        extra = 0
+        width = self.width
+        while width > _REF_WIDTH:
+            extra += 1
+            width //= 2
+        return _DECODER_GATES + _REGSTATE_GATES + extra
+
+    def delay_ns(self) -> float:
+        return self.critical_path_gates() * _NS_PER_GATE
+
+    def frequency_mhz(self) -> float:
+        return 1000.0 / self.delay_ns()
+
+    def breakdown(self) -> Dict[str, int]:
+        """Cells per block, for reports."""
+        return {
+            "partial_decoder": self.decoder_cells(),
+            "legality_checks": self.legality_cells(),
+            "register_state": self.register_state_cells(),
+            "opcode_generation": self.opcode_gen_cells(),
+            "microcode_buffer": self.buffer_cells(),
+        }
+
+    def buffer_sram_bytes(self) -> int:
+        """Instruction storage in the buffer (256 B in the paper)."""
+        return self.buffer_entries * 4
+
+    def table2_row(self) -> Dict[str, object]:
+        """The reproduction of Table 2 for this configuration."""
+        return {
+            "description": f"{self.width}-wide Translator",
+            "crit_path_gates": self.critical_path_gates(),
+            "delay_ns": round(self.delay_ns(), 2),
+            "area_cells": self.total_cells(),
+            "area_mm2": round(self.area_mm2(), 3),
+            "frequency_mhz": round(self.frequency_mhz()),
+        }

@@ -1,0 +1,94 @@
+"""Per-register state tracked by the dynamic translator.
+
+The paper's register-state block holds 56 bits per architectural
+register (section 4.1): whether the register currently represents a
+scalar or a vector, the element width of its data, and the previous
+values loaded into it (used to recognize constants, masks, and
+permutation offsets).  This module is the software model of that block.
+
+Value histories are shared through :class:`ValueTrace` objects: a load
+instruction creates a trace and appends one value per loop iteration;
+rule 8 (induction + offset-vector adds) *copies* the trace to the
+destination register — modelling the paper's "previous values of the
+address are copied to the data processing instruction's destination
+register state".
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+
+class RegKind(enum.Enum):
+    """What a scalar register currently represents in the virtual format."""
+
+    UNKNOWN = "unknown"
+    SCALAR = "scalar"
+    VECTOR = "vector"
+    INDUCTION = "induction"
+    OFFSET_VECTOR = "offset"  # induction + loaded offsets (rule 8 result)
+
+
+@dataclass
+class ValueTrace:
+    """History of values produced by one load PC, one value per iteration."""
+
+    load_pc: int
+    array: Optional[str] = None
+    ucode_uid: Optional[int] = None
+    values: List = field(default_factory=list)
+
+    def record(self, value, limit: int) -> None:
+        """Append an observed value, up to *limit* entries."""
+        if len(self.values) < limit:
+            self.values.append(value)
+
+
+@dataclass
+class RegState:
+    """Translator-visible state of one architectural register."""
+
+    kind: RegKind = RegKind.UNKNOWN
+    elem: Optional[str] = None
+    trace: Optional[ValueTrace] = None
+
+    @property
+    def is_vector(self) -> bool:
+        return self.kind is RegKind.VECTOR
+
+    @property
+    def has_values(self) -> bool:
+        return self.trace is not None
+
+
+class RegisterStateTable:
+    """The whole register-state block (both scalar banks)."""
+
+    def __init__(self) -> None:
+        self._state: Dict[str, RegState] = {}
+
+    def get(self, name: str) -> RegState:
+        if name not in self._state:
+            self._state[name] = RegState()
+        return self._state[name]
+
+    def set(self, name: str, state: RegState) -> None:
+        self._state[name] = state
+
+    def mark(self, name: str, kind: RegKind, elem: Optional[str] = None,
+             trace: Optional[ValueTrace] = None) -> RegState:
+        state = RegState(kind=kind, elem=elem, trace=trace)
+        self._state[name] = state
+        return state
+
+    def kind(self, name: str) -> RegKind:
+        return self.get(name).kind
+
+    def flush(self) -> None:
+        """Abort path: clear all stateful tracking."""
+        self._state.clear()
+
+    def vectors(self) -> List[str]:
+        return [name for name, st in self._state.items() if st.is_vector]

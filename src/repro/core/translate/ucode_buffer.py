@@ -1,0 +1,95 @@
+"""The microcode buffer: staging storage for in-flight translations.
+
+Models the paper's 64-instruction microcode buffer (section 4.1): SIMD
+instructions accumulate here while an outlined function is being
+translated, and the "alignment network" collapses entries when idiom
+recognition or permutation resolution invalidates previously generated
+instructions (e.g. the offset-array vector load that becomes redundant
+once the permutation it encodes has been identified).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Optional
+
+from repro.isa.instructions import Instruction
+
+
+@dataclass
+class UEntry:
+    """One buffer slot: the SIMD instruction(s) generated for one scalar PC."""
+
+    uid: int
+    source_pc: int
+    instructions: List[Instruction]
+    alive: bool = True
+    #: vector/scalar register this entry loads (for collapse bookkeeping)
+    loads_reg: Optional[str] = None
+    scope: int = 0
+
+    def reads(self) -> List[str]:
+        regs: List[str] = []
+        for instr in self.instructions:
+            regs.extend(instr.reads())
+        return regs
+
+
+class BufferOverflow(Exception):
+    """More live microcode than the buffer can hold."""
+
+
+class MicrocodeBuffer:
+    """Bounded staging buffer with entry invalidation (collapse)."""
+
+    def __init__(self, capacity: int = 64) -> None:
+        self.capacity = capacity
+        self._entries: List[UEntry] = []
+        self._next_uid = 0
+        self.peak_live = 0
+
+    def append(self, source_pc: int, instructions: List[Instruction], *,
+               loads_reg: Optional[str] = None, scope: int = 0) -> UEntry:
+        """Stage instructions generated for *source_pc*; returns the entry.
+
+        Raises :class:`BufferOverflow` when live instruction count would
+        exceed capacity — the translator turns that into an abort.
+        """
+        entry = UEntry(uid=self._next_uid, source_pc=source_pc,
+                       instructions=list(instructions), loads_reg=loads_reg,
+                       scope=scope)
+        self._next_uid += 1
+        self._entries.append(entry)
+        live = self.live_instruction_count()
+        self.peak_live = max(self.peak_live, live)
+        if live > self.capacity:
+            raise BufferOverflow(
+                f"{live} live microcode instructions exceed buffer capacity "
+                f"{self.capacity}"
+            )
+        return entry
+
+    def kill(self, entry: UEntry) -> None:
+        """Invalidate an entry (the alignment network collapses around it)."""
+        entry.alive = False
+
+    def live_instruction_count(self) -> int:
+        return sum(len(e.instructions) for e in self._entries if e.alive)
+
+    def live_entries(self) -> List[UEntry]:
+        return [e for e in self._entries if e.alive]
+
+    def reg_still_read(self, reg: str, *, excluding: Optional[UEntry] = None) -> bool:
+        """Is *reg* read by any live entry (other than *excluding*)?"""
+        for entry in self._entries:
+            if not entry.alive or entry is excluding:
+                continue
+            if reg in entry.reads():
+                return True
+        return False
+
+    def __iter__(self) -> Iterator[UEntry]:
+        return iter(self._entries)
+
+    def __len__(self) -> int:
+        return len(self._entries)

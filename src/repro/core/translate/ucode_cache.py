@@ -1,0 +1,105 @@
+"""The microcode cache: storage for completed translations.
+
+Models the paper's proposed control cache — "8 entries of 64 SIMD
+instructions each ... a 2 KB SRAM" (section 5) — indexed by the PC of
+the marked branch-and-link.  When the front end encounters a marked call
+whose translation is resident *and* ready (translation takes time; see
+Table 6's discussion), it injects the cached SIMD microcode instead of
+executing the scalar body.  Replacement is LRU.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.isa.program import Program
+
+
+@dataclass
+class MicrocodeEntry:
+    """One completed translation.
+
+    Attributes:
+        function: label of the outlined function this entry translates.
+        fragment: the SIMD microcode as a miniature program (instructions
+            plus internal loop labels).
+        width: effective vector width the microcode was generated for
+            (<= the accelerator's hardware width; capped by each loop's
+            trip count).
+        ready_cycle: first cycle the entry may be injected (models
+            translation latency).
+        static_instructions: scalar instructions observed (Table 5 data).
+    """
+
+    function: str
+    fragment: Program
+    width: int
+    ready_cycle: int = 0
+    static_instructions: int = 0
+
+    @property
+    def simd_instruction_count(self) -> int:
+        return len(self.fragment.instructions)
+
+
+@dataclass
+class MicrocodeCacheStats:
+    lookups: int = 0
+    hits: int = 0
+    not_ready: int = 0
+    evictions: int = 0
+
+    @property
+    def misses(self) -> int:
+        return self.lookups - self.hits
+
+
+class MicrocodeCache:
+    """LRU cache of completed translations, keyed by function label."""
+
+    def __init__(self, entries: int = 8) -> None:
+        if entries < 1:
+            raise ValueError("microcode cache needs at least one entry")
+        self.capacity = entries
+        self.stats = MicrocodeCacheStats()
+        self._entries: Dict[str, MicrocodeEntry] = {}
+        self._lru: List[str] = []  # least recently used first
+
+    def insert(self, entry: MicrocodeEntry) -> Optional[MicrocodeEntry]:
+        """Insert a completed translation; returns any evicted entry."""
+        evicted: Optional[MicrocodeEntry] = None
+        if entry.function in self._entries:
+            self._lru.remove(entry.function)
+        elif len(self._entries) >= self.capacity:
+            victim = self._lru.pop(0)
+            evicted = self._entries.pop(victim)
+            self.stats.evictions += 1
+        self._entries[entry.function] = entry
+        self._lru.append(entry.function)
+        return evicted
+
+    def lookup(self, function: str, now: int) -> Optional[MicrocodeEntry]:
+        """Return the ready entry for *function* at cycle *now*, if any."""
+        self.stats.lookups += 1
+        entry = self._entries.get(function)
+        if entry is None:
+            return None
+        if now < entry.ready_cycle:
+            self.stats.not_ready += 1
+            return None
+        self.stats.hits += 1
+        self._lru.remove(function)
+        self._lru.append(function)
+        return entry
+
+    def contains(self, function: str) -> bool:
+        return function in self._entries
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def storage_bytes(self, instruction_bytes: int = 4,
+                      instructions_per_entry: int = 64) -> int:
+        """SRAM footprint of this geometry (the paper's 8x64x4 = 2 KB)."""
+        return self.capacity * instructions_per_entry * instruction_bytes

@@ -1,0 +1,35 @@
+"""Evaluation harness: experiment drivers and report rendering."""
+
+from repro.evaluation.experiments import (
+    DEFAULT_WIDTHS,
+    EvalContext,
+    code_size_overhead,
+    figure6_speedups,
+    memory_sensitivity,
+    native_overhead,
+    observation_point_comparison,
+    software_translation_comparison,
+    table2_hw_cost,
+    table5_outlined_sizes,
+    table6_call_distances,
+    translation_latency_ablation,
+    ucode_cache_ablation,
+)
+from repro.evaluation import report
+
+__all__ = [
+    "DEFAULT_WIDTHS",
+    "EvalContext",
+    "code_size_overhead",
+    "figure6_speedups",
+    "memory_sensitivity",
+    "native_overhead",
+    "observation_point_comparison",
+    "software_translation_comparison",
+    "table2_hw_cost",
+    "table5_outlined_sizes",
+    "table6_call_distances",
+    "translation_latency_ablation",
+    "ucode_cache_ablation",
+    "report",
+]

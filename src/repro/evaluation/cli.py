@@ -1,0 +1,96 @@
+"""Command-line driver for the evaluation harness.
+
+Used by ``python -m repro evaluate`` and ``examples/run_evaluation.py``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import time
+from typing import List, Optional
+
+from repro.evaluation import experiments, report
+from repro.kernels.suite import BENCHMARK_ORDER
+
+FAST_SUBSET = ["MPEG2 Dec.", "GSM Enc.", "LU", "FFT", "FIR"]
+
+EXPERIMENTS = ("table2", "table5", "table6", "figure6", "overhead",
+               "codesize", "ucache", "latency", "jit")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        description="Regenerate the paper's evaluation tables and figures.",
+    )
+    parser.add_argument("--benchmarks", nargs="*", default=None,
+                        metavar="NAME",
+                        help="benchmark subset (default: a fast subset; "
+                             f"choices: {', '.join(BENCHMARK_ORDER)})")
+    parser.add_argument("--experiments", nargs="*",
+                        default=["table2", "table5"],
+                        choices=EXPERIMENTS, metavar="EXP",
+                        help=f"which experiments to run {EXPERIMENTS}")
+    parser.add_argument("--all", action="store_true",
+                        help="all experiments over all fifteen benchmarks")
+    return parser
+
+
+def run(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.all:
+        benchmarks = BENCHMARK_ORDER
+        selected = list(EXPERIMENTS)
+    else:
+        benchmarks = args.benchmarks or FAST_SUBSET
+        selected = args.experiments
+
+    ctx = experiments.EvalContext(benchmarks)
+    start = time.time()
+
+    if "table2" in selected:
+        rows = experiments.table2_hw_cost((2, 4, 8, 16))
+        print(report.render_table2(rows))
+        print(report.render_breakdown(rows[2]["breakdown"]))
+        print()
+    if "table5" in selected:
+        print(report.render_table5(experiments.table5_outlined_sizes(ctx)))
+        print()
+    if "table6" in selected:
+        print(report.render_table6(experiments.table6_call_distances(ctx)))
+        print()
+    if "figure6" in selected:
+        from repro.evaluation.figures import render_figure6_chart
+        rows = experiments.figure6_speedups(ctx)
+        print(report.render_figure6(rows, experiments.DEFAULT_WIDTHS))
+        print()
+        print(render_figure6_chart(rows, experiments.DEFAULT_WIDTHS))
+        print()
+    if "overhead" in selected:
+        print(report.render_native_overhead(experiments.native_overhead(ctx)))
+        print()
+    if "codesize" in selected:
+        print(report.render_code_size(experiments.code_size_overhead(ctx)))
+        print()
+    if "ucache" in selected:
+        rows = experiments.ucode_cache_ablation("LU")
+        print(report.render_ablation(rows, "entries",
+                                     "Microcode cache entries sweep (LU)"))
+        print()
+    if "jit" in selected:
+        rows = experiments.software_translation_comparison()
+        print(f"{'Benchmark':<14}{'HW cycles':>12}{'JIT cycles':>12}"
+              f"{'JIT cost':>10}")
+        for row in rows:
+            print(f"{row['benchmark']:<14}{row['hardware_cycles']:>12,}"
+                  f"{row['software_cycles']:>12,}"
+                  f"{row['jit_cost_pct']:>9.2f}%")
+        print()
+    if "latency" in selected:
+        rows = experiments.translation_latency_ablation("171.swim")
+        print(report.render_ablation(
+            rows, "cycles_per_instruction",
+            "Translation latency sweep (171.swim)"))
+        print()
+
+    print(f"[{time.time() - start:.1f}s, benchmarks: {', '.join(benchmarks)}]")
+    return 0

@@ -1,0 +1,437 @@
+"""Experiment drivers: one function per table/figure of the paper.
+
+Each driver returns plain data (lists of row dicts) so tests can assert
+on it and the benchmark harness can print it.  Machine runs are memoized
+in an :class:`EvalContext` because several experiments share the same
+underlying simulations (e.g. Figure 6 and Table 6 both need the width-8
+Liquid runs).
+
+Experiment index (see DESIGN.md section 4):
+
+========  =========================================================
+E1        :func:`table2_hw_cost` — translator synthesis estimates
+E2        :func:`table5_outlined_sizes` — instructions per function
+E3        :func:`table6_call_distances` — first-two-call distances
+E4        :func:`figure6_speedups` — speedup vs. width
+E5        :func:`native_overhead` — Liquid vs. built-in-ISA callout
+E6        :func:`code_size_overhead` — binary growth
+E7        :func:`ucode_cache_ablation` — cache entries sweep
+E8        :func:`translation_latency_ablation` — cycles/instr sweep
+========  =========================================================
+"""
+
+from __future__ import annotations
+
+import statistics
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.core.scalarize import (
+    DEFAULT_MVL,
+    build_baseline_program,
+    build_liquid_program,
+)
+from repro.core.translate.hw_model import TranslatorHardwareModel
+from repro.isa.encoding import encoded_size
+from repro.isa.program import Program
+from repro.kernels.suite import BENCHMARK_ORDER, build_kernel
+from repro.simd.accelerator import config_for_width
+from repro.system.machine import Machine, MachineConfig
+from repro.system.metrics import RunResult, outlined_function_sizes
+
+DEFAULT_WIDTHS: Tuple[int, ...] = (2, 4, 8, 16)
+
+
+class EvalContext:
+    """Builds programs and memoizes machine runs across experiments."""
+
+    def __init__(self, benchmarks: Optional[Sequence[str]] = None) -> None:
+        self.benchmarks = list(benchmarks or BENCHMARK_ORDER)
+        self._programs: Dict[Tuple[str, str], Program] = {}
+        self._runs: Dict[Tuple[str, str], RunResult] = {}
+
+    # -- program construction -------------------------------------------------
+
+    def baseline_program(self, benchmark: str) -> Program:
+        key = (benchmark, "baseline")
+        if key not in self._programs:
+            kernel = build_kernel(benchmark)
+            self._programs[key] = build_baseline_program(kernel, DEFAULT_MVL)
+        return self._programs[key]
+
+    def liquid_program(self, benchmark: str) -> Program:
+        key = (benchmark, "liquid")
+        if key not in self._programs:
+            kernel = build_kernel(benchmark)
+            self._programs[key] = build_liquid_program(kernel, DEFAULT_MVL)
+        return self._programs[key]
+
+    # -- machine runs ------------------------------------------------------------
+
+    def run(self, benchmark: str, config: MachineConfig,
+            tag: str) -> RunResult:
+        key = (benchmark, tag)
+        if key not in self._runs:
+            program = (self.baseline_program(benchmark) if tag == "baseline"
+                       else self.liquid_program(benchmark))
+            self._runs[key] = Machine(config).run(program)
+        return self._runs[key]
+
+    def baseline_run(self, benchmark: str) -> RunResult:
+        return self.run(benchmark, MachineConfig(), "baseline")
+
+    def liquid_run(self, benchmark: str, width: int) -> RunResult:
+        config = MachineConfig(accelerator=config_for_width(width))
+        return self.run(benchmark, config, f"liquid-w{width}")
+
+    def pretranslated_run(self, benchmark: str, width: int) -> RunResult:
+        """The paper's 'built-in ISA support' point: microcode from call 1."""
+        config = MachineConfig(accelerator=config_for_width(width),
+                               pretranslate=True)
+        return self.run(benchmark, config, f"native-w{width}")
+
+
+# --------------------------------------------------------------------------
+# E1 — Table 2
+# --------------------------------------------------------------------------
+
+
+def table2_hw_cost(widths: Iterable[int] = (8,)) -> List[dict]:
+    """Translator synthesis estimates (paper Table 2 + width ablation)."""
+    rows = []
+    for width in widths:
+        model = TranslatorHardwareModel(width=width)
+        row = model.table2_row()
+        row["breakdown"] = model.breakdown()
+        rows.append(row)
+    return rows
+
+
+# --------------------------------------------------------------------------
+# E2 — Table 5
+# --------------------------------------------------------------------------
+
+
+def table5_outlined_sizes(ctx: Optional[EvalContext] = None) -> List[dict]:
+    """Scalar instructions per outlined hot loop (mean and max)."""
+    ctx = ctx or EvalContext()
+    rows = []
+    for benchmark in ctx.benchmarks:
+        sizes = outlined_function_sizes(ctx.liquid_program(benchmark))
+        values = list(sizes.values())
+        rows.append({
+            "benchmark": benchmark,
+            "mean": round(statistics.mean(values), 1),
+            "max": max(values),
+            "functions": sizes,
+        })
+    return rows
+
+
+# --------------------------------------------------------------------------
+# E3 — Table 6
+# --------------------------------------------------------------------------
+
+
+def table6_call_distances(ctx: Optional[EvalContext] = None,
+                          width: int = 8) -> List[dict]:
+    """Cycles between the first two calls of each outlined hot loop.
+
+    Reported in the paper's buckets: <150, <300 (i.e. 150-300), >300,
+    plus the mean distance over all hot loops.
+    """
+    ctx = ctx or EvalContext()
+    rows = []
+    for benchmark in ctx.benchmarks:
+        run = ctx.liquid_run(benchmark, width)
+        distances = [
+            stats.first_two_call_distance
+            for stats in run.functions.values()
+            if stats.first_two_call_distance is not None
+        ]
+        rows.append({
+            "benchmark": benchmark,
+            "lt150": sum(1 for d in distances if d < 150),
+            "lt300": sum(1 for d in distances if 150 <= d < 300),
+            "gt300": sum(1 for d in distances if d >= 300),
+            "mean": round(statistics.mean(distances)) if distances else 0,
+            "distances": distances,
+        })
+    return rows
+
+
+# --------------------------------------------------------------------------
+# E4 — Figure 6
+# --------------------------------------------------------------------------
+
+
+def figure6_speedups(ctx: Optional[EvalContext] = None,
+                     widths: Iterable[int] = DEFAULT_WIDTHS) -> List[dict]:
+    """Speedup of the Liquid binary over the no-SIMD scalar baseline."""
+    ctx = ctx or EvalContext()
+    rows = []
+    for benchmark in ctx.benchmarks:
+        base = ctx.baseline_run(benchmark)
+        speedups = {}
+        for width in widths:
+            run = ctx.liquid_run(benchmark, width)
+            speedups[width] = round(run.speedup_over(base), 3)
+        rows.append({"benchmark": benchmark, "speedups": speedups,
+                     "baseline_cycles": base.cycles})
+    return rows
+
+
+# --------------------------------------------------------------------------
+# E5 — Figure 6 callout (native vs Liquid overhead)
+# --------------------------------------------------------------------------
+
+
+def native_overhead(ctx: Optional[EvalContext] = None,
+                    width: int = 16) -> List[dict]:
+    """Speedup lost to dynamic translation vs. built-in ISA support.
+
+    The paper measures this by treating outlined functions as native
+    SIMD from their first call ("the simulator was modified to eliminate
+    control generation") and reports a worst-case delta of 0.001 speedup
+    (FIR).  Its hot loops execute many thousands of times, so the
+    translation cost — which is *one-time* (the first call or two of each
+    loop runs scalar) — amortizes to nothing.  Our schedules repeat far
+    fewer times for simulation-time reasons, so this experiment separates
+    the two components the paper's single number conflates:
+
+    * ``one_time_cycles`` — the entire measured cost of dynamic
+      translation (extra cycles of the Liquid run over the
+      pretranslated run),
+    * ``steady_slowdown_pct`` — the *per-repetition* cost once microcode
+      is cached, measured as the slope between a 1x and a 2x schedule;
+      by construction the injected microcode is identical, so this is
+      the paper-comparable number and should be ~0,
+    * ``overhead`` — the raw speedup delta at our (short) schedule
+      lengths, for completeness.
+    """
+    ctx = ctx or EvalContext()
+    rows = []
+    for benchmark in ctx.benchmarks:
+        base = ctx.baseline_run(benchmark)
+        liquid = ctx.liquid_run(benchmark, width)
+        native = ctx.pretranslated_run(benchmark, width)
+        liquid2 = _scaled_run(benchmark, width, factor=2, pretranslate=False)
+        native2 = _scaled_run(benchmark, width, factor=2, pretranslate=True)
+        liquid_slope = liquid2.cycles - liquid.cycles
+        native_slope = native2.cycles - native.cycles
+        s_liquid = liquid.speedup_over(base)
+        s_native = native.speedup_over(base)
+        rows.append({
+            "benchmark": benchmark,
+            "liquid_speedup": round(s_liquid, 4),
+            "native_speedup": round(s_native, 4),
+            "overhead": round(s_native - s_liquid, 4),
+            "one_time_cycles": liquid.cycles - native.cycles,
+            "steady_slowdown_pct": round(
+                100.0 * (liquid_slope - native_slope) / native_slope, 4)
+            if native_slope else 0.0,
+        })
+    return rows
+
+
+def _scaled_run(benchmark: str, width: int, factor: int,
+                pretranslate: bool) -> RunResult:
+    """Run a Liquid binary whose schedule repeats *factor*x longer."""
+    kernel = build_kernel(benchmark)
+    kernel.repeats *= factor
+    program = build_liquid_program(kernel, DEFAULT_MVL)
+    config = MachineConfig(accelerator=config_for_width(width),
+                           pretranslate=pretranslate)
+    return Machine(config).run(program)
+
+
+# --------------------------------------------------------------------------
+# E6 — code size overhead
+# --------------------------------------------------------------------------
+
+
+def code_size_overhead(ctx: Optional[EvalContext] = None,
+                       mvl: int = DEFAULT_MVL) -> List[dict]:
+    """Binary size growth of the Liquid binary over the baseline.
+
+    Counts the three sources the paper names: outlining (bl/ret),
+    idiom expansion, and data alignment to the MVL.  The paper's maximum
+    was <1% (hydro2d).
+    """
+    ctx = ctx or EvalContext()
+    rows = []
+    for benchmark in ctx.benchmarks:
+        base = encoded_size(ctx.baseline_program(benchmark), mvl=mvl)
+        liquid = encoded_size(ctx.liquid_program(benchmark), mvl=mvl)
+        rows.append({
+            "benchmark": benchmark,
+            "baseline_bytes": base,
+            "liquid_bytes": liquid,
+            "overhead_pct": round(100.0 * (liquid - base) / base, 3),
+        })
+    return rows
+
+
+# --------------------------------------------------------------------------
+# E7 — microcode cache sizing
+# --------------------------------------------------------------------------
+
+
+def ucode_cache_ablation(benchmark: str = "FFT", width: int = 8,
+                         entry_counts: Iterable[int] = (1, 2, 4, 8, 16)
+                         ) -> List[dict]:
+    """Sweep microcode cache entries; 8 should capture every working set.
+
+    Reports SIMD-run fraction and cycles per geometry.  The paper found
+    "eight or more SIMD code sequences ... is sufficient to capture the
+    working set in all of the benchmarks".
+    """
+    program = build_liquid_program(build_kernel(benchmark), DEFAULT_MVL)
+    rows = []
+    for entries in entry_counts:
+        config = MachineConfig(accelerator=config_for_width(width),
+                               ucode_cache_entries=entries)
+        run = Machine(config).run(program)
+        calls = sum(s.calls for s in run.functions.values())
+        simd = sum(s.simd_runs for s in run.functions.values())
+        rows.append({
+            "benchmark": benchmark,
+            "entries": entries,
+            "cycles": run.cycles,
+            "simd_run_fraction": round(simd / calls, 3) if calls else 0.0,
+            "evictions": run.ucode_cache.evictions,
+        })
+    return rows
+
+
+# --------------------------------------------------------------------------
+# E8 — translation latency tolerance
+# --------------------------------------------------------------------------
+
+
+def software_translation_comparison(benchmarks: Optional[Sequence[str]] = None,
+                                    width: int = 8,
+                                    software_cpi: int = 30) -> List[dict]:
+    """Extension E9: hardware vs. software (JIT) dynamic translation.
+
+    The paper chooses hardware translation but notes "nothing about our
+    virtualization technique precludes software-based translation"
+    (section 2).  This experiment runs both: the JIT variant charges its
+    work to the main core as a stall (``software_cpi`` cycles per
+    observed instruction) but makes microcode available immediately.
+    Both are one-time costs, so both amortize to zero — the measured
+    difference is the (small) constant the paper's hardware buys.
+    """
+    rows = []
+    for benchmark in benchmarks or ("MPEG2 Dec.", "GSM Enc.", "LU", "FIR"):
+        program = build_liquid_program(build_kernel(benchmark), DEFAULT_MVL)
+        hw = Machine(MachineConfig(
+            accelerator=config_for_width(width))).run(program)
+        sw = Machine(MachineConfig(
+            accelerator=config_for_width(width),
+            translation_mode="software",
+            software_cycles_per_instruction=software_cpi)).run(program)
+        rows.append({
+            "benchmark": benchmark,
+            "hardware_cycles": hw.cycles,
+            "software_cycles": sw.cycles,
+            "jit_cost_pct": round(100.0 * (sw.cycles - hw.cycles) / hw.cycles,
+                                  3),
+            "hw_simd_runs": sum(s.simd_runs for s in hw.functions.values()),
+            "sw_simd_runs": sum(s.simd_runs for s in sw.functions.values()),
+        })
+    return rows
+
+
+def memory_sensitivity(benchmarks: Optional[Sequence[str]] = None,
+                       width: int = 8,
+                       miss_penalties: Iterable[int] = (0, 30, 100)
+                       ) -> List[dict]:
+    """Extension E11: how much of each speedup the memory system gates.
+
+    The paper attributes 179.art's poor speedup to "many cache misses in
+    its hot loops" and FIR's record speedup partly to having "very few
+    cache misses".  Sweeping the miss penalty makes that attribution
+    causal: on an ideal memory system art's SIMD speedup should open up,
+    while FIR's should barely move.
+    """
+    from repro.memory.cache import CacheConfig
+    from repro.pipeline.core import PipelineConfig
+    rows = []
+    for benchmark in benchmarks or ("179.art", "FIR"):
+        kernel = build_kernel(benchmark)
+        baseline_prog = build_baseline_program(kernel, DEFAULT_MVL)
+        liquid_prog = build_liquid_program(build_kernel(benchmark),
+                                           DEFAULT_MVL)
+        speedups = {}
+        for penalty in miss_penalties:
+            pipe = PipelineConfig(
+                icache=CacheConfig(miss_penalty=penalty),
+                dcache=CacheConfig(miss_penalty=penalty),
+            )
+            base = Machine(MachineConfig(pipeline=pipe)).run(baseline_prog)
+            liquid = Machine(MachineConfig(
+                accelerator=config_for_width(width),
+                pipeline=pipe)).run(liquid_prog)
+            speedups[penalty] = round(liquid.speedup_over(base), 3)
+        rows.append({"benchmark": benchmark, "speedups": speedups})
+    return rows
+
+
+def observation_point_comparison(benchmarks: Optional[Sequence[str]] = None,
+                                 width: int = 8) -> List[dict]:
+    """Extension E10: decode-time vs. post-retirement translation.
+
+    Section 4 weighs the two hardware tap points.  Decode-time
+    translation finishes with zero post-retirement latency, but it never
+    sees produced data values, so loops whose translation needs them —
+    permutations, lane-constant materialization — must stay scalar.
+    Post-retirement (the paper's choice) sees everything and its latency
+    is hidden by Table 6's call distances.
+    """
+    rows = []
+    for benchmark in benchmarks or ("FFT", "FIR", "093.nasa7", "MPEG2 Dec."):
+        program = build_liquid_program(build_kernel(benchmark), DEFAULT_MVL)
+        retire = Machine(MachineConfig(
+            accelerator=config_for_width(width))).run(program)
+        decode = Machine(MachineConfig(
+            accelerator=config_for_width(width),
+            observation_point="decode")).run(program)
+        rows.append({
+            "benchmark": benchmark,
+            "retirement_cycles": retire.cycles,
+            "decode_cycles": decode.cycles,
+            "retirement_translated": retire.successful_translations,
+            "decode_translated": decode.successful_translations,
+            "decode_penalty_pct": round(
+                100.0 * (decode.cycles - retire.cycles) / retire.cycles, 2),
+        })
+    return rows
+
+
+def translation_latency_ablation(benchmark: str = "171.swim", width: int = 8,
+                                 cycles_per_instruction: Iterable[int] =
+                                 (1, 10, 50, 100, 500, 5000)) -> List[dict]:
+    """Sweep translator speed; performance should degrade only slowly.
+
+    The paper argues post-retirement translation "could have taken tens
+    of cycles per scalar instruction without affecting performance"
+    because outlined calls are >300 cycles apart (Table 6).
+    """
+    program = build_liquid_program(build_kernel(benchmark), DEFAULT_MVL)
+    rows = []
+    baseline_cycles = None
+    for cpi in cycles_per_instruction:
+        config = MachineConfig(accelerator=config_for_width(width),
+                               translation_cycles_per_instruction=cpi)
+        run = Machine(config).run(program)
+        if baseline_cycles is None:
+            baseline_cycles = run.cycles
+        rows.append({
+            "benchmark": benchmark,
+            "cycles_per_instruction": cpi,
+            "cycles": run.cycles,
+            "slowdown_pct": round(
+                100.0 * (run.cycles - baseline_cycles) / baseline_cycles, 3),
+            "scalar_runs": sum(s.scalar_runs for s in run.functions.values()),
+        })
+    return rows

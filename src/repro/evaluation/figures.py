@@ -1,0 +1,60 @@
+"""Plain-text chart rendering for the paper's figures.
+
+The evaluation is terminal-first (no plotting dependencies), so Figure 6
+is rendered as grouped horizontal bar charts.  Each benchmark gets one
+bar per accelerator width, scaled to the figure-wide maximum — the same
+visual shape as the paper's clustered columns.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+#: Bar glyph per width, cycling if more widths than glyphs.
+_GLYPHS = ("░", "▒", "▓", "█")
+
+
+def render_figure6_chart(rows: List[dict], widths: Sequence[int],
+                         bar_width: int = 44) -> str:
+    """Render Figure 6 as grouped ASCII bars.
+
+    *rows* are :func:`repro.evaluation.experiments.figure6_speedups`
+    output.  Bars are scaled so the figure's maximum speedup spans
+    *bar_width* characters; a ``|`` marks speedup 1.0 (the baseline).
+    """
+    peak = max(row["speedups"][w] for row in rows for w in widths)
+    if peak <= 0:
+        raise ValueError("no positive speedups to chart")
+    scale = bar_width / peak
+    one_mark = round(1.0 * scale)
+
+    lines = ["Figure 6: speedup over scalar baseline (bar per vector width)",
+             ""]
+    for row in rows:
+        lines.append(row["benchmark"])
+        for index, width in enumerate(widths):
+            value = row["speedups"][width]
+            length = max(1, round(value * scale))
+            glyph = _GLYPHS[index % len(_GLYPHS)]
+            bar = glyph * length
+            if one_mark < len(bar):
+                bar = bar[:one_mark] + "|" + bar[one_mark + 1:]
+            lines.append(f"  w={width:<3}{bar} {value:.2f}")
+        lines.append("")
+    legend = "  ".join(f"{_GLYPHS[i % len(_GLYPHS)]} w={w}"
+                       for i, w in enumerate(widths))
+    lines.append(f"legend: {legend}   ('|' marks speedup 1.0)")
+    return "\n".join(lines)
+
+
+def render_sweep_chart(rows: List[dict], key: str, value_key: str,
+                       title: str, bar_width: int = 40) -> str:
+    """Render a one-dimensional sweep (ablation) as ASCII bars."""
+    peak = max(abs(float(row[value_key])) for row in rows) or 1.0
+    scale = bar_width / peak
+    lines = [title, ""]
+    for row in rows:
+        value = float(row[value_key])
+        bar = "█" * max(0, round(abs(value) * scale))
+        lines.append(f"  {str(row[key]):>10}  {bar} {value:,.2f}")
+    return "\n".join(lines)

@@ -1,0 +1,104 @@
+"""Text rendering of experiment results in the paper's table formats."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+
+def _rule(widths: Sequence[int]) -> str:
+    return "-" * (14 + 9 * len(widths))
+
+
+def render_table2(rows: List[dict]) -> str:
+    """Table 2: synthesis results for the dynamic translator."""
+    lines = ["Table 2: dynamic translator hardware cost (calibrated model)",
+             f"{'Description':<22}{'Crit. Path':>12}{'Delay':>10}"
+             f"{'Area':>12}{'mm^2':>8}"]
+    for row in rows:
+        lines.append(
+            f"{row['description']:<22}{row['crit_path_gates']:>9} gates"
+            f"{row['delay_ns']:>7.2f} ns{row['area_cells']:>12,}"
+            f"{row['area_mm2']:>8.3f}"
+        )
+    return "\n".join(lines)
+
+
+def render_table5(rows: List[dict]) -> str:
+    """Table 5: scalar instructions in outlined functions."""
+    lines = ["Table 5: scalar instructions per outlined function",
+             f"{'Benchmark':<14}{'Mean':>8}{'Max':>6}"]
+    for row in rows:
+        lines.append(f"{row['benchmark']:<14}{row['mean']:>8}{row['max']:>6}")
+    return "\n".join(lines)
+
+
+def render_table6(rows: List[dict]) -> str:
+    """Table 6: cycles between the first two calls of outlined hot loops."""
+    lines = ["Table 6: distance between first two calls of hot loops",
+             f"{'Benchmark':<14}{'<150':>6}{'<300':>6}{'>300':>6}{'Mean':>10}"]
+    for row in rows:
+        lines.append(
+            f"{row['benchmark']:<14}{row['lt150']:>6}{row['lt300']:>6}"
+            f"{row['gt300']:>6}{row['mean']:>10,}"
+        )
+    return "\n".join(lines)
+
+
+def render_figure6(rows: List[dict], widths: Sequence[int]) -> str:
+    """Figure 6 as a table: speedup per vector width."""
+    header = f"{'Benchmark':<14}" + "".join(f"w={w:<7}" for w in widths)
+    lines = ["Figure 6: speedup over scalar baseline per vector width",
+             header, _rule(widths)]
+    for row in rows:
+        cells = "".join(f"{row['speedups'][w]:<9.2f}" for w in widths)
+        lines.append(f"{row['benchmark']:<14}{cells}")
+    return "\n".join(lines)
+
+
+def render_native_overhead(rows: List[dict]) -> str:
+    """Figure 6 callout: dynamic translation overhead vs. built-in ISA."""
+    lines = ["Figure 6 callout: Liquid SIMD vs. built-in ISA support",
+             f"{'Benchmark':<14}{'Liquid':>9}{'Native':>9}{'Delta':>9}"
+             f"{'OneTimeCyc':>12}{'Steady%':>9}"]
+    for row in rows:
+        lines.append(
+            f"{row['benchmark']:<14}{row['liquid_speedup']:>9.3f}"
+            f"{row['native_speedup']:>9.3f}{row['overhead']:>9.3f}"
+            f"{row['one_time_cycles']:>12,}{row['steady_slowdown_pct']:>9.3f}"
+        )
+    return "\n".join(lines)
+
+
+def render_code_size(rows: List[dict]) -> str:
+    """Section 5 text: code size overhead of the Liquid binaries."""
+    lines = ["Code size overhead (baseline vs Liquid binary)",
+             f"{'Benchmark':<14}{'Base B':>10}{'Liquid B':>10}{'Overhead':>10}"]
+    for row in rows:
+        lines.append(
+            f"{row['benchmark']:<14}{row['baseline_bytes']:>10,}"
+            f"{row['liquid_bytes']:>10,}{row['overhead_pct']:>9.2f}%"
+        )
+    return "\n".join(lines)
+
+
+def render_ablation(rows: List[dict], key: str, title: str) -> str:
+    """Generic two-column ablation rendering."""
+    lines = [title, f"{key:<24}{'Cycles':>12}{'Detail':>22}"]
+    for row in rows:
+        detail = ""
+        if "simd_run_fraction" in row:
+            detail = f"simd_frac={row['simd_run_fraction']:.2f}"
+        elif "slowdown_pct" in row:
+            detail = f"slowdown={row['slowdown_pct']:.2f}%"
+        lines.append(f"{str(row[key]):<24}{row['cycles']:>12,}{detail:>22}")
+    return "\n".join(lines)
+
+
+def render_breakdown(breakdown: Dict[str, int]) -> str:
+    """Translator area breakdown (section 4.1 percentages)."""
+    total = sum(breakdown.values())
+    lines = ["Translator area breakdown:"]
+    for block, cells in breakdown.items():
+        lines.append(f"  {block:<20}{cells:>10,} cells"
+                     f"  ({100.0 * cells / total:5.1f}%)")
+    return "\n".join(lines)

@@ -1,0 +1,13 @@
+"""Functional execution: architectural state and the instruction executor."""
+
+from repro.interp.events import RetireEvent
+from repro.interp.executor import ExecutionError, Executor
+from repro.interp.state import MachineState, SymbolTable
+
+__all__ = [
+    "RetireEvent",
+    "ExecutionError",
+    "Executor",
+    "MachineState",
+    "SymbolTable",
+]

@@ -1,0 +1,46 @@
+"""Retirement events: the interface between execution, timing, and translation.
+
+Every executed instruction produces one :class:`RetireEvent`.  The event
+carries exactly the information the paper's post-retirement translator
+taps from the pipeline (section 4.1): the retiring instruction, the data
+value it produced, and — for memory operations — the effective address.
+The timing model consumes the same stream to charge cycles.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Union
+
+from repro.isa.instructions import Instruction
+
+Number = Union[int, float]
+
+
+@dataclass(frozen=True)
+class RetireEvent:
+    """One retired instruction.
+
+    Attributes:
+        pc: instruction index of the retired instruction.
+        instr: the instruction itself.
+        value: the value written to the destination register (the
+            translator's ``Data`` input), or the stored value for stores;
+            ``None`` when nothing was produced.
+        mem_addr: effective byte address for loads/stores, else ``None``.
+        taken: branch outcome for control-flow instructions.
+        next_pc: instruction index control flow proceeds to.
+        in_vector_unit: True when this event came from translated SIMD
+            microcode rather than the scalar pipeline.
+        vector_width: lane count for vector memory operations (so the
+            cache model can charge the full access footprint).
+    """
+
+    pc: int
+    instr: Instruction
+    value: Optional[Number] = None
+    mem_addr: Optional[int] = None
+    taken: bool = False
+    next_pc: int = 0
+    in_vector_unit: bool = False
+    vector_width: Optional[int] = None

@@ -1,0 +1,89 @@
+"""Scalar (ARM-like) instruction-set substrate.
+
+This package defines the baseline scalar ISA that Liquid SIMD virtualizes
+SIMD code into: registers, operands, the instruction model, opcode
+metadata, a two-pass assembler, a fixed-width binary encoding, and the
+``Program`` container (code + data segments + symbols).
+"""
+
+from repro.isa.registers import (
+    FLAG_EQ,
+    FLAG_GT,
+    FLAG_LT,
+    INT_REGS,
+    FLOAT_REGS,
+    LINK_REGISTER,
+    RegisterFile,
+    float_reg,
+    int_reg,
+    is_float_reg,
+    is_int_reg,
+    is_scalar_reg,
+    is_vector_reg,
+    reg_index,
+    vector_reg_for,
+)
+from repro.isa.instructions import (
+    Imm,
+    Instruction,
+    Label,
+    Mem,
+    Reg,
+    Sym,
+    VImm,
+)
+from repro.isa.opcodes import (
+    OPCODES,
+    InstrClass,
+    OpSpec,
+    is_branch,
+    is_call,
+    is_conditional_branch,
+    is_load,
+    is_store,
+    is_vector_op,
+)
+from repro.isa.program import DataArray, Program
+from repro.isa.assembler import AssemblerError, assemble
+from repro.isa.encoding import decode_program, encode_program, encoded_size
+
+__all__ = [
+    "FLAG_EQ",
+    "FLAG_GT",
+    "FLAG_LT",
+    "INT_REGS",
+    "FLOAT_REGS",
+    "LINK_REGISTER",
+    "RegisterFile",
+    "float_reg",
+    "int_reg",
+    "is_float_reg",
+    "is_int_reg",
+    "is_scalar_reg",
+    "is_vector_reg",
+    "reg_index",
+    "vector_reg_for",
+    "Imm",
+    "Instruction",
+    "Label",
+    "Mem",
+    "Reg",
+    "Sym",
+    "VImm",
+    "OPCODES",
+    "InstrClass",
+    "OpSpec",
+    "is_branch",
+    "is_call",
+    "is_conditional_branch",
+    "is_load",
+    "is_store",
+    "is_vector_op",
+    "DataArray",
+    "Program",
+    "AssemblerError",
+    "assemble",
+    "decode_program",
+    "encode_program",
+    "encoded_size",
+]

@@ -1,0 +1,307 @@
+"""A small two-pass textual assembler for the scalar + vector ISA.
+
+The syntax follows the paper's listings closely::
+
+    .data   RealOut f32 128 = 0.0        ; array of 128 f32, filled with 0.0
+    .rodata bfly    i32 = 4,4,4,4,-4,-4,-4,-4
+    .entry  main
+
+    main:
+        mov r0, #0
+    Top_of_loop:
+        ldf f0, [RealOut + r0]           ; element-scaled [base + index]
+        fadd f0, f0, f0
+        stf f0, [RealOut + r0]
+        add r0, r0, #1
+        cmp r0, #128
+        blt Top_of_loop
+        halt
+
+Vector instructions carry their element type as a suffix
+(``vadd.f32 vf1, vf2, vf3``; ``vld.i16 v0, [A + r0]``) and vector
+immediates are written ``#<1,2,3,4>``.  Comments start with ``;`` or
+``#`` — except that ``#`` immediately followed by a value is an
+immediate, as in ARM assembly.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import List, Optional, Tuple
+
+from repro.isa.instructions import Imm, Instruction, Mem, Reg, Sym, VImm
+from repro.isa.opcodes import ELEM_SIZES, LOAD_ELEM, OPCODES, STORE_ELEM, is_load, is_store
+from repro.isa.program import DataArray, Program
+from repro.isa.registers import is_scalar_reg, is_vector_reg
+
+
+class AssemblerError(ValueError):
+    """Raised on any syntax or semantic error, with a line number."""
+
+    def __init__(self, lineno: int, message: str) -> None:
+        super().__init__(f"line {lineno}: {message}")
+        self.lineno = lineno
+
+
+_LABEL_RE = re.compile(r"^([A-Za-z_][\w.]*):$")
+_NUM_RE = re.compile(r"^-?(\d+\.\d*|\.\d+|\d+)([eE][-+]?\d+)?$")
+
+
+def assemble(text: str, name: str = "program") -> Program:
+    """Assemble *text* into a :class:`~repro.isa.program.Program`."""
+    program = Program(name)
+    pending_labels: List[Tuple[int, str]] = []
+    branch_targets: List[Tuple[int, int, str]] = []  # (lineno, instr index, label)
+
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        line = _strip_comment(raw).strip()
+        if not line:
+            continue
+        if line.startswith("."):
+            _directive(program, line, lineno)
+            continue
+        label_match = _LABEL_RE.match(line)
+        if label_match:
+            label = label_match.group(1)
+            if label in program.labels:
+                raise AssemblerError(lineno, f"duplicate label {label!r}")
+            program.mark_label(label)
+            pending_labels.append((lineno, label))
+            continue
+        instr, target = _parse_instruction(line, lineno)
+        index = program.emit(instr)
+        if target is not None:
+            branch_targets.append((lineno, index, target))
+
+    for lineno, _index, target in branch_targets:
+        if target not in program.labels:
+            raise AssemblerError(lineno, f"undefined label {target!r}")
+    if program.entry not in program.labels and len(program) > 0:
+        # Default entry: start of code, under an implicit "main".
+        if "main" not in program.labels:
+            program.labels["main"] = 0
+        program.entry = "main"
+    return program
+
+
+def _strip_comment(line: str) -> str:
+    """Remove ``;`` comments and ``#``-comments that are not immediates."""
+    out = []
+    i = 0
+    while i < len(line):
+        ch = line[i]
+        if ch == ";":
+            break
+        if ch == "#":
+            rest = line[i + 1:i + 2]
+            if not (rest.isdigit() or rest in "-.<"):
+                break
+        out.append(ch)
+        i += 1
+    return "".join(out)
+
+
+def _directive(program: Program, line: str, lineno: int) -> None:
+    parts = line.split(None, 1)
+    directive = parts[0]
+    rest = parts[1] if len(parts) > 1 else ""
+    if directive == ".entry":
+        program.entry = rest.strip()
+        return
+    if directive in (".data", ".rodata"):
+        _data_directive(program, rest, lineno, read_only=directive == ".rodata")
+        return
+    raise AssemblerError(lineno, f"unknown directive {directive!r}")
+
+
+def _data_directive(program: Program, rest: str, lineno: int, read_only: bool) -> None:
+    """Parse ``NAME ELEM [COUNT] [= v0,v1,...]``."""
+    if "=" in rest:
+        head, _, values_text = rest.partition("=")
+        value_tokens = [tok.strip() for tok in values_text.split(",") if tok.strip()]
+    else:
+        head, value_tokens = rest, []
+    fields = head.split()
+    if len(fields) < 2:
+        raise AssemblerError(lineno, "expected: NAME ELEM [COUNT] [= values]")
+    sym, elem = fields[0], fields[1]
+    if elem not in ELEM_SIZES:
+        raise AssemblerError(lineno, f"unknown element type {elem!r}")
+    count = int(fields[2]) if len(fields) > 2 else len(value_tokens)
+    parse = float if elem == "f32" else lambda tok: int(tok, 0)
+    try:
+        values = [parse(tok) for tok in value_tokens]
+    except ValueError as exc:
+        raise AssemblerError(lineno, f"bad data value: {exc}") from None
+    if not values:
+        values = [0.0 if elem == "f32" else 0] * count
+    elif len(values) == 1 and count > 1:
+        values = values * count
+    elif count and len(values) != count:
+        raise AssemblerError(
+            lineno, f"{sym}: {count} elements declared, {len(values)} provided"
+        )
+    try:
+        program.add_array(DataArray(sym, elem, values, read_only=read_only))
+    except ValueError as exc:
+        raise AssemblerError(lineno, str(exc)) from None
+
+
+def _parse_instruction(line: str, lineno: int) -> Tuple[Instruction, Optional[str]]:
+    mnemonic, _, operand_text = line.partition(" ")
+    opcode, elem = _split_elem(mnemonic, lineno)
+    if opcode not in OPCODES:
+        raise AssemblerError(lineno, f"unknown opcode {opcode!r}")
+    operands = _split_operands(operand_text)
+
+    dst: Optional[Reg] = None
+    srcs: List = []
+    mem: Optional[Mem] = None
+    target: Optional[str] = None
+
+    spec = OPCODES[opcode]
+    if spec.cls.value in ("branch", "call"):
+        if len(operands) != 1:
+            raise AssemblerError(lineno, f"{opcode} expects one target label")
+        target = operands[0]
+        return Instruction(opcode=opcode, target=target, elem=elem), target
+
+    parsed = [_parse_operand(tok, lineno) for tok in operands]
+    if is_store(opcode):
+        # Syntax: st* VALUE, [MEM]
+        if len(parsed) != 2 or not isinstance(parsed[1], Mem):
+            raise AssemblerError(lineno, f"{opcode} expects: value, [mem]")
+        if not isinstance(parsed[0], Reg):
+            raise AssemblerError(lineno, f"{opcode} value must be a register")
+        srcs = [parsed[0]]
+        mem = parsed[1]
+        elem = elem or STORE_ELEM.get(opcode)
+    elif is_load(opcode):
+        if len(parsed) != 2 or not isinstance(parsed[1], Mem):
+            raise AssemblerError(lineno, f"{opcode} expects: dst, [mem]")
+        if not isinstance(parsed[0], Reg):
+            raise AssemblerError(lineno, f"{opcode} destination must be a register")
+        dst = parsed[0]
+        mem = parsed[1]
+        if opcode in LOAD_ELEM:
+            elem = elem or LOAD_ELEM[opcode][0]
+    elif opcode in ("cmp", "fcmp"):
+        # Compares write flags only; both operands are sources.
+        srcs = parsed
+        for operand in srcs:
+            if isinstance(operand, Mem):
+                raise AssemblerError(lineno, f"{opcode} does not take a memory operand")
+    else:
+        if parsed and isinstance(parsed[0], Reg) and spec.cls.value not in ("sys",):
+            dst = parsed[0]
+            srcs = parsed[1:]
+        else:
+            srcs = parsed
+        for operand in srcs:
+            if isinstance(operand, Mem):
+                raise AssemblerError(lineno, f"{opcode} does not take a memory operand")
+    _validate_registers(opcode, dst, srcs, mem, lineno)
+    return (
+        Instruction(opcode=opcode, dst=dst, srcs=tuple(srcs), mem=mem,
+                    target=target, elem=elem),
+        target,
+    )
+
+
+def _split_elem(mnemonic: str, lineno: int) -> Tuple[str, Optional[str]]:
+    if "." in mnemonic:
+        opcode, _, elem = mnemonic.partition(".")
+        if elem not in ELEM_SIZES:
+            raise AssemblerError(lineno, f"unknown element suffix {elem!r}")
+        return opcode, elem
+    return mnemonic, None
+
+
+def _split_operands(text: str) -> List[str]:
+    """Split on commas that are not inside ``[...]`` or ``#<...>``."""
+    operands: List[str] = []
+    depth = 0
+    current = []
+    for ch in text:
+        if ch in "[<":
+            depth += 1
+        elif ch in "]>":
+            depth -= 1
+        if ch == "," and depth == 0:
+            operands.append("".join(current).strip())
+            current = []
+        else:
+            current.append(ch)
+    tail = "".join(current).strip()
+    if tail:
+        operands.append(tail)
+    return [op for op in operands if op]
+
+
+def _parse_operand(token: str, lineno: int):
+    if token.startswith("[") and token.endswith("]"):
+        return _parse_mem(token[1:-1].strip(), lineno)
+    if token.startswith("#<") and token.endswith(">"):
+        lanes = tuple(
+            _parse_number(part.strip(), lineno)
+            for part in token[2:-1].split(",")
+            if part.strip()
+        )
+        return VImm(lanes)
+    if token.startswith("#"):
+        return Imm(_parse_number(token[1:], lineno))
+    if is_scalar_reg(token) or is_vector_reg(token):
+        return Reg(token)
+    if re.match(r"^[A-Za-z_][\w.]*$", token):
+        return Sym(token)
+    raise AssemblerError(lineno, f"cannot parse operand {token!r}")
+
+
+def _parse_mem(inner: str, lineno: int) -> Mem:
+    parts = [p.strip() for p in inner.split("+")]
+    if len(parts) == 1:
+        base = _parse_base(parts[0], lineno)
+        return Mem(base=base, index=None)
+    if len(parts) == 2:
+        base = _parse_base(parts[0], lineno)
+        index_token = parts[1]
+        if index_token.startswith("#"):
+            return Mem(base=base, index=Imm(_parse_number(index_token[1:], lineno)))
+        if is_scalar_reg(index_token):
+            return Mem(base=base, index=Reg(index_token))
+        raise AssemblerError(lineno, f"bad index operand {index_token!r}")
+    raise AssemblerError(lineno, f"bad memory operand [{inner}]")
+
+
+def _parse_base(token: str, lineno: int):
+    if is_scalar_reg(token):
+        return Reg(token)
+    if re.match(r"^[A-Za-z_][\w.]*$", token):
+        return Sym(token)
+    raise AssemblerError(lineno, f"bad base operand {token!r}")
+
+
+def _parse_number(text: str, lineno: int):
+    text = text.strip()
+    if text.lower().startswith("0x") or text.lower().startswith("-0x"):
+        return int(text, 16)
+    if _NUM_RE.match(text):
+        if "." in text or "e" in text.lower():
+            return float(text)
+        return int(text)
+    raise AssemblerError(lineno, f"bad number {text!r}")
+
+
+def _validate_registers(opcode, dst, srcs, mem, lineno) -> None:
+    spec = OPCODES[opcode]
+    if spec.is_vector:
+        return  # vector operand shapes are checked by the SIMD interpreter
+    for operand in [dst] + list(srcs):
+        if isinstance(operand, Reg) and is_vector_reg(operand.name):
+            raise AssemblerError(
+                lineno, f"scalar opcode {opcode!r} cannot use vector register "
+                f"{operand.name!r}"
+            )
+    if mem is not None:
+        if isinstance(mem.base, Reg) and is_vector_reg(mem.base.name):
+            raise AssemblerError(lineno, "memory base cannot be a vector register")

@@ -1,0 +1,287 @@
+"""Binary encoding of programs.
+
+Two distinct services live here:
+
+* :func:`encoded_size` — the *architectural* size accounting used by the
+  paper's code-size experiment: every instruction occupies exactly 32
+  bits (as on ARM), plus the data segment (application arrays and the
+  scalarizer's read-only ``bfly``/``cnst``/``mask`` arrays), with arrays
+  aligned to the maximum vectorizable length as section 3.1 requires.
+
+* :func:`encode_program` / :func:`decode_program` — a compact, fully
+  reversible serialization of a program.  It exists so the translator's
+  partial decoder can be exercised against genuinely *decoded* bits (and
+  so round-trip tests can prove no information is lost in the scalar
+  representation, mirroring the paper's "no information is lost" claim).
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import List, Tuple
+
+from repro.isa.instructions import Imm, Instruction, Label, Mem, Reg, Sym, VImm
+from repro.isa.opcodes import OPCODES
+from repro.isa.program import DataArray, Program
+
+#: Architectural instruction width in bytes (as on ARM).
+INSTRUCTION_BYTES = 4
+
+_MAGIC = b"LQSD"
+_VERSION = 3
+
+_OPCODE_IDS = {name: i for i, name in enumerate(sorted(OPCODES))}
+_OPCODE_NAMES = {i: name for name, i in _OPCODE_IDS.items()}
+
+_ELEM_IDS = {None: 0, "i8": 1, "i16": 2, "i32": 3, "f32": 4}
+_ELEM_NAMES = {i: name for name, i in _ELEM_IDS.items()}
+
+# Operand type tags.
+_T_REG, _T_IMM_I, _T_IMM_F, _T_VIMM, _T_SYM, _T_LABEL, _T_MEM, _T_NONE = range(8)
+
+
+def encoded_size(program: Program, mvl: int = 1) -> int:
+    """Architectural binary size in bytes: code + aligned data segment.
+
+    Each instruction is 4 bytes.  Each data array is padded to a multiple
+    of ``mvl`` elements — the alignment the compiler must enforce when
+    compiling to a maximum vectorizable length (paper section 3.1), which
+    is one of the paper's three sources of code-size overhead.
+    """
+    code = len(program.instructions) * INSTRUCTION_BYTES
+    data = 0
+    for arr in program.data.values():
+        count = len(arr)
+        if mvl > 1:
+            count = ((count + mvl - 1) // mvl) * mvl
+        data += count * arr.elem_size
+    return code + data
+
+
+# --------------------------------------------------------------------------
+# Reversible serialization
+# --------------------------------------------------------------------------
+
+
+class _Writer:
+    def __init__(self) -> None:
+        self.buf = bytearray()
+
+    def u8(self, v: int) -> None:
+        self.buf.append(v & 0xFF)
+
+    def u32(self, v: int) -> None:
+        self.buf += struct.pack("<I", v & 0xFFFFFFFF)
+
+    def i64(self, v: int) -> None:
+        self.buf += struct.pack("<q", v)
+
+    def f64(self, v: float) -> None:
+        self.buf += struct.pack("<d", v)
+
+    def text(self, s: str) -> None:
+        raw = s.encode("utf-8")
+        self.u32(len(raw))
+        self.buf += raw
+
+
+class _Reader:
+    def __init__(self, data: bytes) -> None:
+        self.data = data
+        self.pos = 0
+
+    def u8(self) -> int:
+        v = self.data[self.pos]
+        self.pos += 1
+        return v
+
+    def u32(self) -> int:
+        (v,) = struct.unpack_from("<I", self.data, self.pos)
+        self.pos += 4
+        return v
+
+    def i64(self) -> int:
+        (v,) = struct.unpack_from("<q", self.data, self.pos)
+        self.pos += 8
+        return v
+
+    def f64(self) -> float:
+        (v,) = struct.unpack_from("<d", self.data, self.pos)
+        self.pos += 8
+        return v
+
+    def text(self) -> str:
+        n = self.u32()
+        raw = self.data[self.pos:self.pos + n]
+        self.pos += n
+        return raw.decode("utf-8")
+
+
+def _write_operand(w: _Writer, operand) -> None:
+    if operand is None:
+        w.u8(_T_NONE)
+    elif isinstance(operand, Reg):
+        w.u8(_T_REG)
+        w.text(operand.name)
+    elif isinstance(operand, Imm):
+        if isinstance(operand.value, float):
+            w.u8(_T_IMM_F)
+            w.f64(operand.value)
+        else:
+            w.u8(_T_IMM_I)
+            w.i64(operand.value)
+    elif isinstance(operand, VImm):
+        w.u8(_T_VIMM)
+        w.u32(len(operand.lanes))
+        for lane in operand.lanes:
+            if isinstance(lane, float):
+                w.u8(1)
+                w.f64(lane)
+            else:
+                w.u8(0)
+                w.i64(lane)
+    elif isinstance(operand, Sym):
+        w.u8(_T_SYM)
+        w.text(operand.name)
+    elif isinstance(operand, Label):
+        w.u8(_T_LABEL)
+        w.text(operand.name)
+    elif isinstance(operand, Mem):
+        w.u8(_T_MEM)
+        _write_operand(w, operand.base)
+        _write_operand(w, operand.index)
+    else:
+        raise TypeError(f"cannot encode operand {operand!r}")
+
+
+def _read_operand(r: _Reader):
+    tag = r.u8()
+    if tag == _T_NONE:
+        return None
+    if tag == _T_REG:
+        return Reg(r.text())
+    if tag == _T_IMM_I:
+        return Imm(r.i64())
+    if tag == _T_IMM_F:
+        return Imm(r.f64())
+    if tag == _T_VIMM:
+        n = r.u32()
+        lanes: List = []
+        for _ in range(n):
+            lanes.append(r.f64() if r.u8() else r.i64())
+        return VImm(tuple(lanes))
+    if tag == _T_SYM:
+        return Sym(r.text())
+    if tag == _T_LABEL:
+        return Label(r.text())
+    if tag == _T_MEM:
+        base = _read_operand(r)
+        index = _read_operand(r)
+        return Mem(base=base, index=index)
+    raise ValueError(f"bad operand tag {tag}")
+
+
+def encode_instruction(instr: Instruction) -> bytes:
+    """Serialize a single instruction (round-trips via decode_instruction)."""
+    w = _Writer()
+    w.u8(_OPCODE_IDS[instr.opcode])
+    w.u8(_ELEM_IDS[instr.elem])
+    _write_operand(w, instr.dst)
+    w.u8(len(instr.srcs))
+    for src in instr.srcs:
+        _write_operand(w, src)
+    _write_operand(w, instr.mem)
+    if instr.target is None:
+        w.u8(0)
+    else:
+        w.u8(1)
+        w.text(instr.target)
+    return bytes(w.buf)
+
+
+def decode_instruction(data: bytes) -> Instruction:
+    """Inverse of :func:`encode_instruction`."""
+    instr, _ = _decode_instruction(_Reader(data))
+    return instr
+
+
+def _decode_instruction(r: _Reader) -> Tuple[Instruction, int]:
+    opcode = _OPCODE_NAMES[r.u8()]
+    elem = _ELEM_NAMES[r.u8()]
+    dst = _read_operand(r)
+    nsrcs = r.u8()
+    srcs = tuple(_read_operand(r) for _ in range(nsrcs))
+    mem = _read_operand(r)
+    target = r.text() if r.u8() else None
+    return (
+        Instruction(opcode=opcode, dst=dst, srcs=srcs, mem=mem, target=target,
+                    elem=elem),
+        r.pos,
+    )
+
+
+def encode_program(program: Program) -> bytes:
+    """Serialize a whole program, including labels and data arrays."""
+    w = _Writer()
+    w.buf += _MAGIC
+    w.u8(_VERSION)
+    w.text(program.name)
+    w.text(program.entry)
+    w.u32(len(program.labels))
+    for name, index in sorted(program.labels.items()):
+        w.text(name)
+        w.u32(index)
+    w.u32(len(program.outlined_functions))
+    for name in program.outlined_functions:
+        w.text(name)
+    w.u32(len(program.data))
+    for arr in program.data.values():
+        w.text(arr.name)
+        w.text(arr.elem)
+        w.u8(1 if arr.read_only else 0)
+        w.u32(len(arr.values))
+        for value in arr.values:
+            if arr.elem == "f32":
+                w.f64(float(value))
+            else:
+                w.i64(int(value))
+    w.u32(len(program.instructions))
+    for instr in program.instructions:
+        w.buf += encode_instruction(instr)
+    return bytes(w.buf)
+
+
+def decode_program(data: bytes) -> Program:
+    """Inverse of :func:`encode_program`."""
+    r = _Reader(data)
+    if bytes(r.data[:4]) != _MAGIC:
+        raise ValueError("bad magic: not an encoded program")
+    r.pos = 4
+    version = r.u8()
+    if version != _VERSION:
+        raise ValueError(f"unsupported encoding version {version}")
+    program = Program(r.text())
+    program.entry = r.text()
+    nlabels = r.u32()
+    labels = {}
+    for _ in range(nlabels):
+        name = r.text()
+        labels[name] = r.u32()
+    program.labels = labels
+    for _ in range(r.u32()):
+        program.outlined_functions.append(r.text())
+    for _ in range(r.u32()):
+        name = r.text()
+        elem = r.text()
+        read_only = bool(r.u8())
+        count = r.u32()
+        if elem == "f32":
+            values = [r.f64() for _ in range(count)]
+        else:
+            values = [r.i64() for _ in range(count)]
+        program.add_array(DataArray(name, elem, values, read_only=read_only))
+    ninstr = r.u32()
+    for _ in range(ninstr):
+        instr, _pos = _decode_instruction(r)
+        program.emit(instr)
+    return program

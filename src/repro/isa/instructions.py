@@ -1,0 +1,173 @@
+"""Instruction and operand model shared by the scalar and SIMD ISAs.
+
+Instructions are immutable value objects.  Operands are one of:
+
+* :class:`Reg`    — a scalar or vector register, e.g. ``Reg("r3")``.
+* :class:`Imm`    — a scalar immediate (int or float).
+* :class:`VImm`   — a per-lane vector immediate, materialized by the
+  dynamic translator for SIMD operations whose constant cannot be
+  expressed as a scalar immediate (Table 1, category 3).
+* :class:`Sym`    — the address of a data-segment symbol (array base).
+* :class:`Label`  — a code label, used as branch/call targets.
+
+Memory operands follow the paper's ``[base + index]`` form: a base
+(:class:`Sym` or :class:`Reg`) plus an optional index (:class:`Reg` or
+:class:`Imm`).  The effective address is ``base + index * scale`` where
+*scale* is the element size in bytes of the access, so that induction
+variables count *elements*, exactly as in the paper's examples.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Tuple, Union
+
+
+@dataclass(frozen=True)
+class Reg:
+    """A register operand (scalar or vector)."""
+
+    name: str
+
+    def __str__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class Imm:
+    """A scalar immediate operand."""
+
+    value: Union[int, float]
+
+    def __str__(self) -> str:
+        return f"#{self.value}"
+
+
+@dataclass(frozen=True)
+class VImm:
+    """A per-lane vector immediate (one value per hardware lane).
+
+    These never appear in binaries produced by the scalarizer — only the
+    dynamic translator (or the native SIMD code generator) creates them,
+    after observing the lane values loaded from a ``cnst``/``mask`` array.
+    """
+
+    lanes: Tuple[Union[int, float], ...]
+
+    def __str__(self) -> str:
+        body = ",".join(str(v) for v in self.lanes)
+        return f"#<{body}>"
+
+
+@dataclass(frozen=True)
+class Sym:
+    """The address of a named data-segment array."""
+
+    name: str
+
+    def __str__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class Label:
+    """A code label used as a branch or call target."""
+
+    name: str
+
+    def __str__(self) -> str:
+        return self.name
+
+
+Operand = Union[Reg, Imm, VImm, Sym, Label]
+Base = Union[Reg, Sym]
+Index = Union[Reg, Imm, None]
+
+
+@dataclass(frozen=True)
+class Mem:
+    """A ``[base + index]`` memory operand (element-scaled index)."""
+
+    base: Base
+    index: Index = None
+
+    def __str__(self) -> str:
+        if self.index is None:
+            return f"[{self.base}]"
+        return f"[{self.base} + {self.index}]"
+
+
+@dataclass(frozen=True)
+class Instruction:
+    """A single machine instruction.
+
+    Attributes:
+        opcode: canonical mnemonic, e.g. ``"add"``, ``"vmul"``, ``"blt"``.
+        dst: destination register, or ``None`` for stores/branches/etc.
+        srcs: source operands in positional order.
+        mem: memory operand for loads/stores, else ``None``.
+        target: branch/call target label name, else ``None``.
+        elem: element type for memory accesses and vector operations —
+            one of ``"i8"``, ``"i16"``, ``"i32"``, ``"f32"`` — or ``None``
+            for untyped scalar operations.
+        comment: free-form annotation carried through code generation;
+            ignored by all semantics.
+    """
+
+    opcode: str
+    dst: Optional[Reg] = None
+    srcs: Tuple[Operand, ...] = field(default_factory=tuple)
+    mem: Optional[Mem] = None
+    target: Optional[str] = None
+    elem: Optional[str] = None
+    #: Annotation only — excluded from equality so semantically identical
+    #: instructions compare equal regardless of commentary.
+    comment: str = field(default="", compare=False)
+
+    def with_comment(self, comment: str) -> "Instruction":
+        """Return a copy of this instruction carrying *comment*."""
+        return Instruction(
+            opcode=self.opcode,
+            dst=self.dst,
+            srcs=self.srcs,
+            mem=self.mem,
+            target=self.target,
+            elem=self.elem,
+            comment=comment,
+        )
+
+    def reads(self) -> Tuple[str, ...]:
+        """Names of registers this instruction reads (sources + address)."""
+        regs = [op.name for op in self.srcs if isinstance(op, Reg)]
+        if self.mem is not None:
+            if isinstance(self.mem.base, Reg):
+                regs.append(self.mem.base.name)
+            if isinstance(self.mem.index, Reg):
+                regs.append(self.mem.index.name)
+        return tuple(regs)
+
+    def writes(self) -> Tuple[str, ...]:
+        """Names of registers this instruction writes."""
+        return (self.dst.name,) if self.dst is not None else ()
+
+    def __str__(self) -> str:
+        return format_instruction(self)
+
+
+def format_instruction(instr: Instruction) -> str:
+    """Render an instruction in the paper's assembly-like syntax."""
+    op = instr.opcode
+    if instr.elem is not None and not op.startswith("ld") and not op.startswith("st"):
+        op = f"{op}.{instr.elem}"
+    parts = []
+    if instr.dst is not None:
+        parts.append(str(instr.dst))
+    parts.extend(str(s) for s in instr.srcs)
+    if instr.mem is not None:
+        parts.append(str(instr.mem))
+    if instr.target is not None:
+        parts.append(instr.target)
+    body = f"{op} " + ", ".join(parts) if parts else op
+    if instr.comment:
+        body = f"{body:<40s} ; {instr.comment}"
+    return body.rstrip()

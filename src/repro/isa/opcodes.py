@@ -1,0 +1,203 @@
+"""Opcode metadata for the scalar ISA and the Neon-like vector ISA.
+
+Each opcode has an :class:`OpSpec` entry describing its class (used by
+the timing model and the translator's partial decoder), whether it sets
+or reads condition flags, and a one-line description.  Semantic
+implementations live in :mod:`repro.interp` (scalar) and
+:mod:`repro.simd.vector_ops` (vector).
+
+The scalar repertoire intentionally mirrors the subset of the ARM ISA the
+paper's examples use: data-processing ops, conditional moves (the idiom
+building block for saturation and min/max), typed loads/stores with
+``[base + index]`` addressing, compare-and-branch control flow, and the
+``bl``/``ret`` pair used for function outlining.  ``blo`` is the paper's
+proposed *marked* branch-and-link that uniquely identifies outlined,
+translatable regions (section 3.5's false-positive discussion).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict
+
+
+class InstrClass(enum.Enum):
+    """Coarse instruction classes used by timing and translation."""
+
+    ALU = "alu"            # integer data processing
+    MUL = "mul"            # integer multiply
+    FALU = "falu"          # float add/sub/compare-free data processing
+    FMUL = "fmul"          # float multiply
+    FDIV = "fdiv"          # float divide (not translatable)
+    MOVE = "move"          # register/immediate moves, incl. conditional
+    CMP = "cmp"            # compare (sets flags)
+    LOAD = "load"
+    STORE = "store"
+    BRANCH = "branch"
+    CALL = "call"
+    RET = "ret"
+    SYS = "sys"            # nop / halt
+    VALU = "valu"          # vector data processing
+    VMUL = "vmul"
+    VLOAD = "vload"
+    VSTORE = "vstore"
+    VPERM = "vperm"        # vector permutations
+    VRED = "vred"          # vector-to-scalar reductions
+
+
+@dataclass(frozen=True)
+class OpSpec:
+    """Static description of one opcode."""
+
+    name: str
+    cls: InstrClass
+    sets_flags: bool = False
+    reads_flags: bool = False
+    description: str = ""
+
+    @property
+    def is_vector(self) -> bool:
+        return self.cls in _VECTOR_CLASSES
+
+
+_VECTOR_CLASSES = {
+    InstrClass.VALU,
+    InstrClass.VMUL,
+    InstrClass.VLOAD,
+    InstrClass.VSTORE,
+    InstrClass.VPERM,
+    InstrClass.VRED,
+}
+
+_CONDITIONS = ("eq", "ne", "lt", "le", "gt", "ge")
+
+
+def _build_table() -> Dict[str, OpSpec]:
+    table: Dict[str, OpSpec] = {}
+
+    def op(name: str, cls: InstrClass, **kw) -> None:
+        table[name] = OpSpec(name=name, cls=cls, **kw)
+
+    # Moves -----------------------------------------------------------------
+    op("mov", InstrClass.MOVE, description="integer move (register or immediate)")
+    op("fmov", InstrClass.MOVE, description="float move (register or immediate)")
+    for cond in _CONDITIONS:
+        op(f"mov{cond}", InstrClass.MOVE, reads_flags=True,
+           description=f"integer move if {cond}")
+        op(f"fmov{cond}", InstrClass.MOVE, reads_flags=True,
+           description=f"float move if {cond}")
+
+    # Integer data processing -------------------------------------------------
+    for name in ("add", "sub", "rsb", "and", "orr", "eor", "bic",
+                 "lsl", "lsr", "asr", "min", "max"):
+        op(name, InstrClass.ALU, description=f"integer {name}")
+    op("mul", InstrClass.MUL, description="integer multiply")
+    op("cmp", InstrClass.CMP, sets_flags=True, description="integer compare")
+
+    # Float data processing ---------------------------------------------------
+    for name in ("fadd", "fsub", "fmin", "fmax", "fneg", "fabs"):
+        op(name, InstrClass.FALU, description=f"float {name[1:]}")
+    op("fmul", InstrClass.FMUL, description="float multiply")
+    op("fdiv", InstrClass.FDIV, description="float divide")
+    op("fcmp", InstrClass.CMP, sets_flags=True, description="float compare")
+
+    # Bitwise ops on float registers (mask idioms use these; they operate on
+    # the IEEE-754 bit pattern, as the paper's FFT example does with `and`).
+    for name in ("fand", "forr"):
+        op(name, InstrClass.FALU, description=f"bitwise {name[1:]} on float bits")
+
+    # Memory ------------------------------------------------------------------
+    for name in ("ldb", "ldub", "ldh", "lduh", "ldw", "ldf"):
+        op(name, InstrClass.LOAD, description=f"scalar load ({name})")
+    for name in ("stb", "sth", "stw", "stf"):
+        op(name, InstrClass.STORE, description=f"scalar store ({name})")
+
+    # Control flow ------------------------------------------------------------
+    op("b", InstrClass.BRANCH, description="unconditional branch")
+    for cond in _CONDITIONS:
+        op(f"b{cond}", InstrClass.BRANCH, reads_flags=True,
+           description=f"branch if {cond}")
+    op("bl", InstrClass.CALL, description="branch and link (plain call)")
+    op("blo", InstrClass.CALL,
+       description="branch and link, outlined-region marker (translatable)")
+    op("ret", InstrClass.RET, description="return via link register")
+    op("nop", InstrClass.SYS)
+    op("halt", InstrClass.SYS, description="stop simulation")
+
+    # Vector data processing ----------------------------------------------------
+    for name in ("vadd", "vsub", "vand", "vorr", "veor", "vbic",
+                 "vshl", "vshr", "vmin", "vmax", "vqadd", "vqsub",
+                 "vmask", "vabs", "vneg", "vabd"):
+        op(name, InstrClass.VALU, description=f"vector {name[1:]}")
+    op("vmul", InstrClass.VMUL, description="vector multiply")
+
+    # Vector memory ---------------------------------------------------------------
+    op("vld", InstrClass.VLOAD, description="vector load (elem type from .elem)")
+    op("vst", InstrClass.VSTORE, description="vector store")
+
+    # Permutations (period is an immediate operand; see repro.simd.permutations)
+    op("vbfly", InstrClass.VPERM, description="swap halves within groups of #p lanes")
+    op("vrev", InstrClass.VPERM, description="reverse within groups of #p lanes")
+    op("vrot", InstrClass.VPERM, description="rotate groups of #p lanes left by #k")
+
+    # Reductions (vector -> loop-carried scalar register)
+    for name in ("vredsum", "vredmin", "vredmax"):
+        op(name, InstrClass.VRED, description=f"vector {name[4:]} reduction into scalar")
+
+    return table
+
+
+#: The full opcode table, keyed by mnemonic.
+OPCODES: Dict[str, OpSpec] = _build_table()
+
+
+def spec(opcode: str) -> OpSpec:
+    """Look up the :class:`OpSpec` for *opcode* (raises KeyError if unknown)."""
+    return OPCODES[opcode]
+
+
+def is_load(opcode: str) -> bool:
+    return OPCODES[opcode].cls in (InstrClass.LOAD, InstrClass.VLOAD)
+
+
+def is_store(opcode: str) -> bool:
+    return OPCODES[opcode].cls in (InstrClass.STORE, InstrClass.VSTORE)
+
+
+def is_branch(opcode: str) -> bool:
+    return OPCODES[opcode].cls is InstrClass.BRANCH
+
+
+def is_conditional_branch(opcode: str) -> bool:
+    s = OPCODES[opcode]
+    return s.cls is InstrClass.BRANCH and s.reads_flags
+
+
+def is_call(opcode: str) -> bool:
+    return OPCODES[opcode].cls is InstrClass.CALL
+
+
+def is_vector_op(opcode: str) -> bool:
+    return OPCODES[opcode].is_vector
+
+
+#: Element type -> size in bytes.
+ELEM_SIZES = {"i8": 1, "i16": 2, "i32": 4, "f32": 4}
+
+#: Scalar load opcode -> (element type, signed?).
+LOAD_ELEM = {
+    "ldb": ("i8", True),
+    "ldub": ("i8", False),
+    "ldh": ("i16", True),
+    "lduh": ("i16", False),
+    "ldw": ("i32", True),
+    "ldf": ("f32", True),
+}
+
+#: Scalar store opcode -> element type.
+STORE_ELEM = {"stb": "i8", "sth": "i16", "stw": "i32", "stf": "f32"}
+
+#: Element type -> scalar load/store opcodes (used by code generators).
+LOAD_FOR_ELEM = {"i8": "ldb", "i16": "ldh", "i32": "ldw", "f32": "ldf"}
+STORE_FOR_ELEM = {"i8": "stb", "i16": "sth", "i32": "stw", "f32": "stf"}

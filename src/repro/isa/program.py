@@ -1,0 +1,192 @@
+"""The ``Program`` container: code, labels, and data segment.
+
+A :class:`Program` is the unit the loader places into simulated memory and
+the interpreter executes.  It owns:
+
+* a flat list of :class:`~repro.isa.instructions.Instruction` objects,
+* a label table mapping label names to instruction indices,
+* a data segment: named :class:`DataArray` objects (application arrays
+  plus the read-only ``cnst``/``bfly``/``mask`` arrays the scalarizer
+  synthesizes),
+* an entry label.
+
+Programs are built either by code generators (:mod:`repro.kernels.codegen`)
+or by the textual assembler (:mod:`repro.isa.assembler`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Union
+
+from repro.isa.instructions import Instruction
+from repro.isa.opcodes import ELEM_SIZES
+
+Number = Union[int, float]
+
+
+@dataclass
+class DataArray:
+    """A named array in the program's data segment.
+
+    Attributes:
+        name: symbol name used by ``Sym`` operands.
+        elem: element type (``"i8"``/``"i16"``/``"i32"``/``"f32"``).
+        values: initial element values.
+        read_only: True for compiler-synthesized constant arrays
+            (``bfly`` offsets, ``cnst`` lane constants, masks); the memory
+            model rejects stores into read-only arrays.
+    """
+
+    name: str
+    elem: str
+    values: List[Number]
+    read_only: bool = False
+
+    def __post_init__(self) -> None:
+        if self.elem not in ELEM_SIZES:
+            raise ValueError(f"unknown element type: {self.elem!r}")
+        self.values = list(self.values)
+
+    @property
+    def elem_size(self) -> int:
+        return ELEM_SIZES[self.elem]
+
+    @property
+    def size_bytes(self) -> int:
+        return len(self.values) * self.elem_size
+
+    def __len__(self) -> int:
+        return len(self.values)
+
+
+class Program:
+    """A complete assembly program (code + labels + data segment)."""
+
+    def __init__(self, name: str = "program") -> None:
+        self.name = name
+        self.instructions: List[Instruction] = []
+        self.labels: Dict[str, int] = {}
+        self.data: Dict[str, DataArray] = {}
+        self.entry: str = "main"
+        #: Labels of outlined (translatable) functions, set by the outliner.
+        self.outlined_functions: List[str] = []
+
+    # -- construction -------------------------------------------------------
+
+    def emit(self, instr: Instruction) -> int:
+        """Append one instruction; return its index."""
+        self.instructions.append(instr)
+        return len(self.instructions) - 1
+
+    def emit_all(self, instrs: Iterable[Instruction]) -> None:
+        for instr in instrs:
+            self.emit(instr)
+
+    def mark_label(self, name: str) -> None:
+        """Define *name* at the current end of code."""
+        if name in self.labels:
+            raise ValueError(f"duplicate label: {name!r}")
+        self.labels[name] = len(self.instructions)
+
+    def add_array(self, array: DataArray) -> DataArray:
+        if array.name in self.data:
+            raise ValueError(f"duplicate data symbol: {array.name!r}")
+        self.data[array.name] = array
+        return array
+
+    def unique_symbol(self, prefix: str) -> str:
+        """Return a data-symbol name not yet used in this program."""
+        if prefix not in self.data:
+            return prefix
+        i = 1
+        while f"{prefix}_{i}" in self.data:
+            i += 1
+        return f"{prefix}_{i}"
+
+    def unique_label(self, prefix: str) -> str:
+        """Return a code-label name not yet used in this program."""
+        if prefix not in self.labels:
+            return prefix
+        i = 1
+        while f"{prefix}_{i}" in self.labels:
+            i += 1
+        return f"{prefix}_{i}"
+
+    # -- queries --------------------------------------------------------------
+
+    def label_index(self, name: str) -> int:
+        """Instruction index of label *name*."""
+        try:
+            return self.labels[name]
+        except KeyError:
+            raise KeyError(f"undefined label: {name!r}") from None
+
+    def labels_at(self, index: int) -> List[str]:
+        """All labels defined at instruction *index*."""
+        return [name for name, at in self.labels.items() if at == index]
+
+    def __len__(self) -> int:
+        return len(self.instructions)
+
+    def __iter__(self) -> Iterator[Instruction]:
+        return iter(self.instructions)
+
+    def function_body(self, label: str) -> Sequence[Instruction]:
+        """Instructions from *label* up to and including its ``ret``.
+
+        Used by static analyses (e.g. Table 5's outlined-function sizes).
+        """
+        start = self.label_index(label)
+        for i in range(start, len(self.instructions)):
+            if self.instructions[i].opcode == "ret":
+                return self.instructions[start:i + 1]
+        raise ValueError(f"function {label!r} has no ret")
+
+    # -- pretty printing --------------------------------------------------------
+
+    def listing(self) -> str:
+        """Render an assembly listing with labels and data-segment summary."""
+        by_index: Dict[int, List[str]] = {}
+        for name, at in self.labels.items():
+            by_index.setdefault(at, []).append(name)
+        lines: List[str] = [f"; program {self.name} (entry {self.entry})"]
+        for i, instr in enumerate(self.instructions):
+            for name in by_index.get(i, []):
+                lines.append(f"{name}:")
+            lines.append(f"    {instr}")
+        for name in by_index.get(len(self.instructions), []):
+            lines.append(f"{name}:")
+        if self.data:
+            lines.append("")
+            lines.append("; data segment")
+            for arr in self.data.values():
+                ro = " (read-only)" if arr.read_only else ""
+                lines.append(
+                    f";   {arr.name}: {arr.elem}[{len(arr)}] = "
+                    f"{_preview(arr.values)}{ro}"
+                )
+        return "\n".join(lines)
+
+
+def _preview(values: Sequence[Number], limit: int = 8) -> str:
+    head = ", ".join(str(v) for v in values[:limit])
+    return f"[{head}{', ...' if len(values) > limit else ''}]"
+
+
+def copy_program(program: Program, name: Optional[str] = None) -> Program:
+    """Shallow-copy code/labels and deep-copy data arrays of *program*.
+
+    Instructions are immutable so sharing them is safe; data arrays hold
+    mutable initial values and are duplicated.
+    """
+    clone = Program(name or program.name)
+    clone.instructions = list(program.instructions)
+    clone.labels = dict(program.labels)
+    clone.entry = program.entry
+    clone.outlined_functions = list(program.outlined_functions)
+    for arr in program.data.values():
+        clone.add_array(
+            DataArray(arr.name, arr.elem, list(arr.values), read_only=arr.read_only)
+        )
+    return clone

@@ -1,0 +1,181 @@
+"""Register definitions for the scalar and vector register files.
+
+The baseline machine mirrors the paper's assumptions: 16 architectural
+integer registers (``r0``-``r15``, with ``r14`` doubling as the link
+register) and 16 scalar floating-point registers (``f0``-``f15``).  The
+SIMD accelerator owns two separate banks of vector registers, ``v0``-``v15``
+(integer lanes) and ``vf0``-``vf15`` (float lanes), matching the paper's
+"separate register files" assumption (section 3.1).
+
+Registers are represented as plain strings throughout the code base
+("r3", "vf2", ...); this module centralizes naming rules, bank
+predicates, and the scalar-name -> vector-name mapping the dynamic
+translator relies on (a scalar register ``f3`` virtualizes vector
+register ``vf3``).
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+NUM_REGS_PER_BANK = 16
+
+INT_REGS = tuple(f"r{i}" for i in range(NUM_REGS_PER_BANK))
+FLOAT_REGS = tuple(f"f{i}" for i in range(NUM_REGS_PER_BANK))
+VEC_INT_REGS = tuple(f"v{i}" for i in range(NUM_REGS_PER_BANK))
+VEC_FLOAT_REGS = tuple(f"vf{i}" for i in range(NUM_REGS_PER_BANK))
+
+#: ``bl``/``blo`` write the return address here, ``ret`` reads it back.
+LINK_REGISTER = "r14"
+
+#: Flag names produced by ``cmp``/``fcmp``.
+FLAG_LT = "lt"
+FLAG_EQ = "eq"
+FLAG_GT = "gt"
+
+_ALL_SCALAR = frozenset(INT_REGS) | frozenset(FLOAT_REGS)
+_ALL_VECTOR = frozenset(VEC_INT_REGS) | frozenset(VEC_FLOAT_REGS)
+
+
+def int_reg(index: int) -> str:
+    """Return the name of integer register *index* (``0 <= index < 16``)."""
+    if not 0 <= index < NUM_REGS_PER_BANK:
+        raise ValueError(f"integer register index out of range: {index}")
+    return INT_REGS[index]
+
+
+def float_reg(index: int) -> str:
+    """Return the name of float register *index* (``0 <= index < 16``)."""
+    if not 0 <= index < NUM_REGS_PER_BANK:
+        raise ValueError(f"float register index out of range: {index}")
+    return FLOAT_REGS[index]
+
+
+def is_int_reg(name: str) -> bool:
+    """True for ``r0``-``r15``."""
+    return name in INT_REGS
+
+
+def is_float_reg(name: str) -> bool:
+    """True for ``f0``-``f15``."""
+    return name in FLOAT_REGS
+
+
+def is_scalar_reg(name: str) -> bool:
+    """True for any scalar (integer or float) register name."""
+    return name in _ALL_SCALAR
+
+
+def is_vector_reg(name: str) -> bool:
+    """True for any vector (``v*``/``vf*``) register name."""
+    return name in _ALL_VECTOR
+
+
+def reg_index(name: str) -> int:
+    """Return the architectural index of any register name.
+
+    >>> reg_index("r3")
+    3
+    >>> reg_index("vf11")
+    11
+    """
+    if name.startswith("vf") or name.startswith("v"):
+        digits = name[2:] if name.startswith("vf") else name[1:]
+    elif name.startswith("r") or name.startswith("f"):
+        digits = name[1:]
+    else:
+        raise ValueError(f"not a register name: {name!r}")
+    if not digits.isdigit():
+        raise ValueError(f"not a register name: {name!r}")
+    index = int(digits)
+    if not 0 <= index < NUM_REGS_PER_BANK:
+        raise ValueError(f"register index out of range: {name!r}")
+    return index
+
+
+def vector_reg_for(scalar_name: str) -> str:
+    """Map a scalar register to the vector register it virtualizes.
+
+    The dynamic translator uses a fixed one-to-one mapping, exactly as in
+    the paper's worked example (scalar ``f3`` becomes vector ``vf3``,
+    scalar ``r1`` becomes vector ``v1``).
+    """
+    if is_int_reg(scalar_name):
+        return VEC_INT_REGS[reg_index(scalar_name)]
+    if is_float_reg(scalar_name):
+        return VEC_FLOAT_REGS[reg_index(scalar_name)]
+    raise ValueError(f"not a scalar register: {scalar_name!r}")
+
+
+def scalar_reg_for(vector_name: str) -> str:
+    """Inverse of :func:`vector_reg_for`."""
+    if vector_name in VEC_FLOAT_REGS:
+        return FLOAT_REGS[reg_index(vector_name)]
+    if vector_name in VEC_INT_REGS:
+        return INT_REGS[reg_index(vector_name)]
+    raise ValueError(f"not a vector register: {vector_name!r}")
+
+
+class RegisterFile:
+    """Architectural scalar register state (integer + float banks + flags).
+
+    Integer registers hold Python ints wrapped to signed 32-bit on write;
+    float registers hold Python floats (IEEE binary32 rounding is applied
+    by the interpreter's arithmetic helpers, not by the register file).
+    """
+
+    def __init__(self) -> None:
+        self._int: Dict[str, int] = {name: 0 for name in INT_REGS}
+        self._float: Dict[str, float] = {name: 0.0 for name in FLOAT_REGS}
+        self.flags: Dict[str, bool] = {FLAG_LT: False, FLAG_EQ: False, FLAG_GT: False}
+
+    def read(self, name: str):
+        """Read a scalar register by name."""
+        if name in self._int:
+            return self._int[name]
+        if name in self._float:
+            return self._float[name]
+        raise KeyError(f"unknown scalar register: {name!r}")
+
+    def write(self, name: str, value) -> None:
+        """Write a scalar register, wrapping integers to signed 32 bits."""
+        if name in self._int:
+            self._int[name] = _wrap32(int(value))
+        elif name in self._float:
+            self._float[name] = float(value)
+        else:
+            raise KeyError(f"unknown scalar register: {name!r}")
+
+    def set_flags(self, lhs, rhs) -> None:
+        """Record the result of comparing *lhs* against *rhs*."""
+        self.flags[FLAG_LT] = lhs < rhs
+        self.flags[FLAG_EQ] = lhs == rhs
+        self.flags[FLAG_GT] = lhs > rhs
+
+    def flag(self, name: str) -> bool:
+        return self.flags[name]
+
+    def snapshot(self) -> Dict[str, object]:
+        """Return a copy of all register values (for tests and debugging)."""
+        state: Dict[str, object] = {}
+        state.update(self._int)
+        state.update(self._float)
+        return state
+
+
+def _wrap32(value: int) -> int:
+    """Wrap an integer to signed 32-bit two's complement."""
+    value &= 0xFFFFFFFF
+    if value >= 0x80000000:
+        value -= 0x100000000
+    return value
+
+
+def wrap32(value: int) -> int:
+    """Public alias of the signed 32-bit wrap used across the simulator."""
+    return _wrap32(value)
+
+
+def unsigned32(value: int) -> int:
+    """Reinterpret a (possibly negative) integer as unsigned 32-bit."""
+    return value & 0xFFFFFFFF

@@ -1,0 +1,13 @@
+"""Benchmark workloads: the DSL and the paper's fifteen benchmarks."""
+
+from repro.kernels.dsl import LoopBuilder, Vec
+from repro.kernels.suite import BENCHMARK_ORDER, BENCHMARKS, all_kernels, build_kernel
+
+__all__ = [
+    "LoopBuilder",
+    "Vec",
+    "BENCHMARK_ORDER",
+    "BENCHMARKS",
+    "all_kernels",
+    "build_kernel",
+]

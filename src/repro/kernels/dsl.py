@@ -1,0 +1,245 @@
+"""A small builder DSL for writing width-agnostic SIMD loops.
+
+The paper hand-SIMDized its benchmarks in assembly; this DSL plays that
+role ergonomically.  A :class:`LoopBuilder` accumulates vector
+instructions against named arrays and produces a
+:class:`~repro.core.scalarize.loop_ir.SimdLoop`::
+
+    b = LoopBuilder("fir_tap", trip=512, elem="f32")
+    x = b.load("x")
+    h = b.load("h")
+    b.reduce("sum", b.mul(x, h), acc="f1", init=0.0, store_to="y_acc")
+
+Vector registers are allocated automatically (indexes 2..13, leaving r0
+for the induction variable, index 1 for reduction accumulators, and
+r14/r15 for linkage), so the produced loop always satisfies the
+scalarizer's register conventions.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Union
+
+from repro.core.scalarize.loop_ir import SimdLoop
+from repro.isa.instructions import Imm, Instruction, Mem, Reg, Sym, VImm
+
+Number = Union[int, float]
+
+_BINARY_OPS = {
+    "add": "vadd", "sub": "vsub", "mul": "vmul",
+    "and_": "vand", "or_": "vorr", "xor": "veor", "bic": "vbic",
+    "shl": "vshl", "shr": "vshr",
+    "min": "vmin", "max": "vmax",
+    "qadd": "vqadd", "qsub": "vqsub",
+    "abd": "vabd", "mask": "vmask",
+}
+
+_REDUCE_OPS = {"sum": "vredsum", "min": "vredmin", "max": "vredmax"}
+
+
+class Vec:
+    """Handle to a vector value held in an allocated vector register."""
+
+    def __init__(self, builder: "LoopBuilder", reg: str, elem: str) -> None:
+        self._builder = builder
+        self.reg = reg
+        self.elem = elem
+
+    def __repr__(self) -> str:
+        return f"Vec({self.reg}:{self.elem})"
+
+
+class LoopBuilder:
+    """Accumulates one width-agnostic SIMD loop."""
+
+    def __init__(self, name: str, trip: int, elem: str = "f32",
+                 induction: str = "r0") -> None:
+        self.name = name
+        self.trip = trip
+        self.default_elem = elem
+        self.induction = induction
+        self._body: List[Instruction] = []
+        self._pre: List[Instruction] = []
+        self._post: List[Instruction] = []
+        self._next_index = 2
+        self._acc_used: List[str] = []
+
+    # -- register allocation ------------------------------------------------------
+
+    def _alloc(self, elem: str) -> str:
+        if self._next_index > 13:
+            raise ValueError(f"{self.name}: out of vector registers")
+        bank = "vf" if elem == "f32" else "v"
+        reg = f"{bank}{self._next_index}"
+        self._next_index += 1
+        return reg
+
+    def _emit(self, instr: Instruction) -> None:
+        self._body.append(instr)
+
+    # -- values ------------------------------------------------------------------
+
+    def imm(self, value: Number) -> Imm:
+        """A scalar-supported constant (Table 1, category 2)."""
+        return Imm(value)
+
+    def lanes(self, values: Sequence[Number]) -> VImm:
+        """A periodic per-lane constant (Table 1, category 3).
+
+        ``len(values)`` is the pattern period and must be a power of two.
+        """
+        return VImm(tuple(values))
+
+    # -- memory --------------------------------------------------------------------
+
+    def load(self, array: str, elem: Optional[str] = None) -> Vec:
+        """Vector load ``array[i .. i+W)``."""
+        elem = elem or self.default_elem
+        reg = self._alloc(elem)
+        self._emit(Instruction(
+            "vld", dst=Reg(reg),
+            mem=Mem(base=Sym(array), index=Reg(self.induction)), elem=elem,
+        ))
+        return Vec(self, reg, elem)
+
+    def store(self, array: str, vec: Vec, elem: Optional[str] = None) -> None:
+        """Vector store into ``array[i .. i+W)``."""
+        self._emit(Instruction(
+            "vst", srcs=(Reg(vec.reg),),
+            mem=Mem(base=Sym(array), index=Reg(self.induction)),
+            elem=elem or vec.elem,
+        ))
+
+    # -- data-parallel operations ------------------------------------------------------
+
+    def binary(self, op: str, a: Vec, b: Union[Vec, Imm, VImm], *,
+               inplace: bool = False) -> Vec:
+        """Generic elementwise binary op; ``op`` is a DSL name (``add`` ...).
+
+        ``inplace=True`` overwrites *a*'s register instead of allocating a
+        new one (the paper's SIMD listings do this heavily; it also keeps
+        big loop bodies inside the 12 allocatable vector registers).
+        """
+        opcode = _BINARY_OPS[op]
+        dst = a.reg if inplace else self._alloc(a.elem)
+        operand = Reg(b.reg) if isinstance(b, Vec) else b
+        self._emit(Instruction(opcode, dst=Reg(dst),
+                               srcs=(Reg(a.reg), operand), elem=a.elem))
+        return Vec(self, dst, a.elem)
+
+    def unary(self, op: str, a: Vec, *, inplace: bool = False) -> Vec:
+        opcode = {"neg": "vneg", "abs": "vabs"}[op]
+        dst = a.reg if inplace else self._alloc(a.elem)
+        self._emit(Instruction(opcode, dst=Reg(dst), srcs=(Reg(a.reg),),
+                               elem=a.elem))
+        return Vec(self, dst, a.elem)
+
+    # Convenience wrappers (one per supported op) --------------------------------------
+
+    def add(self, a, b, **kw):
+        return self.binary("add", a, b, **kw)
+
+    def sub(self, a, b, **kw):
+        return self.binary("sub", a, b, **kw)
+
+    def mul(self, a, b, **kw):
+        return self.binary("mul", a, b, **kw)
+
+    def and_(self, a, b, **kw):
+        return self.binary("and_", a, b, **kw)
+
+    def or_(self, a, b, **kw):
+        return self.binary("or_", a, b, **kw)
+
+    def xor(self, a, b, **kw):
+        return self.binary("xor", a, b, **kw)
+
+    def shl(self, a, b, **kw):
+        return self.binary("shl", a, b, **kw)
+
+    def shr(self, a, b, **kw):
+        return self.binary("shr", a, b, **kw)
+
+    def min(self, a, b, **kw):
+        return self.binary("min", a, b, **kw)
+
+    def max(self, a, b, **kw):
+        return self.binary("max", a, b, **kw)
+
+    def qadd(self, a, b, **kw):
+        return self.binary("qadd", a, b, **kw)
+
+    def qsub(self, a, b, **kw):
+        return self.binary("qsub", a, b, **kw)
+
+    def abd(self, a, b, **kw):
+        return self.binary("abd", a, b, **kw)
+
+    def mask(self, a, lanes: VImm, **kw):
+        return self.binary("mask", a, lanes, **kw)
+
+    def neg(self, a, **kw):
+        return self.unary("neg", a, **kw)
+
+    def abs(self, a, **kw):
+        return self.unary("abs", a, **kw)
+
+    # -- permutations -------------------------------------------------------------------
+
+    def _perm(self, opcode: str, a: Vec, srcs, inplace: bool) -> Vec:
+        dst = a.reg if inplace else self._alloc(a.elem)
+        self._emit(Instruction(opcode, dst=Reg(dst),
+                               srcs=(Reg(a.reg),) + srcs, elem=a.elem))
+        return Vec(self, dst, a.elem)
+
+    def bfly(self, a: Vec, period: int, *, inplace: bool = False) -> Vec:
+        """Swap the halves of each *period*-lane group."""
+        return self._perm("vbfly", a, (Imm(period),), inplace)
+
+    def rev(self, a: Vec, period: int, *, inplace: bool = False) -> Vec:
+        """Reverse each *period*-lane group."""
+        return self._perm("vrev", a, (Imm(period),), inplace)
+
+    def rot(self, a: Vec, period: int, amount: int, *,
+            inplace: bool = False) -> Vec:
+        """Rotate each *period*-lane group left by *amount*."""
+        return self._perm("vrot", a, (Imm(period), Imm(amount)), inplace)
+
+    # -- reductions -----------------------------------------------------------------------
+
+    def reduce(self, kind: str, vec: Vec, acc: str, init: Number = 0,
+               store_to: Optional[str] = None) -> str:
+        """Fold *vec* into the loop-carried scalar register *acc*.
+
+        ``init`` seeds the accumulator before the loop; ``store_to``
+        (an array symbol) stores the final value after the loop.
+        Returns the accumulator register name.
+        """
+        opcode = _REDUCE_OPS[kind]
+        is_float = acc.startswith("f")
+        if acc not in self._acc_used:
+            self._acc_used.append(acc)
+            mov = "fmov" if is_float else "mov"
+            self._pre.append(Instruction(mov, dst=Reg(acc), srcs=(Imm(init),),
+                                         comment="reduction accumulator"))
+            if store_to is not None:
+                store = "stf" if is_float else "stw"
+                self._post.append(Instruction(
+                    store, srcs=(Reg(acc),),
+                    mem=Mem(base=Sym(store_to), index=Imm(0)),
+                    elem="f32" if is_float else "i32",
+                    comment="reduction result",
+                ))
+        self._emit(Instruction(opcode, dst=Reg(acc),
+                               srcs=(Reg(acc), Reg(vec.reg)), elem=vec.elem))
+        return acc
+
+    # -- finish ----------------------------------------------------------------------------
+
+    def build(self) -> SimdLoop:
+        """Produce the validated :class:`SimdLoop`."""
+        loop = SimdLoop(name=self.name, trip=self.trip, body=list(self._body),
+                        pre=list(self._pre), post=list(self._post),
+                        induction=self.induction)
+        loop.validate()
+        return loop

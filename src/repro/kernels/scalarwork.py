@@ -1,0 +1,142 @@
+"""Non-vectorizable scalar stages and deterministic data generators.
+
+Every benchmark mixes its SIMD-optimizable hot loops with scalar work
+the accelerator cannot touch — that scalar fraction is what bounds the
+Amdahl speedups of Figure 6, and the work *between* hot-loop calls is
+what produces the call distances of Table 6.  Three flavours are
+provided:
+
+* :func:`recurrence_block` — a serial floating-point dependence chain
+  (unvectorizable by construction),
+* :func:`chase_block` — a pointer chase through an index array, whose
+  locality is controlled by the array size (large = cache-hostile, the
+  179.art behaviour),
+* :func:`counting_block` — minimal bookkeeping, for benchmarks whose hot
+  loops run back-to-back (the MPEG2 behaviour).
+
+Data initialization uses a tiny deterministic LCG so every run of every
+binary sees identical inputs without depending on ``random``.
+"""
+
+from __future__ import annotations
+
+from repro.core.scalarize.loop_ir import ScalarBlock
+from repro.isa.instructions import Imm, Instruction, Mem, Reg, Sym
+from repro.isa.program import DataArray
+
+#: Registers the scalar blocks may clobber.  They are chosen high in
+#: both banks so blocks compose with any hot loop (outlined functions
+#: re-establish their own state anyway).
+_CTR = "r8"
+_PTR = "r9"
+_ACC = "f9"
+
+
+class _LCG:
+    """Deterministic 32-bit linear congruential generator."""
+
+    def __init__(self, seed: int) -> None:
+        self.state = (seed * 2654435761) & 0xFFFFFFFF or 1
+
+    def next(self) -> int:
+        self.state = (self.state * 1664525 + 1013904223) & 0xFFFFFFFF
+        return self.state
+
+    def uniform(self, lo: float, hi: float) -> float:
+        return lo + (self.next() / 0xFFFFFFFF) * (hi - lo)
+
+    def int_range(self, lo: int, hi: int) -> int:
+        return lo + self.next() % (hi - lo)
+
+
+def float_data(name: str, count: int, seed: int, lo: float = -1.0,
+               hi: float = 1.0) -> DataArray:
+    """A deterministic f32 array."""
+    rng = _LCG(seed)
+    values = [round(rng.uniform(lo, hi), 4) for _ in range(count)]
+    return DataArray(name, "f32", values)
+
+
+def int_data(name: str, count: int, seed: int, lo: int, hi: int,
+             elem: str = "i16") -> DataArray:
+    """A deterministic integer array with values in [lo, hi)."""
+    rng = _LCG(seed)
+    values = [rng.int_range(lo, hi) for _ in range(count)]
+    return DataArray(name, elem, values)
+
+
+def zeros(name: str, count: int, elem: str = "f32") -> DataArray:
+    fill = 0.0 if elem == "f32" else 0
+    return DataArray(name, elem, [fill] * count)
+
+
+def chase_indices(name: str, count: int, seed: int) -> DataArray:
+    """An index array forming one random cycle over [0, count)."""
+    rng = _LCG(seed)
+    order = list(range(count))
+    for i in range(count - 1, 0, -1):
+        j = rng.next() % (i + 1)
+        order[i], order[j] = order[j], order[i]
+    indices = [0] * count
+    for here, there in zip(order, order[1:] + order[:1]):
+        indices[here] = there
+    return DataArray(name, "i32", indices)
+
+
+def app_ballast(name: str, size_bytes: int) -> DataArray:
+    """Static data standing in for the rest of a real application binary.
+
+    The paper measures code-size overhead against complete benchmark
+    binaries (VLC tables, codebooks, program text); the media kernels add
+    a ballast segment so their overhead is expressed against a
+    realistically sized binary rather than a bare hot loop.
+    """
+    return DataArray(name, "i8", [0] * size_bytes, read_only=True)
+
+
+def recurrence_block(name: str, iters: int) -> ScalarBlock:
+    """Serial dependence chain: ``acc = acc * 0.5 + 1.25``, *iters* times."""
+    body = [
+        Instruction("mov", dst=Reg(_CTR), srcs=(Imm(0),)),
+        Instruction("fmov", dst=Reg(_ACC), srcs=(Imm(0.5),)),
+        # loop:
+        Instruction("fmul", dst=Reg(_ACC), srcs=(Reg(_ACC), Imm(0.5))),
+        Instruction("fadd", dst=Reg(_ACC), srcs=(Reg(_ACC), Imm(1.25))),
+        Instruction("add", dst=Reg(_CTR), srcs=(Reg(_CTR), Imm(1))),
+        Instruction("cmp", srcs=(Reg(_CTR), Imm(iters))),
+        Instruction("blt", target="loop"),
+    ]
+    return ScalarBlock(name=name, body=body, labels={"loop": 2})
+
+
+def chase_block(name: str, steps: int, index_array: str) -> ScalarBlock:
+    """Pointer chase: ``p = indices[p]``, *steps* times.
+
+    With an index array larger than the data cache every step misses —
+    this is how 179.art's cache-bound phases are modeled.
+    """
+    body = [
+        Instruction("mov", dst=Reg(_CTR), srcs=(Imm(0),)),
+        Instruction("mov", dst=Reg(_PTR), srcs=(Imm(0),)),
+        # loop:
+        Instruction("ldw", dst=Reg(_PTR),
+                    mem=Mem(base=Sym(index_array), index=Reg(_PTR)),
+                    elem="i32"),
+        Instruction("add", dst=Reg(_CTR), srcs=(Reg(_CTR), Imm(1))),
+        Instruction("cmp", srcs=(Reg(_CTR), Imm(steps))),
+        Instruction("blt", target="loop"),
+    ]
+    return ScalarBlock(name=name, body=body, labels={"loop": 2})
+
+
+def counting_block(name: str, iters: int = 8) -> ScalarBlock:
+    """Minimal bookkeeping between back-to-back hot-loop calls."""
+    body = [
+        Instruction("mov", dst=Reg(_CTR), srcs=(Imm(0),)),
+        # loop:
+        Instruction("add", dst=Reg(_CTR), srcs=(Reg(_CTR), Imm(1))),
+        Instruction("cmp", srcs=(Reg(_CTR), Imm(iters))),
+        Instruction("blt", target="loop"),
+    ]
+    return ScalarBlock(name=name, body=body, labels={"loop": 1})
+

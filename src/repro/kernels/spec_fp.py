@@ -1,0 +1,380 @@
+"""SPEC-FP-style workloads: the paper's eight floating-point benchmarks.
+
+Each kernel is a synthetic stand-in that reproduces the *structural*
+properties the paper reports for its SPEC counterpart: hot-loop size
+(Table 5), call spacing (Table 6), cache behaviour (179.art is
+miss-bound), and vectorizable fraction (which bounds Figure 6 speedup).
+The numerical content is representative (stencils, dot products, mesh
+relaxation), not a port of SPEC source.
+"""
+
+from __future__ import annotations
+
+from repro.core.scalarize.loop_ir import Kernel
+from repro.kernels.depth import deepen_float
+from repro.kernels.dsl import LoopBuilder
+from repro.kernels.scalarwork import (
+    chase_block,
+    chase_indices,
+    float_data,
+    recurrence_block,
+    zeros,
+)
+
+
+def alvinn_kernel() -> Kernel:
+    """052.alvinn: neural-net layer — dot products + clipped activation.
+
+    Small hot loops (Table 5 reports mean 12.5 instructions).
+    """
+    trip = 256
+    dot = LoopBuilder("alvinn_dot", trip=trip, elem="f32")
+    inputs = dot.load("alv_in")
+    weights = dot.load("alv_w")
+    prod = dot.mul(inputs, weights)
+    prod = deepen_float(dot, prod, [inputs], 2)
+    dot.reduce("sum", prod, acc="f1", init=0.0, store_to="alv_sum")
+
+    act = LoopBuilder("alvinn_act", trip=trip, elem="f32")
+    x = act.load("alv_hidden")
+    scaled = act.add(act.mul(x, act.imm(0.5), inplace=True), act.imm(0.25),
+                     inplace=True)
+    clipped = act.min(act.max(scaled, act.imm(-1.0), inplace=True),
+                      act.imm(1.0), inplace=True)
+    act.store("alv_out", clipped)
+
+    schedule = ["alvinn_dot", "alvinn_work", "alvinn_act", "alvinn_work"]
+    return Kernel(
+        name="052.alvinn",
+        description="neural network layer: dot product + clipped activation",
+        arrays=[
+            float_data("alv_in", trip, seed=41),
+            float_data("alv_w", trip, seed=42),
+            float_data("alv_hidden", trip, seed=43),
+            zeros("alv_out", trip),
+            zeros("alv_sum", 1),
+        ],
+        stages=[dot.build(), act.build(), recurrence_block("alvinn_work", 600)],
+        schedule=schedule,
+        repeats=12,
+    )
+
+
+def ear_kernel() -> Kernel:
+    """056.ear: cochlea filter cascade — one long filter loop + AGC scan.
+
+    The filter body is deliberately deep (Table 5: mean 34.5) and calls
+    are far apart (Table 6: the largest sub-art distance).
+    """
+    trip = 256
+    filt = LoopBuilder("ear_filter", trip=trip, elem="f32")
+    x = filt.load("ear_x")
+    s1 = filt.load("ear_s1")
+    s2 = filt.load("ear_s2")
+    # Second-order section evaluated twice with different coefficients.
+    t1 = filt.add(filt.mul(x, filt.imm(0.8)), filt.mul(s1, filt.imm(-0.3)))
+    t1 = filt.add(t1, filt.mul(s2, filt.imm(0.1)), inplace=True)
+    t2 = filt.add(filt.mul(t1, filt.imm(0.9)),
+                  filt.mul(s1, filt.imm(0.05)))
+    t2 = filt.sub(t2, filt.mul(s2, filt.imm(0.2)), inplace=True)
+    t2 = deepen_float(filt, t2, [x, s1, t1], 18)   # full cascade depth
+    filt.store("ear_s2", s1)
+    filt.store("ear_s1", t1)
+    filt.store("ear_y", t2)
+
+    agc = LoopBuilder("ear_agc", trip=trip, elem="f32")
+    y = agc.load("ear_y")
+    mag = agc.abs(y)
+    gain = agc.mul(mag, agc.imm(1.25))
+    gain = deepen_float(agc, gain, [y, mag], 14)
+    agc.store("ear_gain", gain)
+    agc.reduce("max", mag, acc="f1", init=0.0, store_to="ear_peak")
+    agc.store("ear_mag", mag)
+
+    schedule = ["ear_filter", "ear_work", "ear_agc", "ear_work"]
+    return Kernel(
+        name="056.ear",
+        description="cochlea filter cascade with automatic gain scan",
+        arrays=[
+            float_data("ear_x", trip, seed=51),
+            float_data("ear_s1", trip, seed=52, lo=-0.5, hi=0.5),
+            float_data("ear_s2", trip, seed=53, lo=-0.5, hi=0.5),
+            zeros("ear_y", trip),
+            zeros("ear_gain", trip),
+            zeros("ear_mag", trip),
+            zeros("ear_peak", 1),
+        ],
+        stages=[filt.build(), agc.build(), recurrence_block("ear_work", 700)],
+        schedule=schedule,
+        repeats=10,
+    )
+
+
+def nasa7_kernel() -> Kernel:
+    """093.nasa7: matrix-kernel suite — two deep loops with permutations.
+
+    The paper's largest hot loops (Table 5: mean 45.5, max 59).
+    """
+    trip = 128
+    mult = LoopBuilder("nasa7_mxm", trip=trip, elem="f32")
+    a = mult.load("n7_a")
+    b = mult.load("n7_b")
+    c = mult.load("n7_c")
+    acc = mult.mul(a, b)
+    acc = mult.add(acc, mult.mul(b, c), inplace=True)
+    acc = mult.add(acc, mult.mul(a, c), inplace=True)
+    acc = mult.add(acc, mult.mul(acc, mult.imm(0.25)))
+    acc = deepen_float(mult, acc, [a, b, c], 26)   # paper's deepest loops
+    mult.store("n7_d", acc)
+    mult.reduce("sum", acc, acc="f1", init=0.0, store_to="n7_trace")
+
+    emit = LoopBuilder("nasa7_vpenta", trip=trip, elem="f32")
+    d = emit.load("n7_d")
+    d_rev = emit.rev(emit.load("n7_d"), 8, inplace=True)   # folded reverse
+    e = emit.load("n7_e")
+    t = emit.add(emit.mul(d, emit.imm(0.5)), emit.mul(d_rev, emit.imm(0.5)))
+    t = emit.sub(t, emit.mul(e, emit.imm(0.125)), inplace=True)
+    t = emit.add(t, emit.mul(t, emit.imm(0.0625)))
+    t = deepen_float(emit, t, [d, e], 24)
+    emit.store("n7_e", t)
+
+    schedule = ["nasa7_mxm", "nasa7_work", "nasa7_vpenta", "nasa7_work"]
+    return Kernel(
+        name="093.nasa7",
+        description="matrix kernel suite with reversed-operand pass",
+        arrays=[
+            float_data("n7_a", trip, seed=61),
+            float_data("n7_b", trip, seed=62),
+            float_data("n7_c", trip, seed=63),
+            zeros("n7_d", trip),
+            float_data("n7_e", trip, seed=64),
+            zeros("n7_trace", 1),
+        ],
+        stages=[mult.build(), emit.build(), recurrence_block("nasa7_work", 900)],
+        schedule=schedule,
+        repeats=10,
+    )
+
+
+def tomcatv_kernel() -> Kernel:
+    """101.tomcatv: mesh relaxation — fissioned update + residual scan.
+
+    The paper notes tomcatv's loops had to be split to fit the 64-entry
+    microcode buffer; the update loop here fissions (mid-loop butterfly)
+    for the same structural effect.
+    """
+    trip = 256
+    relax = LoopBuilder("tomcatv_relax", trip=trip, elem="f32")
+    xx = relax.load("tc_x")
+    yy = relax.load("tc_y")
+    rx = relax.load("tc_rx")
+    mixed = relax.add(relax.mul(xx, relax.imm(0.7)),
+                      relax.mul(yy, relax.imm(0.3)))
+    swapped = relax.bfly(mixed, 4)                 # mid-dataflow: fission
+    corrected = relax.sub(swapped, relax.mul(rx, relax.imm(0.4)))
+    corrected = deepen_float(relax, corrected, [xx, yy, rx], 22)
+    relax.store("tc_x", corrected)
+    relax.store("tc_res", relax.sub(corrected, xx))
+
+    resid = LoopBuilder("tomcatv_resid", trip=trip, elem="f32")
+    r = resid.load("tc_res")
+    weighted = resid.mul(r, resid.imm(0.5))
+    weighted = deepen_float(resid, weighted, [r], 8)
+    resid.store("tc_res", weighted)
+    resid.reduce("max", resid.abs(r, inplace=True), acc="f1", init=0.0,
+                 store_to="tc_rmax")
+
+    schedule = ["tomcatv_relax", "tomcatv_work", "tomcatv_resid",
+                "tomcatv_work"]
+    return Kernel(
+        name="101.tomcatv",
+        description="vectorized mesh relaxation with residual reduction",
+        arrays=[
+            float_data("tc_x", trip, seed=71),
+            float_data("tc_y", trip, seed=72),
+            float_data("tc_rx", trip, seed=73),
+            zeros("tc_res", trip),
+            zeros("tc_rmax", 1),
+        ],
+        stages=[relax.build(), resid.build(),
+                recurrence_block("tomcatv_work", 700)],
+        schedule=schedule,
+        repeats=8,
+    )
+
+
+def hydro2d_kernel() -> Kernel:
+    """104.hydro2d: hydrodynamics — three moderate stencil-style loops."""
+    trip = 256
+
+    flux = LoopBuilder("hydro_flux", trip=trip, elem="f32")
+    rho = flux.load("hy_rho")
+    vel = flux.load("hy_vel")
+    f = flux.mul(rho, vel)
+    f = flux.add(f, flux.mul(f, flux.imm(0.1)), inplace=True)
+    f = deepen_float(flux, f, [rho, vel], 14)
+    flux.store("hy_flux", f)
+
+    advance = LoopBuilder("hydro_adv", trip=trip, elem="f32")
+    q = advance.load("hy_rho")
+    fx = advance.load("hy_flux")
+    q2 = advance.sub(q, advance.mul(fx, advance.imm(0.05)))
+    q2 = deepen_float(advance, q2, [q, fx], 13)
+    advance.store("hy_rho", q2)
+    advance.store("hy_dq", advance.sub(q2, q))
+
+    limiter = LoopBuilder("hydro_limit", trip=trip, elem="f32")
+    dq = limiter.load("hy_dq")
+    lim = limiter.min(limiter.max(dq, limiter.imm(-0.2), inplace=True),
+                      limiter.imm(0.2), inplace=True)
+    lim = deepen_float(limiter, lim, [dq], 12)
+    limiter.store("hy_dq", lim)
+
+    schedule = ["hydro_flux", "hydro_work", "hydro_adv", "hydro_limit",
+                "hydro_work"]
+    return Kernel(
+        name="104.hydro2d",
+        description="hydrodynamics flux/advance/limit sweep",
+        arrays=[
+            float_data("hy_rho", trip, seed=81, lo=0.5, hi=1.5),
+            float_data("hy_vel", trip, seed=82),
+            zeros("hy_flux", trip),
+            zeros("hy_dq", trip),
+        ],
+        stages=[flux.build(), advance.build(), limiter.build(),
+                recurrence_block("hydro_work", 500)],
+        schedule=schedule,
+        repeats=8,
+    )
+
+
+def swim_kernel() -> Kernel:
+    """171.swim: shallow-water stencil — two wide loops over long vectors.
+
+    The paper points at swim's 514-element software vectors to justify
+    the memory-to-memory interface; the loops here use 512 (the aligned
+    power-of-two the compiler would pick under an MVL-16 target).
+    """
+    trip = 512
+
+    uv = LoopBuilder("swim_uv", trip=trip, elem="f32")
+    u = uv.load("sw_u")
+    v = uv.load("sw_v")
+    p = uv.load("sw_p")
+    cu = uv.mul(uv.add(u, uv.mul(v, uv.imm(0.5))), p)
+    cv = uv.mul(uv.sub(v, uv.mul(u, uv.imm(0.5))), p)
+    uv.store("sw_cu", cu)
+    uv.store("sw_cv", cv)
+    z = uv.add(uv.mul(cu, uv.imm(0.25)), uv.mul(cv, uv.imm(0.25)))
+    z = deepen_float(uv, z, [u, v, p], 20)
+    uv.store("sw_z", z)
+
+    update = LoopBuilder("swim_update", trip=trip, elem="f32")
+    un = update.load("sw_u")
+    cu2 = update.load("sw_cu")
+    zz = update.load("sw_z")
+    unew = update.add(un, update.sub(update.mul(cu2, update.imm(0.1)),
+                                     update.mul(zz, update.imm(0.05))))
+    unew = deepen_float(update, unew, [un, cu2, zz], 18)
+    update.store("sw_u", unew)
+
+    schedule = ["swim_uv", "swim_work", "swim_update", "swim_work"]
+    return Kernel(
+        name="171.swim",
+        description="shallow water model: capacity/vorticity + update sweeps",
+        arrays=[
+            float_data("sw_u", trip, seed=91),
+            float_data("sw_v", trip, seed=92),
+            float_data("sw_p", trip, seed=93, lo=0.5, hi=1.0),
+            zeros("sw_cu", trip),
+            zeros("sw_cv", trip),
+            zeros("sw_z", trip),
+        ],
+        stages=[uv.build(), update.build(), recurrence_block("swim_work", 800)],
+        schedule=schedule,
+        repeats=8,
+    )
+
+
+def mgrid_kernel() -> Kernel:
+    """172.mgrid: multigrid smoother — the paper's biggest loops (max 62)."""
+    trip = 256
+
+    smooth = LoopBuilder("mgrid_smooth", trip=trip, elem="f32")
+    r0 = smooth.load("mg_r")
+    u0 = smooth.load("mg_u")
+    a1 = smooth.mul(r0, smooth.imm(0.5))
+    a2 = smooth.mul(u0, smooth.imm(0.25))
+    t = smooth.add(a1, a2)
+    t = smooth.add(t, smooth.mul(t, smooth.imm(0.125)), inplace=True)
+    t = smooth.sub(t, smooth.mul(r0, smooth.imm(0.0625)), inplace=True)
+    t = smooth.add(t, smooth.mul(u0, smooth.imm(0.03125)), inplace=True)
+    t = deepen_float(smooth, t, [r0, u0], 28)
+    smooth.store("mg_u", t)
+    smooth.reduce("sum", t, acc="f1", init=0.0, store_to="mg_norm")
+
+    restrict = LoopBuilder("mgrid_restrict", trip=trip, elem="f32")
+    fine = restrict.load("mg_u")
+    fine_rev = restrict.rev(restrict.load("mg_u"), 4, inplace=True)
+    coarse = restrict.mul(restrict.add(fine, fine_rev), restrict.imm(0.5))
+    coarse = restrict.sub(coarse, restrict.mul(coarse, restrict.imm(0.1)))
+    coarse = deepen_float(restrict, coarse, [fine, fine_rev], 26)
+    restrict.store("mg_c", coarse)
+
+    schedule = ["mgrid_smooth", "mgrid_work", "mgrid_restrict",
+                "mgrid_work"]
+    return Kernel(
+        name="172.mgrid",
+        description="multigrid smoothing + restriction sweeps",
+        arrays=[
+            float_data("mg_r", trip, seed=101),
+            float_data("mg_u", trip, seed=102),
+            zeros("mg_c", trip),
+            zeros("mg_norm", 1),
+        ],
+        stages=[smooth.build(), restrict.build(),
+                recurrence_block("mgrid_work", 650)],
+        schedule=schedule,
+        repeats=8,
+    )
+
+
+def art_kernel() -> Kernel:
+    """179.art: adaptive resonance — cache-hostile, the paper's worst case.
+
+    Small hot-loop bodies over arrays several times larger than the 16 KB
+    data cache, separated by a pointer chase through a 64 KB index array:
+    every hot-loop iteration misses, so SIMD width buys little (Figure 6
+    shows art's speedup as the lowest of all benchmarks).
+    """
+    trip = 4096
+
+    f1_layer = LoopBuilder("art_f1", trip=trip, elem="f32")
+    inp = f1_layer.load("art_i")
+    w = f1_layer.load("art_w")
+    act = f1_layer.mul(inp, w)
+    act = deepen_float(f1_layer, act, [inp], 2)
+    f1_layer.store("art_y", act)
+    f1_layer.reduce("sum", act, acc="f1", init=0.0, store_to="art_match")
+
+    f2_layer = LoopBuilder("art_f2", trip=trip, elem="f32")
+    y = f2_layer.load("art_y")
+    w2 = f2_layer.load("art_w")
+    f2_layer.store("art_w", f2_layer.add(w2, f2_layer.mul(y, f2_layer.imm(0.01))))
+
+    schedule = ["art_f1", "art_scan", "art_f2", "art_scan"]
+    return Kernel(
+        name="179.art",
+        description="adaptive resonance matching over cache-hostile arrays",
+        arrays=[
+            float_data("art_i", trip, seed=111),
+            float_data("art_w", trip, seed=112),
+            zeros("art_y", trip),
+            zeros("art_match", 1),
+            chase_indices("art_idx", 16384, seed=113),
+        ],
+        stages=[f1_layer.build(), f2_layer.build(),
+                chase_block("art_scan", 4500, "art_idx")],
+        schedule=schedule,
+        repeats=6,
+    )

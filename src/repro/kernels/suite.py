@@ -1,0 +1,57 @@
+"""The benchmark suite registry: the paper's fifteen workloads.
+
+``BENCHMARKS`` maps display names (as used in the paper's tables) to
+kernel factories.  :func:`build_kernel` instantiates one; kernels are
+rebuilt per call so mutable initial data is never shared between runs.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from repro.core.scalarize.loop_ir import Kernel
+from repro.kernels import media, signal, spec_fp
+
+BENCHMARKS: Dict[str, Callable[[], Kernel]] = {
+    "052.alvinn": spec_fp.alvinn_kernel,
+    "056.ear": spec_fp.ear_kernel,
+    "093.nasa7": spec_fp.nasa7_kernel,
+    "101.tomcatv": spec_fp.tomcatv_kernel,
+    "104.hydro2d": spec_fp.hydro2d_kernel,
+    "171.swim": spec_fp.swim_kernel,
+    "172.mgrid": spec_fp.mgrid_kernel,
+    "179.art": spec_fp.art_kernel,
+    "MPEG2 Dec.": media.mpeg2_decode_kernel,
+    "MPEG2 Enc.": media.mpeg2_encode_kernel,
+    "GSM Dec.": media.gsm_decode_kernel,
+    "GSM Enc.": media.gsm_encode_kernel,
+    "LU": signal.lu_kernel,
+    "FIR": signal.fir_kernel,
+    "FFT": signal.fft_kernel,
+}
+
+#: Paper ordering for reports (SPECfp, MediaBench, kernels).
+BENCHMARK_ORDER: List[str] = [
+    "052.alvinn", "056.ear", "093.nasa7", "101.tomcatv", "104.hydro2d",
+    "171.swim", "172.mgrid", "179.art",
+    "MPEG2 Dec.", "MPEG2 Enc.", "GSM Dec.", "GSM Enc.",
+    "LU", "FIR", "FFT",
+]
+
+
+def build_kernel(name: str) -> Kernel:
+    """Instantiate (and validate) one benchmark kernel by name."""
+    try:
+        factory = BENCHMARKS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown benchmark {name!r}; choose from {BENCHMARK_ORDER}"
+        ) from None
+    kernel = factory()
+    kernel.validate()
+    return kernel
+
+
+def all_kernels() -> List[Kernel]:
+    """All fifteen benchmarks, in paper order."""
+    return [build_kernel(name) for name in BENCHMARK_ORDER]

@@ -1,0 +1,17 @@
+"""Memory substrate: flat simulated memory, caches, alignment helpers."""
+
+from repro.memory.alignment import align_up, is_aligned, vector_alignment_ok
+from repro.memory.cache import Cache, CacheConfig, CacheStats
+from repro.memory.memory import Memory, MemoryError_, MemoryProtectionError
+
+__all__ = [
+    "align_up",
+    "is_aligned",
+    "vector_alignment_ok",
+    "Cache",
+    "CacheConfig",
+    "CacheStats",
+    "Memory",
+    "MemoryError_",
+    "MemoryProtectionError",
+]

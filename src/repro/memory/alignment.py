@@ -1,0 +1,39 @@
+"""Alignment helpers.
+
+The paper (section 3.1) requires data to be aligned to the *maximum
+vectorizable length* the binary was compiled for, so that the same binary
+can be dynamically retargeted to any power-of-two hardware width up to
+that maximum.  The loader uses :func:`align_up` when placing arrays, and
+the SIMD interpreter uses :func:`vector_alignment_ok` to enforce the
+alignment restriction most SIMD ISAs impose on vector memory accesses.
+"""
+
+from __future__ import annotations
+
+
+def align_up(value: int, alignment: int) -> int:
+    """Round *value* up to the next multiple of *alignment* (a power of 2 or any positive int)."""
+    if alignment <= 0:
+        raise ValueError("alignment must be positive")
+    return ((value + alignment - 1) // alignment) * alignment
+
+
+def is_aligned(value: int, alignment: int) -> bool:
+    """True when *value* is a multiple of *alignment*."""
+    if alignment <= 0:
+        raise ValueError("alignment must be positive")
+    return value % alignment == 0
+
+
+def is_power_of_two(value: int) -> bool:
+    """True for 1, 2, 4, 8, ... — the only hardware widths the paper targets."""
+    return value > 0 and (value & (value - 1)) == 0
+
+
+def vector_alignment_ok(addr: int, elem_size: int, width: int) -> bool:
+    """Check a vector memory access against the SIMD alignment restriction.
+
+    A *width*-element access of *elem_size*-byte elements must start on a
+    ``width * elem_size`` boundary.
+    """
+    return is_aligned(addr, elem_size * width)

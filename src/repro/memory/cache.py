@@ -1,0 +1,133 @@
+"""Set-associative cache timing model.
+
+Models the ARM-926EJ-S caches the paper simulates: 16 KB, 64-way
+associative, with true-LRU replacement, write-allocate and write-back
+policy.  The cache is a pure *timing* structure — data always lives in
+the flat :class:`~repro.memory.memory.Memory`; the cache only decides how
+many cycles an access costs and keeps hit/miss/writeback statistics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+
+@dataclass(frozen=True)
+class CacheConfig:
+    """Geometry and latency parameters of one cache."""
+
+    size_bytes: int = 16 * 1024
+    assoc: int = 64
+    line_bytes: int = 32
+    hit_latency: int = 1
+    miss_penalty: int = 30  # cycles added on a refill from memory
+
+    @property
+    def num_sets(self) -> int:
+        sets = self.size_bytes // (self.assoc * self.line_bytes)
+        if sets <= 0:
+            raise ValueError("cache too small for its associativity")
+        return sets
+
+
+@dataclass
+class CacheStats:
+    """Counters accumulated by a cache over a run."""
+
+    reads: int = 0
+    writes: int = 0
+    read_misses: int = 0
+    write_misses: int = 0
+    writebacks: int = 0
+
+    @property
+    def accesses(self) -> int:
+        return self.reads + self.writes
+
+    @property
+    def misses(self) -> int:
+        return self.read_misses + self.write_misses
+
+    @property
+    def miss_rate(self) -> float:
+        return self.misses / self.accesses if self.accesses else 0.0
+
+
+class _Line:
+    __slots__ = ("tag", "dirty", "lru")
+
+    def __init__(self, tag: int, lru: int) -> None:
+        self.tag = tag
+        self.dirty = False
+        self.lru = lru
+
+
+class Cache:
+    """One level of set-associative cache (timing only)."""
+
+    def __init__(self, config: CacheConfig, name: str = "cache") -> None:
+        self.config = config
+        self.name = name
+        self.stats = CacheStats()
+        self._sets: List[Dict[int, _Line]] = [dict() for _ in range(config.num_sets)]
+        self._tick = 0
+
+    def reset(self) -> None:
+        """Flush all lines and zero the statistics."""
+        self.stats = CacheStats()
+        self._sets = [dict() for _ in range(self.config.num_sets)]
+        self._tick = 0
+
+    def _locate(self, addr: int):
+        line = addr // self.config.line_bytes
+        set_index = line % self.config.num_sets
+        tag = line // self.config.num_sets
+        return set_index, tag
+
+    def access(self, addr: int, nbytes: int = 4, is_write: bool = False) -> int:
+        """Access *nbytes* at *addr*; return the access latency in cycles.
+
+        Accesses that straddle a line boundary are charged per line
+        touched (vector loads wider than a line touch several lines).
+        """
+        first = addr // self.config.line_bytes
+        last = (addr + max(nbytes, 1) - 1) // self.config.line_bytes
+        cycles = 0
+        for line_number in range(first, last + 1):
+            cycles += self._access_line(line_number * self.config.line_bytes, is_write)
+        return cycles
+
+    def _access_line(self, addr: int, is_write: bool) -> int:
+        self._tick += 1
+        set_index, tag = self._locate(addr)
+        ways = self._sets[set_index]
+        if is_write:
+            self.stats.writes += 1
+        else:
+            self.stats.reads += 1
+        line = ways.get(tag)
+        if line is not None:
+            line.lru = self._tick
+            if is_write:
+                line.dirty = True
+            return self.config.hit_latency
+        # Miss: allocate (write-allocate policy), evicting true-LRU victim.
+        if is_write:
+            self.stats.write_misses += 1
+        else:
+            self.stats.read_misses += 1
+        if len(ways) >= self.config.assoc:
+            victim_tag = min(ways, key=lambda t: ways[t].lru)
+            if ways[victim_tag].dirty:
+                self.stats.writebacks += 1
+            del ways[victim_tag]
+        new_line = _Line(tag, self._tick)
+        new_line.dirty = is_write
+        ways[tag] = new_line
+        return self.config.hit_latency + self.config.miss_penalty
+
+    def contains(self, addr: int) -> bool:
+        """True when the line holding *addr* is resident (no state change)."""
+        set_index, tag = self._locate(addr)
+        return tag in self._sets[set_index]

@@ -1,0 +1,13 @@
+"""Timing substrate: in-order 5-stage pipeline model with caches."""
+
+from repro.pipeline.branch import BimodalPredictor, StaticPredictor
+from repro.pipeline.core import PipelineConfig, PipelineModel
+from repro.pipeline.latencies import result_latency
+
+__all__ = [
+    "BimodalPredictor",
+    "StaticPredictor",
+    "PipelineConfig",
+    "PipelineModel",
+    "result_latency",
+]

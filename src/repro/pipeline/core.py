@@ -1,0 +1,188 @@
+"""In-order 5-stage pipeline timing model.
+
+The model consumes the executor's retire-event stream *in program order*
+and assigns each instruction an issue cycle, honouring:
+
+* single-issue in-order dispatch (one instruction per cycle at best),
+* read-after-write hazards through registers and the flags,
+* result latencies per instruction class (multiplies, FP, divides),
+* D-cache access time for loads (stores drain through a write buffer:
+  they update cache state but do not stall the pipeline on a miss),
+* I-cache fetch time per instruction — except instructions injected
+  from the microcode cache, which bypass instruction fetch entirely
+  (the paper's front-end injection path),
+* branch prediction with a configurable mispredict penalty, and a
+  one-cycle redirect bubble for taken calls/returns.
+
+This is a deliberately transparent first-order model (the repro target
+is "functional simulator, not timing-faithful"): every stall source is
+inspectable in :class:`PipelineStats`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.interp.events import RetireEvent
+from repro.isa.opcodes import ELEM_SIZES, OPCODES, InstrClass
+from repro.memory.cache import Cache, CacheConfig
+from repro.pipeline.branch import BimodalPredictor
+from repro.pipeline.latencies import result_latency
+
+#: Flags are modelled as one extra renameable resource.
+_FLAGS = "<flags>"
+
+#: Architectural instruction size used to map PCs to I-cache addresses.
+_INSTR_BYTES = 4
+
+
+@dataclass(frozen=True)
+class PipelineConfig:
+    """Timing parameters of the modeled core."""
+
+    icache: CacheConfig = CacheConfig()
+    dcache: CacheConfig = CacheConfig()
+    mispredict_penalty: int = 2
+    call_redirect_penalty: int = 1
+    pipeline_depth: int = 5
+    code_base: int = 0x1000
+
+
+@dataclass
+class PipelineStats:
+    """Cycle accounting, split by stall source."""
+
+    instructions: int = 0
+    simd_instructions: int = 0
+    data_stall_cycles: int = 0
+    fetch_stall_cycles: int = 0
+    load_miss_cycles: int = 0
+    branch_penalty_cycles: int = 0
+    branches: int = 0
+    mispredicts: int = 0
+
+
+class PipelineModel:
+    """Assigns cycles to a retire-event stream."""
+
+    def __init__(self, config: Optional[PipelineConfig] = None) -> None:
+        self.config = config or PipelineConfig()
+        self.icache = Cache(self.config.icache, name="icache")
+        self.dcache = Cache(self.config.dcache, name="dcache")
+        self.predictor = BimodalPredictor()
+        self.stats = PipelineStats()
+        self._reg_ready: Dict[str, int] = {}
+        self._last_issue = 0
+        self._fetch_ready = 0
+        self._last_completion = 0
+
+    # -- public API -------------------------------------------------------------
+
+    @property
+    def now(self) -> int:
+        """Issue cycle of the most recent instruction."""
+        return self._last_issue
+
+    def stall(self, cycles: int) -> None:
+        """Block the pipeline for *cycles* (software work stealing the core).
+
+        Used by the software-translation mode: a JIT translator runs on
+        the main core, so its work shows up as dead pipeline time —
+        unlike the hardware translator, which is off the critical path.
+        """
+        if cycles <= 0:
+            return
+        self._last_issue += cycles
+        self._fetch_ready = max(self._fetch_ready, self._last_issue)
+        self._last_completion = max(self._last_completion, self._last_issue)
+
+    def total_cycles(self) -> int:
+        """Cycles to fully drain the pipeline after the last instruction."""
+        return max(self._last_completion,
+                   self._last_issue + self.config.pipeline_depth)
+
+    def account(self, event: RetireEvent) -> int:
+        """Charge one retired instruction; return its issue cycle."""
+        instr = event.instr
+        spec = OPCODES[instr.opcode]
+        cls = spec.cls
+        config = self.config
+
+        # -- fetch ---------------------------------------------------------------
+        if event.in_vector_unit:
+            fetch_ready = self._fetch_ready  # injected from microcode cache
+        else:
+            fetch_addr = config.code_base + event.pc * _INSTR_BYTES
+            fetch_cycles = self.icache.access(fetch_addr, _INSTR_BYTES,
+                                              is_write=False)
+            fetch_ready = self._fetch_ready + (fetch_cycles - 1)
+            if fetch_cycles > 1:
+                self.stats.fetch_stall_cycles += fetch_cycles - 1
+
+        # -- operand readiness ------------------------------------------------------
+        ready = fetch_ready
+        for reg in instr.reads():
+            ready = max(ready, self._reg_ready.get(reg, 0))
+        if spec.reads_flags:
+            ready = max(ready, self._reg_ready.get(_FLAGS, 0))
+
+        issue = max(self._last_issue + 1, ready)
+        if issue > self._last_issue + 1:
+            self.stats.data_stall_cycles += issue - (self._last_issue + 1)
+
+        # -- memory --------------------------------------------------------------------
+        completion = issue + result_latency(cls)
+        if event.mem_addr is not None:
+            nbytes = self._access_bytes(event)
+            if cls in (InstrClass.LOAD, InstrClass.VLOAD):
+                access = self.dcache.access(event.mem_addr, nbytes, is_write=False)
+                completion = issue + access
+                if access > self.config.dcache.hit_latency:
+                    self.stats.load_miss_cycles += (
+                        access - self.config.dcache.hit_latency
+                    )
+            else:
+                # Stores update cache state; the write buffer hides latency.
+                self.dcache.access(event.mem_addr, nbytes, is_write=True)
+
+        # -- writeback of results ---------------------------------------------------------
+        for reg in instr.writes():
+            self._reg_ready[reg] = completion
+        if spec.sets_flags:
+            self._reg_ready[_FLAGS] = completion
+
+        # -- control flow -------------------------------------------------------------------
+        next_fetch = issue
+        if cls is InstrClass.BRANCH:
+            self.stats.branches += 1
+            target_pc = event.next_pc if event.taken else event.pc
+            predicted = self.predictor.predict(event.pc, target_pc)
+            self.predictor.update(event.pc, event.taken)
+            if predicted != event.taken:
+                self.stats.mispredicts += 1
+                # The penalty is in *bubbles*: the next fetch slips this many
+                # cycles past its natural slot.
+                next_fetch = issue + 1 + config.mispredict_penalty
+                self.stats.branch_penalty_cycles += config.mispredict_penalty
+        elif cls in (InstrClass.CALL, InstrClass.RET):
+            next_fetch = issue + 1 + config.call_redirect_penalty
+            self.stats.branch_penalty_cycles += config.call_redirect_penalty
+
+        self._last_issue = issue
+        self._fetch_ready = next_fetch
+        self._last_completion = max(self._last_completion, completion)
+        self.stats.instructions += 1
+        if spec.is_vector:
+            self.stats.simd_instructions += 1
+        return issue
+
+    # -- helpers --------------------------------------------------------------------------
+
+    def _access_bytes(self, event: RetireEvent) -> int:
+        instr = event.instr
+        elem = instr.elem or "i32"
+        size = ELEM_SIZES[elem]
+        if OPCODES[instr.opcode].is_vector and event.vector_width:
+            return size * event.vector_width
+        return size

@@ -1,0 +1,43 @@
+"""Result latencies per instruction class.
+
+Latency is the number of cycles after issue until a dependent
+instruction can use the result.  Values approximate an ARM-926EJ-S-class
+in-order core: single-cycle integer ALU, two-cycle multiplies, and a
+long iterative divide.  Vector operations issue one per cycle regardless
+of width (that is the accelerator's whole point); only their *memory*
+traffic scales with width, which the cache model charges separately.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.isa.opcodes import InstrClass
+
+#: Cycles from issue until the result is forwardable.
+RESULT_LATENCY: Dict[InstrClass, int] = {
+    InstrClass.ALU: 1,
+    InstrClass.MUL: 2,
+    InstrClass.FALU: 2,
+    InstrClass.FMUL: 3,
+    InstrClass.FDIV: 12,
+    InstrClass.MOVE: 1,
+    InstrClass.CMP: 1,
+    InstrClass.LOAD: 1,      # plus D-cache access time, charged separately
+    InstrClass.STORE: 1,
+    InstrClass.BRANCH: 1,
+    InstrClass.CALL: 1,
+    InstrClass.RET: 1,
+    InstrClass.SYS: 1,
+    InstrClass.VALU: 1,
+    InstrClass.VMUL: 2,
+    InstrClass.VLOAD: 1,
+    InstrClass.VSTORE: 1,
+    InstrClass.VPERM: 1,
+    InstrClass.VRED: 2,
+}
+
+
+def result_latency(cls: InstrClass) -> int:
+    """Result latency in cycles for one instruction class."""
+    return RESULT_LATENCY[cls]

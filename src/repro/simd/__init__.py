@@ -1,0 +1,33 @@
+"""Neon-like SIMD substrate: vector semantics, permutations, accelerator."""
+
+from repro.simd.accelerator import (
+    AcceleratorConfig,
+    BASIC_VECTOR_OPS,
+    FULL_VECTOR_OPS,
+    VectorRegisterFile,
+    config_for_width,
+    first_generation,
+)
+from repro.simd.permutations import (
+    PermPattern,
+    PermutationCAM,
+    STANDARD_PATTERNS,
+    offsets_for_pattern,
+)
+from repro.simd.vector_ops import vector_binary, vector_reduce, vector_unary
+
+__all__ = [
+    "AcceleratorConfig",
+    "BASIC_VECTOR_OPS",
+    "FULL_VECTOR_OPS",
+    "VectorRegisterFile",
+    "config_for_width",
+    "first_generation",
+    "PermPattern",
+    "PermutationCAM",
+    "STANDARD_PATTERNS",
+    "offsets_for_pattern",
+    "vector_binary",
+    "vector_reduce",
+    "vector_unary",
+]

@@ -1,0 +1,163 @@
+"""Permutation patterns, their offset-array encodings, and the CAM.
+
+The scalar representation encodes a permutation as a read-only array of
+*offsets* added to the loop induction variable (paper Table 1,
+categories 7/8): iteration ``i`` touches element ``i + off[i]`` instead
+of element ``i``.  Offsets — rather than absolute indices — keep the
+encoding independent of the hardware vector width.
+
+A pattern is defined by a *kind* and a *period* ``p`` (plus a rotation
+amount for ``rot``): it permutes lanes within each aligned group of
+``p`` elements and therefore tiles any hardware width ``W`` that ``p``
+divides.  A width-``W`` accelerator recognizes a pattern by looking up
+the first ``W`` observed offsets in a content-addressable memory
+(:class:`PermutationCAM`), exactly as section 4.1 describes; a miss
+aborts translation and the loop keeps running in scalar form.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.memory.alignment import is_power_of_two
+
+PERM_KINDS = ("bfly", "rev", "rot")
+
+
+@dataclass(frozen=True)
+class PermPattern:
+    """A named intra-group lane permutation.
+
+    Attributes:
+        kind: ``"bfly"`` (swap group halves), ``"rev"`` (reverse group),
+            or ``"rot"`` (rotate group left by :attr:`amount`).
+        period: group size ``p`` (a power of two, >= 2).
+        amount: rotation amount for ``rot`` (ignored otherwise).
+    """
+
+    kind: str
+    period: int
+    amount: int = 0
+
+    def __post_init__(self) -> None:
+        if self.kind not in PERM_KINDS:
+            raise ValueError(f"unknown permutation kind {self.kind!r}")
+        if self.period < 2 or not is_power_of_two(self.period):
+            raise ValueError(f"period must be a power of two >= 2: {self.period}")
+        if self.kind == "rot" and not 0 < self.amount < self.period:
+            raise ValueError("rot amount must satisfy 0 < amount < period")
+
+    @property
+    def name(self) -> str:
+        if self.kind == "rot":
+            return f"rot{self.period}_{self.amount}"
+        return f"{self.kind}{self.period}"
+
+    def source_lane(self, lane: int) -> int:
+        """The input lane that output *lane* reads (a gather map)."""
+        group = lane - lane % self.period
+        j = lane % self.period
+        if self.kind == "bfly":
+            half = self.period // 2
+            src = j + half if j < half else j - half
+        elif self.kind == "rev":
+            src = self.period - 1 - j
+        else:  # rot left by amount
+            src = (j + self.amount) % self.period
+        return group + src
+
+    def lane_map(self, width: int) -> List[int]:
+        """Gather map for a *width*-lane vector; requires period | width."""
+        if width % self.period != 0:
+            raise ValueError(
+                f"pattern {self.name} (period {self.period}) does not tile "
+                f"width {width}"
+            )
+        return [self.source_lane(i) for i in range(width)]
+
+    def apply(self, lanes: Sequence) -> List:
+        """Permute a concrete lane vector."""
+        mapping = self.lane_map(len(lanes))
+        return [lanes[src] for src in mapping]
+
+    def inverse(self) -> "PermPattern":
+        """The pattern undoing this one (needed for store-side permutes).
+
+        ``bfly`` and ``rev`` are involutions; ``rot k`` inverts to
+        ``rot (p - k)``.
+        """
+        if self.kind == "rot":
+            return PermPattern("rot", self.period, self.period - self.amount)
+        return self
+
+    def offsets(self, count: int) -> List[int]:
+        """Offset-array values for a *count*-element data array.
+
+        ``off[i] = source_lane(i) - i`` evaluated periodically, which is
+        what the compiler stores in the read-only ``bfly`` array.
+        """
+        return [self.source_lane(i) - i for i in range(count)]
+
+
+def offsets_for_pattern(pattern: PermPattern, count: int) -> List[int]:
+    """Module-level convenience alias of :meth:`PermPattern.offsets`."""
+    return pattern.offsets(count)
+
+
+def standard_patterns(max_period: int = 16) -> List[PermPattern]:
+    """The permutation repertoire of the modeled accelerator family.
+
+    Butterfly and reverse at every power-of-two period up to
+    *max_period*, and single-step rotations (the patterns a Neon-class
+    ISA can express with ``VREV``/``VEXT``-style instructions).
+    """
+    patterns: List[PermPattern] = []
+    period = 2
+    while period <= max_period:
+        patterns.append(PermPattern("bfly", period))
+        patterns.append(PermPattern("rev", period))
+        patterns.append(PermPattern("rot", period, 1))
+        if period > 2:
+            patterns.append(PermPattern("rot", period, period - 1))
+        period *= 2
+    return patterns
+
+
+#: Default repertoire shared by the scalarizer and the translator CAM.
+STANDARD_PATTERNS: Tuple[PermPattern, ...] = tuple(standard_patterns())
+
+
+class PermutationCAM:
+    """Offset-signature -> pattern lookup used by the dynamic translator.
+
+    For a hardware width ``W`` the CAM precomputes, for every supported
+    pattern whose period divides ``W``, the expected first-``W`` offset
+    signature, and matches observed signatures against it.  Signatures
+    of patterns wider than the hardware (period > W) are absent, so such
+    permutations miss — the precise mechanism by which a too-narrow
+    accelerator declines a loop and leaves it scalar.
+    """
+
+    def __init__(self, width: int,
+                 patterns: Sequence[PermPattern] = STANDARD_PATTERNS) -> None:
+        if not is_power_of_two(width):
+            raise ValueError(f"hardware width must be a power of two: {width}")
+        self.width = width
+        self._table: Dict[Tuple[int, ...], PermPattern] = {}
+        for pattern in patterns:
+            if width % pattern.period != 0:
+                continue
+            signature = tuple(pattern.offsets(width))
+            # First pattern registered for a signature wins; duplicate
+            # signatures (e.g. bfly2 == rev2) are equivalent permutations.
+            self._table.setdefault(signature, pattern)
+
+    def lookup(self, offsets: Sequence[int]) -> Optional[PermPattern]:
+        """Return the pattern whose width-long signature matches, if any."""
+        if len(offsets) != self.width:
+            return None
+        return self._table.get(tuple(int(v) for v in offsets))
+
+    def __len__(self) -> int:
+        return len(self._table)

@@ -1,0 +1,28 @@
+"""Full-system glue: loader, machine, metrics."""
+
+from repro.system.loader import DATA_BASE, load_program, snapshot_arrays
+from repro.system.machine import Machine, MachineConfig, MachineError
+from repro.system.trace import TraceRecord, TraceRecorder
+from repro.system.metrics import (
+    FunctionStats,
+    RunResult,
+    array_mismatches,
+    arrays_equal,
+    outlined_function_sizes,
+)
+
+__all__ = [
+    "DATA_BASE",
+    "load_program",
+    "snapshot_arrays",
+    "Machine",
+    "MachineConfig",
+    "MachineError",
+    "TraceRecord",
+    "TraceRecorder",
+    "FunctionStats",
+    "RunResult",
+    "array_mismatches",
+    "arrays_equal",
+    "outlined_function_sizes",
+]

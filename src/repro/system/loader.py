@@ -1,0 +1,63 @@
+"""Program loader: places data arrays into simulated memory.
+
+Arrays are aligned to the maximum vectorizable length the binary was
+compiled for (paper section 3.1's alignment requirement) and to the
+cache line size, so vector accesses at any hardware width up to the MVL
+are legal.  Read-only arrays (``bfly`` offsets, lane constants, masks)
+are write-protected, so a buggy translation that scribbles over its own
+metadata faults loudly instead of corrupting results.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from repro.interp.state import SymbolInfo, SymbolTable
+from repro.isa.program import Program
+from repro.memory.alignment import align_up
+from repro.memory.memory import Memory
+
+#: Where the data segment begins (code is fetched from PipelineConfig.code_base).
+DATA_BASE = 0x0001_0000
+
+
+def load_program(program: Program, *, mvl: int = 16,
+                 memory_size: int = 1 << 22,
+                 line_bytes: int = 32) -> Tuple[Memory, SymbolTable]:
+    """Materialize *program*'s data segment; return (memory, symbol table)."""
+    memory = Memory(memory_size)
+    symbols = SymbolTable()
+    addr = DATA_BASE
+    for arr in program.data.values():
+        alignment = max(line_bytes, mvl * arr.elem_size)
+        addr = align_up(addr, alignment)
+        symbols.add(SymbolInfo(name=arr.name, addr=addr, elem=arr.elem,
+                               count=len(arr), read_only=arr.read_only))
+        if arr.values:
+            memory.store_vector(addr, arr.elem, arr.values)
+        end = addr + arr.size_bytes
+        if arr.read_only:
+            memory.protect(addr, end)
+        addr = end
+    if addr >= memory_size:
+        raise MemoryError(
+            f"data segment ({addr} bytes) exceeds memory size {memory_size}"
+        )
+    return memory, symbols
+
+
+def snapshot_arrays(program: Program, memory: Memory,
+                    symbols: SymbolTable) -> dict:
+    """Read back every (writable) array's final contents, keyed by name.
+
+    Used by tests and the harness to prove that the scalar baseline, the
+    native SIMD binary, and the dynamically translated execution leave
+    bit-identical results in memory.
+    """
+    out = {}
+    for arr in program.data.values():
+        if arr.read_only:
+            continue
+        info = symbols.lookup(arr.name)
+        out[arr.name] = memory.load_vector(info.addr, info.elem, info.count)
+    return out

@@ -1,0 +1,386 @@
+"""The full Liquid SIMD machine: pipeline + translator + microcode cache.
+
+:class:`Machine` wires every substrate together following Figure 1 of
+the paper: a scalar in-order pipeline, a SIMD accelerator, a
+post-retirement dynamic translator, and a microcode cache whose entries
+the front end injects when a marked call's translation is ready.
+
+Execution of one Liquid binary proceeds exactly as the paper describes:
+
+1. The first time a marked (``blo``) call retires, the translator starts
+   observing the outlined function's retire stream while the function
+   runs in scalar form.
+2. At the function's ``ret`` the translation finalizes; after a
+   configurable latency (cycles per observed instruction) the microcode
+   becomes available in the cache.  Aborted translations blacklist the
+   function — it simply keeps running in scalar form forever.
+3. Subsequent calls whose microcode is resident and ready skip the
+   scalar body entirely: the fragment's SIMD instructions are injected
+   into the pipeline (bypassing instruction fetch) and executed on the
+   accelerator at the translation's effective width.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.core.translate.translator import (
+    AbortReason,
+    DynamicTranslator,
+    TranslationResult,
+    TranslatorConfig,
+)
+from repro.core.translate.ucode_cache import MicrocodeCache, MicrocodeEntry
+from repro.interp.executor import ExecutionError, Executor
+from repro.memory.memory import MemoryError_
+from repro.interp.state import MachineState
+from repro.isa.program import Program
+from repro.pipeline.core import PipelineConfig, PipelineModel
+from repro.simd.accelerator import AcceleratorConfig
+from repro.system.loader import load_program, snapshot_arrays
+from repro.system.metrics import FunctionStats, RunResult
+
+
+class MachineError(Exception):
+    """Simulation-level failure (runaway program, execution fault)."""
+
+
+@dataclass(frozen=True)
+class MachineConfig:
+    """One machine configuration (a point in the paper's design space).
+
+    ``accelerator=None`` models the plain ARM-926EJ-S (no SIMD); Liquid
+    binaries then simply execute their scalar representation.
+    """
+
+    accelerator: Optional[AcceleratorConfig] = None
+    pipeline: PipelineConfig = field(default_factory=PipelineConfig)
+    translation_enabled: bool = True
+    ucode_cache_entries: int = 8
+    max_ucode_instructions: int = 64
+    translation_cycles_per_instruction: int = 1
+    collapse_offset_loads: bool = True
+    const_immediates: bool = True
+    #: attempt translation of plain ``bl`` calls too (the paper's
+    #: unmarked-call variant, relying on legality checks against false
+    #: positives).
+    attempt_plain_bl: bool = False
+    #: Pre-populate the microcode cache before timing starts, modelling the
+    #: paper's "built-in ISA support" comparison point: the simulator is
+    #: "modified to eliminate control generation" and treats every outlined
+    #: function as native SIMD code from its first call.
+    pretranslate: bool = False
+    #: If set, deliver an external abort (context switch / interrupt) to the
+    #: translator every N cycles — the paper's "abort signal from the base
+    #: pipeline to stop translation in the event of a context switch".
+    #: External aborts are transient: the machine retries translation on a
+    #: later call instead of blacklisting the function.
+    interrupt_interval: Optional[int] = None
+    #: "hardware" (paper's design: post-retirement logic off the critical
+    #: path, costing only latency) or "software" (the paper's JIT
+    #: alternative: translation runs on the main core, stalling it for
+    #: ``software_cycles_per_instruction`` per observed instruction, but
+    #: the microcode is ready the moment the JIT finishes).
+    translation_mode: str = "hardware"
+    software_cycles_per_instruction: int = 30
+    #: Where the hardware translator taps the pipeline.  "retirement"
+    #: (the paper's choice) sees instructions *and* the data values they
+    #: produced, enabling permutation/constant recognition, and is far
+    #: off the critical path.  "decode" sees only the instructions: it
+    #: finishes with zero extra latency but must abort any loop whose
+    #: translation needs observed values (permutations) — the trade-off
+    #: the paper's section 4 discussion weighs.
+    observation_point: str = "retirement"
+    #: Self-checking mode: before caching a completed translation, replay
+    #: the scalar function and the microcode on cloned machine state and
+    #: require bit-identical memory; a mismatch discards the translation
+    #: (defense in depth against translator bugs and the paper's
+    #: false-positive scenario).
+    verify_translations: bool = False
+    mvl: int = 16
+    max_steps: int = 80_000_000
+
+    def __post_init__(self) -> None:
+        if self.translation_mode not in ("hardware", "software"):
+            raise ValueError(
+                f"translation_mode must be 'hardware' or 'software', "
+                f"got {self.translation_mode!r}"
+            )
+        if self.observation_point not in ("retirement", "decode"):
+            raise ValueError(
+                f"observation_point must be 'retirement' or 'decode', "
+                f"got {self.observation_point!r}"
+            )
+
+    @property
+    def name(self) -> str:
+        if self.accelerator is None:
+            return "scalar"
+        mode = "liquid" if self.translation_enabled else "simd-off"
+        return f"{mode}-w{self.accelerator.width}"
+
+    def translator_config(self) -> TranslatorConfig:
+        if self.accelerator is None:
+            raise MachineError("no accelerator: nothing to translate for")
+        return TranslatorConfig(
+            width=self.accelerator.width,
+            max_ucode_instructions=self.max_ucode_instructions,
+            cycles_per_instruction=self.translation_cycles_per_instruction,
+            collapse_offset_loads=self.collapse_offset_loads,
+            const_immediates=self.const_immediates,
+            supports_saturation=self.accelerator.supports_saturation,
+            permutations=self.accelerator.permutations,
+            supported_vector_ops=self.accelerator.effective_vector_ops(),
+        )
+
+
+#: PC offset applied to microcode events so the branch predictor and any
+#: PC-indexed structure see a distinct address space per cached fragment.
+_FRAGMENT_PC_BASE = 1 << 20
+_FRAGMENT_PC_STRIDE = 1 << 12
+
+
+class Machine:
+    """Executes programs under one :class:`MachineConfig`.
+
+    Pass a :class:`~repro.system.trace.TraceRecorder` as *tracer* to
+    capture the interleaved scalar/microcode retirement stream.
+    """
+
+    def __init__(self, config: MachineConfig, tracer=None) -> None:
+        self.config = config
+        self.tracer = tracer
+
+    def run(self, program: Program) -> RunResult:
+        """Run *program* to its ``halt``; return the collected metrics."""
+        config = self.config
+        memory, symbols = load_program(program, mvl=config.mvl)
+        hw_width = (config.accelerator.width
+                    if config.accelerator is not None else None)
+        state = MachineState(program, memory, symbols, vector_width=hw_width)
+        executor = Executor(state)
+        pipeline = PipelineModel(config.pipeline)
+        use_translation = (config.accelerator is not None
+                           and config.translation_enabled)
+        ucache = MicrocodeCache(config.ucode_cache_entries) if use_translation \
+            else None
+        if ucache is not None and config.pretranslate:
+            scout = Machine(dataclasses.replace(config, pretranslate=False))
+            for result in scout.run(program).translations:
+                if result.ok and result.entry is not None:
+                    ucache.insert(dataclasses.replace(result.entry,
+                                                      ready_cycle=0))
+        functions: Dict[str, FunctionStats] = {}
+        translations: List[TranslationResult] = []
+        blacklist = set()
+        translating: Optional[DynamicTranslator] = None
+        fragment_offsets: Dict[str, int] = {}
+        next_interrupt = (config.interrupt_interval
+                          if config.interrupt_interval is not None else 0)
+
+        steps = 0
+        instructions = program.instructions
+        n_instr = len(instructions)
+        while not state.halted:
+            steps += 1
+            if steps > config.max_steps:
+                raise MachineError(
+                    f"{program.name}: exceeded {config.max_steps} steps"
+                )
+            pc = state.pc
+            if not 0 <= pc < n_instr:
+                raise MachineError(f"{program.name}: pc {pc} out of range")
+            instr = instructions[pc]
+
+            marked = instr.opcode == "blo" or (
+                instr.opcode == "bl" and config.attempt_plain_bl
+            )
+            if marked and instr.target is not None:
+                target = instr.target
+                stats = functions.setdefault(target, FunctionStats(target))
+                stats.calls += 1
+                stats.call_cycles.append(pipeline.now)
+                if ucache is not None:
+                    entry = ucache.lookup(target, pipeline.now)
+                    if entry is not None:
+                        # Front-end injection: charge the call, run microcode,
+                        # resume after the call.
+                        event = executor.execute(instr)  # sets lr, jumps
+                        pipeline.account(event)
+                        if self.tracer is not None:
+                            self.tracer.record(event, source="scalar")
+                        self._run_fragment(entry, state, pipeline,
+                                           fragment_offsets)
+                        stats.simd_runs += 1
+                        state.pc = pc + 1
+                        continue
+                    if translating is None and target not in blacklist \
+                            and not ucache.contains(target):
+                        translating = DynamicTranslator(
+                            config.translator_config(),
+                            resolve_label=program.label_index,
+                        )
+                        translating.begin(target)
+                stats.scalar_runs += 1
+                event = executor.execute(instr)
+                pipeline.account(event)
+                if self.tracer is not None:
+                    self.tracer.record(event, source="scalar")
+                continue
+
+            try:
+                event = executor.execute(instr)
+            except (ExecutionError, MemoryError_) as exc:
+                raise MachineError(f"{program.name} @pc={pc}: {exc}") from exc
+            pipeline.account(event)
+            if self.tracer is not None:
+                self.tracer.record(event, source="scalar")
+            if translating is not None:
+                if config.interrupt_interval is not None \
+                        and pipeline.now >= next_interrupt:
+                    translating.abort_external()
+                    next_interrupt = pipeline.now + config.interrupt_interval
+                if config.observation_point == "decode":
+                    # The decode stage never sees produced data values.
+                    translating.observe(dataclasses.replace(event, value=None))
+                else:
+                    translating.observe(event)
+                if translating.done or event.instr.opcode == "ret":
+                    if config.translation_mode == "software":
+                        # The JIT runs on the core itself: charge its work
+                        # as a pipeline stall, after which the microcode is
+                        # immediately available.
+                        work = (config.software_cycles_per_instruction
+                                * (len(translating.seen) + 1))
+                        pipeline.stall(work)
+                    result = translating.finish(ret_cycle=pipeline.now)
+                    if result.ok and (config.translation_mode == "software"
+                                      or config.observation_point == "decode"):
+                        result.entry.ready_cycle = pipeline.now
+                    translations.append(result)
+                    target = result.function
+                    if target in functions:
+                        functions[target].translation = result
+                    if result.ok and config.verify_translations \
+                            and not self._verify_translation(
+                                result, program, state):
+                        result.ok = False
+                        result.reason = AbortReason.INCONSISTENT
+                        result.detail = "verification replay mismatch"
+                        result.entry = None
+                    if result.ok and ucache is not None:
+                        ucache.insert(result.entry)
+                    elif result.reason is not AbortReason.EXTERNAL:
+                        # Interrupt-induced aborts are transient; real rule
+                        # violations are permanent.
+                        blacklist.add(target)
+                    translating = None
+
+        return RunResult(
+            program=program.name,
+            config=config.name,
+            cycles=pipeline.total_cycles(),
+            instructions=pipeline.stats.instructions,
+            pipeline=pipeline.stats,
+            icache=pipeline.icache.stats,
+            dcache=pipeline.dcache.stats,
+            functions=functions,
+            ucode_cache=ucache.stats if ucache is not None else None,
+            arrays=snapshot_arrays(program, memory, symbols),
+            translations=translations,
+        )
+
+    # -- translation verification --------------------------------------------------
+
+    def _verify_translation(self, result, program: Program,
+                            state: MachineState) -> bool:
+        """Replay scalar body vs. microcode on cloned state; compare memory.
+
+        Runs functionally (no timing).  Both replays start from the
+        machine's *current* architectural state, i.e. right after the
+        observed execution returned — any state works, since the two
+        representations must agree from every reachable state.
+        """
+        entry = result.entry
+        target = entry.function
+
+        def replay(fragment: bool):
+            memory = state.memory.clone()
+            clone = MachineState(program, memory, state.symbols,
+                                 vector_width=None)
+            for name, value in state.regs.snapshot().items():
+                clone.regs.write(name, value)
+            if fragment:
+                frag_state = MachineState(entry.fragment, memory,
+                                          state.symbols,
+                                          vector_width=entry.width)
+                frag_state.regs = clone.regs
+                executor = Executor(frag_state)
+                count = len(entry.fragment.instructions)
+                guard = 0
+                while frag_state.pc < count:
+                    guard += 1
+                    if guard > self.config.max_steps:
+                        raise MachineError("verification replay diverged")
+                    executor.execute(
+                        entry.fragment.instructions[frag_state.pc])
+            else:
+                clone.pc = program.label_index(target)
+                clone.regs.write("r14", len(program.instructions))
+                executor = Executor(clone)
+                guard = 0
+                while True:
+                    guard += 1
+                    if guard > self.config.max_steps:
+                        raise MachineError("verification replay diverged")
+                    instr = program.instructions[clone.pc]
+                    executor.execute(instr)
+                    if instr.opcode == "ret":
+                        break
+            return memory
+
+        scalar_memory = replay(fragment=False)
+        simd_memory = replay(fragment=True)
+        return scalar_memory.read_bytes(0, scalar_memory.size) == \
+            simd_memory.read_bytes(0, simd_memory.size)
+
+    # -- microcode execution ----------------------------------------------------
+
+    def _run_fragment(self, entry: MicrocodeEntry, state: MachineState,
+                      pipeline: PipelineModel,
+                      offsets: Dict[str, int]) -> None:
+        """Execute one cached translation on the SIMD accelerator."""
+        fragment = entry.fragment
+        if entry.function not in offsets:
+            offsets[entry.function] = (_FRAGMENT_PC_BASE
+                                       + len(offsets) * _FRAGMENT_PC_STRIDE)
+        offset = offsets[entry.function]
+        frag_state = MachineState(fragment, state.memory, state.symbols,
+                                  vector_width=entry.width)
+        frag_state.regs = state.regs  # architectural scalar state is shared
+        frag_executor = Executor(frag_state)
+        count = len(fragment.instructions)
+        guard = 0
+        while frag_state.pc < count:
+            guard += 1
+            if guard > self.config.max_steps:
+                raise MachineError(
+                    f"microcode for {entry.function} did not terminate"
+                )
+            instr = fragment.instructions[frag_state.pc]
+            try:
+                event = frag_executor.execute(instr)
+            except (ExecutionError, MemoryError_) as exc:
+                raise MachineError(
+                    f"microcode for {entry.function}: {exc}"
+                ) from exc
+            pipeline.account(dataclasses.replace(
+                event,
+                pc=event.pc + offset,
+                next_pc=event.next_pc + offset,
+                in_vector_unit=True,
+            ))
+            if self.tracer is not None:
+                self.tracer.record(event, source="ucode")

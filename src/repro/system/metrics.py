@@ -1,0 +1,149 @@
+"""Run results and statistics gathered by the machine.
+
+:class:`RunResult` is the single artifact every experiment consumes: it
+carries cycle counts, pipeline/cache statistics, per-outlined-function
+call tracking (Table 6's call distances), translation outcomes and abort
+reasons, microcode cache statistics, and a snapshot of final array
+contents for correctness comparison.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.core.translate.translator import AbortReason, TranslationResult
+from repro.core.translate.ucode_cache import MicrocodeCacheStats
+from repro.isa.program import Program
+from repro.memory.cache import CacheStats
+from repro.pipeline.core import PipelineStats
+
+
+@dataclass
+class FunctionStats:
+    """Per-outlined-function tracking."""
+
+    name: str
+    calls: int = 0
+    scalar_runs: int = 0
+    simd_runs: int = 0
+    call_cycles: List[int] = field(default_factory=list)
+    translation: Optional[TranslationResult] = None
+
+    @property
+    def first_two_call_distance(self) -> Optional[int]:
+        """Cycles between the first two calls (the paper's Table 6)."""
+        if len(self.call_cycles) < 2:
+            return None
+        return self.call_cycles[1] - self.call_cycles[0]
+
+
+@dataclass
+class RunResult:
+    """Everything measured during one program execution."""
+
+    program: str
+    config: str
+    cycles: int
+    instructions: int
+    pipeline: PipelineStats
+    icache: CacheStats
+    dcache: CacheStats
+    functions: Dict[str, FunctionStats]
+    ucode_cache: Optional[MicrocodeCacheStats]
+    arrays: Dict[str, list]
+    translations: List[TranslationResult] = field(default_factory=list)
+
+    def speedup_over(self, baseline: "RunResult") -> float:
+        """Baseline cycles / this run's cycles."""
+        return baseline.cycles / self.cycles if self.cycles else float("inf")
+
+    @property
+    def abort_counts(self) -> Dict[AbortReason, int]:
+        counts: Dict[AbortReason, int] = {}
+        for result in self.translations:
+            if not result.ok and result.reason is not None:
+                counts[result.reason] = counts.get(result.reason, 0) + 1
+        return counts
+
+    @property
+    def successful_translations(self) -> int:
+        return sum(1 for r in self.translations if r.ok)
+
+    @property
+    def cpi(self) -> float:
+        """Cycles per retired instruction."""
+        return self.cycles / self.instructions if self.instructions else 0.0
+
+    def summary(self) -> str:
+        """Human-readable run report (cycles, stalls, caches, hot loops)."""
+        p = self.pipeline
+        lines = [
+            f"run: {self.program} on {self.config}",
+            f"  cycles              {self.cycles:>12,}",
+            f"  instructions        {self.instructions:>12,}"
+            f"   (SIMD: {p.simd_instructions:,})",
+            f"  CPI                 {self.cpi:>12.2f}",
+            f"  stalls: data        {p.data_stall_cycles:>12,}",
+            f"          fetch       {p.fetch_stall_cycles:>12,}",
+            f"          load miss   {p.load_miss_cycles:>12,}",
+            f"          branch      {p.branch_penalty_cycles:>12,}",
+            f"  icache miss rate    {self.icache.miss_rate:>12.1%}",
+            f"  dcache miss rate    {self.dcache.miss_rate:>12.1%}",
+        ]
+        if self.functions:
+            lines.append("  outlined hot loops:")
+            for name, stats in sorted(self.functions.items()):
+                outcome = "?"
+                if stats.translation is not None:
+                    outcome = ("translated" if stats.translation.ok
+                               else f"aborted ({stats.translation.reason.value})")
+                lines.append(
+                    f"    {name:<22} calls={stats.calls:<4} "
+                    f"scalar={stats.scalar_runs:<4} simd={stats.simd_runs:<4} "
+                    f"{outcome}"
+                )
+        if self.ucode_cache is not None:
+            uc = self.ucode_cache
+            lines.append(
+                f"  microcode cache: {uc.hits}/{uc.lookups} hits, "
+                f"{uc.not_ready} not-ready, {uc.evictions} evictions"
+            )
+        return "\n".join(lines)
+
+
+def arrays_equal(a: RunResult, b: RunResult, *, only: Optional[list] = None,
+                 tolerance: float = 0.0) -> bool:
+    """Compare final array contents of two runs (bit-exact by default)."""
+    names = only if only is not None else sorted(set(a.arrays) & set(b.arrays))
+    for name in names:
+        va, vb = a.arrays.get(name), b.arrays.get(name)
+        if va is None or vb is None or len(va) != len(vb):
+            return False
+        for x, y in zip(va, vb):
+            if tolerance:
+                if abs(x - y) > tolerance:
+                    return False
+            elif x != y:
+                return False
+    return True
+
+
+def array_mismatches(a: RunResult, b: RunResult) -> List[str]:
+    """Names of arrays whose final contents differ between two runs."""
+    bad = []
+    for name in sorted(set(a.arrays) & set(b.arrays)):
+        if a.arrays[name] != b.arrays[name]:
+            bad.append(name)
+    return bad
+
+
+def outlined_function_sizes(program: Program) -> Dict[str, int]:
+    """Static scalar instruction count per outlined function (Table 5).
+
+    Counts every instruction from the function label through its ``ret``.
+    """
+    return {
+        label: len(program.function_body(label))
+        for label in program.outlined_functions
+    }

@@ -1,0 +1,95 @@
+"""Execution tracing: a bounded recorder for debugging translations.
+
+A :class:`TraceRecorder` passed to :class:`~repro.system.machine.Machine`
+captures retired instructions from both the scalar pipeline and injected
+microcode, with opcode/PC filters and a ring buffer so long runs stay
+bounded.  The rendered trace interleaves the two streams, which is the
+fastest way to see *where* a translation diverged or aborted::
+
+    tracer = TraceRecorder(limit=200, opcodes={"vld", "vst", "blo"})
+    Machine(config, tracer=tracer).run(program)
+    print(tracer.render())
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, Iterable, List, Optional, Set
+
+from repro.interp.events import RetireEvent
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """One captured retirement."""
+
+    index: int           # global retirement order
+    source: str          # "scalar" or "ucode"
+    pc: int
+    text: str
+    value: object
+    mem_addr: Optional[int]
+
+
+class TraceRecorder:
+    """Bounded, filtered recorder of retirement events."""
+
+    def __init__(self, limit: int = 1000,
+                 opcodes: Optional[Iterable[str]] = None,
+                 pc_range: Optional[tuple] = None) -> None:
+        if limit <= 0:
+            raise ValueError("trace limit must be positive")
+        self.limit = limit
+        self.opcodes: Optional[Set[str]] = set(opcodes) if opcodes else None
+        self.pc_range = pc_range
+        self._records: Deque[TraceRecord] = deque(maxlen=limit)
+        self._count = 0
+        self.dropped = 0
+
+    def record(self, event: RetireEvent, source: str = "scalar") -> None:
+        """Capture one event (subject to filters and the ring limit)."""
+        self._count += 1
+        if self.opcodes is not None and event.instr.opcode not in self.opcodes:
+            return
+        if self.pc_range is not None:
+            lo, hi = self.pc_range
+            if not lo <= event.pc < hi:
+                return
+        if len(self._records) == self.limit:
+            self.dropped += 1
+        self._records.append(TraceRecord(
+            index=self._count,
+            source=source,
+            pc=event.pc,
+            text=str(event.instr),
+            value=event.value,
+            mem_addr=event.mem_addr,
+        ))
+
+    @property
+    def records(self) -> List[TraceRecord]:
+        return list(self._records)
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def render(self, show_values: bool = False) -> str:
+        """Human-readable interleaved trace."""
+        lines = [f"trace: {len(self._records)} records "
+                 f"({self._count} retirements seen, {self.dropped} rotated out)"]
+        for rec in self._records:
+            tag = "U" if rec.source == "ucode" else " "
+            line = f"{rec.index:>8} {tag} pc={rec.pc:<6} {rec.text}"
+            if show_values and rec.value is not None:
+                line += f"    = {rec.value}"
+            lines.append(line)
+        return "\n".join(lines)
+
+    def opcode_histogram(self) -> dict:
+        """Captured-opcode frequency (useful for quick mix checks)."""
+        hist: dict = {}
+        for rec in self._records:
+            opcode = rec.text.split()[0].split(".")[0]
+            hist[opcode] = hist.get(opcode, 0) + 1
+        return hist

@@ -1,0 +1,105 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.scalarize import (
+    Kernel,
+    build_baseline_program,
+    build_liquid_program,
+    build_native_program,
+)
+from repro.isa.program import DataArray, Program
+from repro.kernels.dsl import LoopBuilder
+from repro.simd.accelerator import config_for_width
+from repro.system.machine import Machine, MachineConfig
+from repro.system.metrics import RunResult
+
+
+def run_program(program: Program, width=None, **config_kwargs) -> RunResult:
+    """Run *program* on a machine with an optional accelerator width."""
+    accelerator = config_for_width(width) if width else None
+    config = MachineConfig(accelerator=accelerator, **config_kwargs)
+    return Machine(config).run(program)
+
+
+def simple_kernel(trip: int = 64, calls: int = 4, *, with_reduction: bool = True,
+                  name: str = "simple") -> Kernel:
+    """A small f32 kernel: out = x*2 + x, optional sum reduction."""
+    builder = LoopBuilder("hot", trip=trip, elem="f32")
+    x = builder.load("x")
+    doubled = builder.mul(x, builder.imm(2.0))
+    total = builder.add(doubled, x)
+    builder.store("out", total)
+    if with_reduction:
+        builder.reduce("sum", total, acc="f1", init=0.0, store_to="acc")
+    return Kernel(
+        name=name,
+        arrays=[
+            DataArray("x", "f32", [float(i % 9) * 0.25 for i in range(trip)]),
+            DataArray("out", "f32", [0.0] * trip),
+            DataArray("acc", "f32", [0.0]),
+        ],
+        stages=[builder.build()],
+        schedule=["hot"],
+        repeats=calls,
+    )
+
+
+def perm_kernel(trip: int = 64, calls: int = 4, period: int = 8,
+                *, mid_loop: bool = True) -> Kernel:
+    """A kernel exercising permutations (load-fold or mid-loop fission)."""
+    builder = LoopBuilder("hot", trip=trip, elem="f32")
+    x = builder.load("x")
+    if mid_loop:
+        doubled = builder.mul(x, builder.imm(2.0))
+        swapped = builder.bfly(doubled, period)     # fission point
+        builder.store("out", builder.add(swapped, x))
+    else:
+        shuffled = builder.bfly(builder.load("x"), period, inplace=True)
+        builder.store("out", builder.add(shuffled, x))
+    return Kernel(
+        name="perm",
+        arrays=[
+            DataArray("x", "f32", [float(i) for i in range(trip)]),
+            DataArray("out", "f32", [0.0] * trip),
+        ],
+        stages=[builder.build()],
+        schedule=["hot"],
+        repeats=calls,
+    )
+
+
+def sat_kernel(trip: int = 32, calls: int = 4, elem: str = "i16") -> Kernel:
+    """A kernel exercising the saturating-add idiom."""
+    builder = LoopBuilder("hot", trip=trip, elem=elem)
+    a = builder.load("a")
+    b = builder.load("b")
+    builder.store("o", builder.qadd(a, b))
+    hi = 30000 if elem == "i16" else 120
+    return Kernel(
+        name="sat",
+        arrays=[
+            DataArray("a", elem, [(i * 977) % (2 * hi) - hi for i in range(trip)]),
+            DataArray("b", elem, [(i * 661) % (2 * hi) - hi for i in range(trip)]),
+            DataArray("o", elem, [0] * trip),
+        ],
+        stages=[builder.build()],
+        schedule=["hot"],
+        repeats=calls,
+    )
+
+
+def all_variants(kernel: Kernel, width: int = 8):
+    """(baseline, liquid, native) programs for one kernel."""
+    return (
+        build_baseline_program(kernel),
+        build_liquid_program(kernel),
+        build_native_program(kernel, width=width),
+    )
+
+
+@pytest.fixture
+def small_kernel() -> Kernel:
+    return simple_kernel()

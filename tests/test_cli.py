@@ -1,0 +1,56 @@
+"""Smoke tests for the command-line interfaces."""
+
+import io
+from contextlib import redirect_stdout
+
+import pytest
+
+from repro.__main__ import main as repro_main
+from repro.evaluation.cli import run as eval_cli
+
+
+def _capture(fn, *args):
+    buffer = io.StringIO()
+    with redirect_stdout(buffer):
+        code = fn(*args)
+    return code, buffer.getvalue()
+
+
+class TestReproMain:
+    def test_list(self):
+        code, out = _capture(repro_main, ["list"])
+        assert code == 0
+        assert "179.art" in out and "hot loops" in out
+
+    def test_run_single_benchmark(self):
+        code, out = _capture(repro_main, ["run", "LU", "--widths", "8"])
+        assert code == 0
+        assert "baseline" in out and "match" in out
+        assert "DIVERGED" not in out
+
+    def test_run_rejects_unknown_benchmark(self):
+        with pytest.raises(SystemExit):
+            repro_main(["run", "not-a-benchmark"])
+
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            repro_main([])
+
+
+class TestEvaluationCli:
+    def test_table2_only(self):
+        code, out = _capture(eval_cli, ["--experiments", "table2"])
+        assert code == 0
+        assert "174,117" in out
+
+    def test_subset_table5(self):
+        code, out = _capture(
+            eval_cli, ["--benchmarks", "LU", "--experiments", "table5"])
+        assert code == 0
+        assert "LU" in out and "Mean" in out
+
+    def test_evaluate_subcommand_delegates(self):
+        code, out = _capture(repro_main,
+                             ["evaluate", "--experiments", "table2"])
+        assert code == 0
+        assert "174,117" in out

@@ -1,0 +1,159 @@
+"""Tests for the three program builders (baseline / liquid / native)."""
+
+import pytest
+
+from repro.core.scalarize import (
+    build_baseline_program,
+    build_liquid_program,
+    build_native_program,
+)
+from repro.core.scalarize.loop_ir import Kernel, ScalarBlock
+from repro.isa.instructions import Imm, Instruction, Reg, VImm
+from repro.isa.program import DataArray
+from repro.kernels.dsl import LoopBuilder
+from repro.kernels.scalarwork import recurrence_block
+
+from conftest import perm_kernel, run_program, simple_kernel
+from repro.system.metrics import arrays_equal
+
+
+class TestBaselineBuilder:
+    def test_hot_loops_inlined(self):
+        program = build_baseline_program(simple_kernel())
+        opcodes = [i.opcode for i in program.instructions]
+        assert "blo" not in opcodes and "bl" not in opcodes
+        assert "ret" not in opcodes
+        assert opcodes[-1] == "halt"
+
+    def test_outer_loop_wraps_schedule(self):
+        program = build_baseline_program(simple_kernel(calls=5))
+        assert "outer_loop" in program.labels
+        assert "sched_ctr" in program.data
+        # The outer-loop epilogue compares against the repeat count.
+        cmps = [i for i in program.instructions
+                if i.opcode == "cmp" and i.srcs[1] == Imm(5)]
+        assert cmps
+
+    def test_no_outer_loop_for_single_repeat(self):
+        program = build_baseline_program(simple_kernel(calls=1))
+        assert "outer_loop" not in program.labels
+        assert "sched_ctr" not in program.data
+
+    def test_scalar_blocks_spliced_with_mangled_labels(self):
+        kernel = simple_kernel()
+        kernel.stages.append(recurrence_block("work", 10))
+        kernel.schedule = ["hot", "work", "work"]
+        program = build_baseline_program(kernel)
+        labels = [name for name in program.labels if "work" in name]
+        assert len(labels) == 2  # one per splice instance
+        run_program(program)  # and it executes fine
+
+
+class TestLiquidBuilder:
+    def test_hot_loops_outlined_once(self):
+        program = build_liquid_program(simple_kernel(calls=5))
+        assert program.outlined_functions == ["hot_fn"]
+        blos = [i for i in program.instructions if i.opcode == "blo"]
+        assert len(blos) == 1  # called via the outer loop, emitted once
+        body = program.function_body("hot_fn")
+        assert body[-1].opcode == "ret"
+
+    def test_shares_synthesized_arrays_with_baseline(self):
+        kernel = perm_kernel()
+        base = build_baseline_program(kernel)
+        liquid = build_liquid_program(kernel)
+        base_synth = {n for n in base.data if "bfly" in n or "tmp" in n}
+        liquid_synth = {n for n in liquid.data if "bfly" in n or "tmp" in n}
+        assert base_synth == liquid_synth
+        for name in base_synth:
+            assert base.data[name].values == liquid.data[name].values
+
+
+class TestNativeBuilder:
+    def test_emits_vector_instructions(self):
+        program = build_native_program(simple_kernel(), width=8)
+        opcodes = {i.opcode for i in program.instructions}
+        assert "vld" in opcodes and "vst" in opcodes
+        assert program.native_fallbacks == []
+
+    def test_increment_is_hardware_width(self):
+        program = build_native_program(simple_kernel(trip=64), width=8)
+        adds = [i for i in program.instructions
+                if i.opcode == "add" and i.srcs[1] == Imm(8)]
+        assert adds
+
+    def test_wide_perm_falls_back_to_scalar(self):
+        kernel = perm_kernel(period=8)
+        program = build_native_program(kernel, width=4)
+        assert program.native_fallbacks == ["hot"]
+        assert not any(i.opcode.startswith("v") for i in program.instructions)
+
+    def test_indivisible_trip_falls_back(self):
+        kernel = simple_kernel(trip=8)
+        program = build_native_program(kernel, width=16)
+        assert program.native_fallbacks == ["hot"]
+
+    def test_vimm_tiled_to_width(self):
+        builder = LoopBuilder("hot", trip=32, elem="f32")
+        x = builder.load("x")
+        builder.store("out", builder.mask(x, builder.lanes([0, -1])))
+        kernel = Kernel("k", arrays=[
+            DataArray("x", "f32", [1.0] * 32),
+            DataArray("out", "f32", [0.0] * 32),
+        ], stages=[builder.build()], schedule=["hot"])
+        program = build_native_program(kernel, width=8)
+        vimm = [s for i in program.instructions for s in i.srcs
+                if isinstance(s, VImm)]
+        assert vimm and len(vimm[0].lanes) == 8
+
+    def test_wide_vimm_loaded_from_synthesized_array(self):
+        builder = LoopBuilder("hot", trip=32, elem="f32")
+        x = builder.load("x")
+        builder.store("out",
+                      builder.mask(x, builder.lanes([0, -1, 0, -1,
+                                                     -1, 0, -1, 0])))
+        kernel = Kernel("k", arrays=[
+            DataArray("x", "f32", [1.0] * 32),
+            DataArray("out", "f32", [0.0] * 32),
+        ], stages=[builder.build()], schedule=["hot"])
+        # Period 8 > width 4: the constant must be loaded, not immediate.
+        program = build_native_program(kernel, width=4)
+        assert any("ncnst" in name for name in program.data)
+        baseline = build_baseline_program(kernel)
+        r_native = run_program(program, width=4)
+        r_base = run_program(baseline)
+        assert arrays_equal(r_base, r_native)
+
+
+class TestOuterLoopSemantics:
+    @pytest.mark.parametrize("builder_fn,width", [
+        (build_baseline_program, None),
+        (build_liquid_program, 8),
+    ])
+    def test_schedule_repeats_observed(self, builder_fn, width):
+        kernel = simple_kernel(calls=7)
+        program = builder_fn(kernel)
+        result = run_program(program, width=width)
+        assert result.arrays["sched_ctr"] == [7]
+
+    def test_repeats_multiply_hot_loop_calls(self):
+        kernel = simple_kernel(calls=7)
+        result = run_program(build_liquid_program(kernel), width=8)
+        assert result.functions["hot_fn"].calls == 7
+
+
+class TestScalarBlockEdgeCases:
+    def test_block_appearing_twice_in_pattern(self):
+        kernel = simple_kernel(calls=3)
+        block = recurrence_block("pad", 5)
+        kernel.stages.append(block)
+        kernel.schedule = ["pad", "hot", "pad"]
+        base = run_program(build_baseline_program(kernel))
+        liquid = run_program(build_liquid_program(kernel), width=8)
+        assert arrays_equal(base, liquid)
+
+    def test_empty_schedule_is_valid(self):
+        kernel = Kernel("k", arrays=[], stages=[], schedule=[])
+        program = build_baseline_program(kernel)
+        result = run_program(program)
+        assert result.instructions >= 1  # just the halt

@@ -1,0 +1,87 @@
+"""Tests for the body-deepening helpers (register-neutral, range-safe)."""
+
+from repro.core.scalarize import build_baseline_program, build_liquid_program
+from repro.core.scalarize.loop_ir import Kernel
+from repro.isa.program import DataArray
+from repro.kernels.depth import deepen_float, deepen_int
+from repro.kernels.dsl import LoopBuilder
+from repro.system.metrics import arrays_equal
+
+from conftest import run_program
+
+
+def _float_kernel(depth: int) -> Kernel:
+    b = LoopBuilder("hot", trip=32, elem="f32")
+    x = b.load("x")
+    y = b.load("y")
+    v = b.add(x, y)
+    v = deepen_float(b, v, [x, y], depth)
+    b.store("out", v)
+    return Kernel("k", arrays=[
+        DataArray("x", "f32", [0.1 * (i % 7) for i in range(32)]),
+        DataArray("y", "f32", [0.05 * (i % 5) for i in range(32)]),
+        DataArray("out", "f32", [0.0] * 32),
+    ], stages=[b.build()], schedule=["hot"], repeats=3)
+
+
+def _int_kernel(depth: int) -> Kernel:
+    b = LoopBuilder("hot", trip=32, elem="i16")
+    x = b.load("x")
+    y = b.load("y")
+    v = b.qadd(x, y)
+    v = deepen_int(b, v, [x, y], depth)
+    b.store("out", v)
+    return Kernel("k", arrays=[
+        DataArray("x", "i16", [(i * 31) % 200 - 100 for i in range(32)]),
+        DataArray("y", "i16", [(i * 17) % 200 - 100 for i in range(32)]),
+        DataArray("out", "i16", [0] * 32),
+    ], stages=[b.build()], schedule=["hot"], repeats=3)
+
+
+class TestRegisterNeutrality:
+    def test_float_chain_allocates_one_register(self):
+        b = LoopBuilder("hot", trip=8, elem="f32")
+        x = b.load("x")
+        before = b._next_index
+        deepen_float(b, x, [x], 25)
+        assert b._next_index == before  # fully in-place
+
+    def test_int_chain_allocates_no_registers(self):
+        b = LoopBuilder("hot", trip=8, elem="i16")
+        x = b.load("x")
+        before = b._next_index
+        deepen_int(b, x, [x], 25)
+        assert b._next_index == before
+
+    def test_chain_length_matches_request(self):
+        b = LoopBuilder("hot", trip=8, elem="f32")
+        x = b.load("x")
+        start = len(b._body)
+        deepen_float(b, x, [x], 17)
+        assert len(b._body) == start + 17
+
+
+class TestDeepenedCorrectness:
+    def test_float_chain_translates_exactly(self):
+        kernel = _float_kernel(20)
+        base = run_program(build_baseline_program(kernel))
+        liquid = run_program(build_liquid_program(kernel), width=8)
+        assert arrays_equal(base, liquid)
+        assert liquid.successful_translations == 1
+
+    def test_int_chain_translates_exactly(self):
+        kernel = _int_kernel(9)
+        base = run_program(build_baseline_program(kernel))
+        liquid = run_program(build_liquid_program(kernel), width=8)
+        assert arrays_equal(base, liquid)
+        assert liquid.successful_translations == 1
+
+    def test_float_values_stay_bounded(self):
+        kernel = _float_kernel(40)
+        result = run_program(build_baseline_program(kernel))
+        assert all(abs(v) < 1e6 for v in result.arrays["out"])
+
+    def test_int_values_stay_in_lane_range(self):
+        kernel = _int_kernel(15)
+        result = run_program(build_baseline_program(kernel))
+        assert all(-32768 <= v <= 32767 for v in result.arrays["out"])

@@ -1,0 +1,164 @@
+"""Tests for the loop-builder DSL and the scalar-work block factories."""
+
+import pytest
+
+from repro.core.scalarize.loop_ir import Kernel
+from repro.isa.instructions import Imm, Reg, VImm
+from repro.isa.program import DataArray
+from repro.kernels.dsl import LoopBuilder
+from repro.kernels.scalarwork import (
+    app_ballast,
+    chase_block,
+    chase_indices,
+    counting_block,
+    float_data,
+    int_data,
+    recurrence_block,
+    zeros,
+)
+
+from conftest import run_program
+from repro.core.scalarize import build_baseline_program
+
+
+class TestLoopBuilder:
+    def test_load_allocates_matching_bank(self):
+        b = LoopBuilder("L", trip=8, elem="f32")
+        x = b.load("A")
+        assert x.reg.startswith("vf")
+        b2 = LoopBuilder("L", trip=8, elem="i16")
+        y = b2.load("A")
+        assert y.reg.startswith("v") and not y.reg.startswith("vf")
+
+    def test_allocation_starts_at_index_2(self):
+        b = LoopBuilder("L", trip=8, elem="f32")
+        assert b.load("A").reg == "vf2"
+        assert b.load("B").reg == "vf3"
+
+    def test_out_of_registers(self):
+        b = LoopBuilder("L", trip=8, elem="f32")
+        for _ in range(12):
+            b.load("A")
+        with pytest.raises(ValueError):
+            b.load("A")
+
+    def test_inplace_reuses_register(self):
+        b = LoopBuilder("L", trip=8, elem="f32")
+        x = b.load("A")
+        y = b.mul(x, b.imm(2.0), inplace=True)
+        assert y.reg == x.reg
+
+    def test_binary_emits_correct_opcode(self):
+        b = LoopBuilder("L", trip=8, elem="i16")
+        x = b.load("A")
+        b.qadd(x, x)
+        assert b._body[-1].opcode == "vqadd"
+        b.shr(x, b.imm(2))
+        assert b._body[-1].opcode == "vshr"
+        assert b._body[-1].srcs[1] == Imm(2)
+
+    def test_lanes_builds_vimm(self):
+        b = LoopBuilder("L", trip=8, elem="f32")
+        assert b.lanes([0, -1]) == VImm((0, -1))
+
+    def test_perm_operands(self):
+        b = LoopBuilder("L", trip=8, elem="f32")
+        x = b.load("A")
+        b.rot(x, 4, 3)
+        instr = b._body[-1]
+        assert instr.opcode == "vrot"
+        assert instr.srcs[1:] == (Imm(4), Imm(3))
+
+    def test_reduce_adds_pre_and_post_once(self):
+        b = LoopBuilder("L", trip=8, elem="f32")
+        x = b.load("A")
+        b.reduce("sum", x, acc="f1", init=0.0, store_to="out")
+        b.reduce("sum", x, acc="f1")
+        loop = b.build()
+        assert len(loop.pre) == 1
+        assert len(loop.post) == 1
+        assert loop.pre[0].opcode == "fmov"
+
+    def test_int_reduce_uses_int_moves(self):
+        b = LoopBuilder("L", trip=8, elem="i16")
+        x = b.load("A")
+        b.reduce("max", x, acc="r1", init=-999, store_to="out")
+        loop = b.build()
+        assert loop.pre[0].opcode == "mov"
+        assert loop.post[0].opcode == "stw"
+
+    def test_build_validates(self):
+        b = LoopBuilder("L", trip=8, elem="f32")
+        x = b.load("A")
+        b.store("B", x)
+        loop = b.build()
+        assert loop.trip == 8
+        assert len(loop.body) == 2
+
+
+class TestDataGenerators:
+    def test_float_data_deterministic(self):
+        a = float_data("x", 32, seed=5)
+        b = float_data("x", 32, seed=5)
+        c = float_data("x", 32, seed=6)
+        assert a.values == b.values
+        assert a.values != c.values
+        assert all(-1.0 <= v <= 1.0 for v in a.values)
+
+    def test_int_data_in_range(self):
+        arr = int_data("x", 100, seed=9, lo=-50, hi=50)
+        assert all(-50 <= v < 50 for v in arr.values)
+        assert arr.elem == "i16"
+
+    def test_zeros(self):
+        assert zeros("z", 4).values == [0.0] * 4
+        assert zeros("z", 4, elem="i32").values == [0] * 4
+
+    def test_chase_indices_form_one_cycle(self):
+        arr = chase_indices("idx", 64, seed=3)
+        seen = set()
+        pos = 0
+        for _ in range(64):
+            assert pos not in seen
+            seen.add(pos)
+            pos = arr.values[pos]
+        assert pos == 0  # closed cycle covering every slot
+        assert len(seen) == 64
+
+    def test_app_ballast_is_read_only(self):
+        arr = app_ballast("tables", 1024)
+        assert arr.read_only
+        assert arr.size_bytes == 1024
+
+
+class TestScalarBlocks:
+    def _run_block(self, block, arrays=()):
+        kernel = Kernel("k", arrays=list(arrays), stages=[block],
+                        schedule=[block.name])
+        program = build_baseline_program(kernel)
+        return run_program(program)
+
+    def test_recurrence_block_runs_serially(self):
+        result = self._run_block(recurrence_block("w", 50))
+        # 50 iterations x 5 instructions + setup; entirely scalar.
+        assert result.instructions > 250
+        assert result.pipeline.simd_instructions == 0
+
+    def test_counting_block_is_cheap(self):
+        result = self._run_block(counting_block("w", 4))
+        assert result.instructions < 30
+
+    def test_chase_block_misses_when_footprint_large(self):
+        big = chase_indices("idx", 16384, seed=1)     # 64 KB > 16 KB cache
+        result = self._run_block(chase_block("w", 2000, "idx"), arrays=[big])
+        assert result.dcache.miss_rate > 0.5
+
+    def test_chase_block_hits_when_footprint_small(self):
+        small = chase_indices("idx", 512, seed=1)     # 2 KB: fits
+        result = self._run_block(chase_block("w", 2000, "idx"), arrays=[small])
+        assert result.dcache.miss_rate < 0.1
+
+    def test_blocks_validate(self):
+        for block in (recurrence_block("a", 5), counting_block("b", 5),
+                      chase_block("c", 5, "idx")):
+            block.validate()

@@ -1,0 +1,148 @@
+"""Tests for the experiment drivers (on small benchmark subsets)."""
+
+import pytest
+
+from repro.evaluation.experiments import (
+    EvalContext,
+    code_size_overhead,
+    figure6_speedups,
+    native_overhead,
+    table2_hw_cost,
+    table5_outlined_sizes,
+    table6_call_distances,
+    translation_latency_ablation,
+    ucode_cache_ablation,
+)
+from repro.evaluation import report
+
+SUBSET = ["MPEG2 Dec.", "GSM Enc."]
+
+
+@pytest.fixture(scope="module")
+def ctx():
+    return EvalContext(SUBSET)
+
+
+class TestTable2:
+    def test_reference_row(self):
+        rows = table2_hw_cost([8])
+        row = rows[0]
+        assert row["area_cells"] == 174_117
+        assert row["crit_path_gates"] == 16
+        assert row["delay_ns"] == 1.51
+        assert row["frequency_mhz"] > 650
+
+    def test_width_sweep_monotone_area(self):
+        rows = table2_hw_cost([2, 4, 8, 16])
+        areas = [r["area_cells"] for r in rows]
+        assert areas == sorted(areas)
+
+    def test_rendering(self):
+        text = report.render_table2(table2_hw_cost([8]))
+        assert "174,117" in text and "1.51" in text
+
+
+class TestTable5(object):
+    def test_sizes_reported(self, ctx):
+        rows = table5_outlined_sizes(ctx)
+        assert [r["benchmark"] for r in rows] == SUBSET
+        for row in rows:
+            assert 0 < row["mean"] <= row["max"] <= 64
+            assert row["functions"]
+
+    def test_rendering(self, ctx):
+        text = report.render_table5(table5_outlined_sizes(ctx))
+        assert "MPEG2 Dec." in text
+
+
+class TestTable6:
+    def test_distances_bucketed(self, ctx):
+        rows = table6_call_distances(ctx, width=8)
+        for row in rows:
+            total = row["lt150"] + row["lt300"] + row["gt300"]
+            assert total == len(row["distances"]) >= 1
+            assert row["mean"] > 0
+
+    def test_mpeg2_has_short_distances(self, ctx):
+        rows = {r["benchmark"]: r for r in table6_call_distances(ctx, width=8)}
+        mpeg = rows["MPEG2 Dec."]
+        gsm = rows["GSM Enc."]
+        # MPEG2 hot loops run back-to-back; GSM has real work between calls.
+        assert min(mpeg["distances"]) < min(gsm["distances"])
+        assert gsm["lt150"] == 0
+
+    def test_rendering(self, ctx):
+        text = report.render_table6(table6_call_distances(ctx, width=8))
+        assert "Mean" in text
+
+
+class TestFigure6:
+    def test_speedups_increase_with_width_generally(self, ctx):
+        rows = figure6_speedups(ctx, widths=(2, 8))
+        for row in rows:
+            assert row["speedups"][8] >= row["speedups"][2] * 0.95
+            assert row["speedups"][8] > 1.0
+
+    def test_rendering(self, ctx):
+        text = report.render_figure6(figure6_speedups(ctx, widths=(2, 8)),
+                                     (2, 8))
+        assert "w=2" in text
+
+
+class TestNativeOverhead:
+    def test_steady_state_overhead_is_zero(self, ctx):
+        rows = native_overhead(ctx, width=8)
+        for row in rows:
+            # Once translated, the injected microcode is identical to
+            # "built-in ISA support": the paper's ~0 overhead claim.
+            assert abs(row["steady_slowdown_pct"]) < 0.5
+            assert row["one_time_cycles"] >= 0
+            assert row["native_speedup"] >= row["liquid_speedup"]
+
+    def test_rendering(self, ctx):
+        text = report.render_native_overhead(native_overhead(ctx, width=8))
+        assert "Steady%" in text
+
+
+class TestCodeSize:
+    def test_overhead_below_one_percent(self, ctx):
+        rows = code_size_overhead(ctx)
+        for row in rows:
+            assert 0.0 <= row["overhead_pct"] < 1.0, row
+
+    def test_rendering(self, ctx):
+        text = report.render_code_size(code_size_overhead(ctx))
+        assert "%" in text
+
+
+class TestAblations:
+    def test_ucode_cache_sweep(self):
+        rows = ucode_cache_ablation(benchmark="MPEG2 Dec.", width=8,
+                                    entry_counts=(1, 2, 8))
+        by_entries = {r["entries"]: r for r in rows}
+        # Two hot loops: a 2+ entry cache captures the working set.
+        assert by_entries[2]["simd_run_fraction"] >= \
+            by_entries[1]["simd_run_fraction"]
+        assert by_entries[8]["evictions"] == 0
+        assert by_entries[8]["simd_run_fraction"] > 0.8
+
+    def test_translation_latency_sweep(self):
+        rows = translation_latency_ablation(
+            benchmark="GSM Enc.", width=8,
+            cycles_per_instruction=(1, 10, 100000))
+        assert rows[0]["slowdown_pct"] == 0.0
+        # Tens of cycles per instruction barely matter (the paper's claim)...
+        assert rows[1]["slowdown_pct"] < 5.0
+        # ...but a pathologically slow translator degrades to scalar.
+        assert rows[-1]["slowdown_pct"] > rows[1]["slowdown_pct"]
+
+    def test_ablation_rendering(self):
+        rows = ucode_cache_ablation(benchmark="MPEG2 Dec.", width=8,
+                                    entry_counts=(1, 8))
+        text = report.render_ablation(rows, "entries", "ucache sweep")
+        assert "ucache sweep" in text
+
+    def test_breakdown_rendering(self):
+        rows = table2_hw_cost([8])
+        text = report.render_breakdown(rows[0]["breakdown"])
+        assert "register_state" in text

@@ -1,0 +1,152 @@
+"""Tests for accelerator generations: opcode repertoires and JIT mode.
+
+The paper's two generation axes are vector width and opcode repertoire
+("the number of opcodes in the ARM SIMD instruction set went from 60 to
+more than 120" between ISA v6 and v7).  A Liquid binary using newer
+opcodes must still run — scalar — on older generations, while its basic
+loops accelerate.
+"""
+
+import pytest
+
+from repro.core.scalarize import build_baseline_program, build_liquid_program
+from repro.core.translate.translator import AbortReason
+from repro.simd.accelerator import (
+    BASIC_VECTOR_OPS,
+    FULL_VECTOR_OPS,
+    AcceleratorConfig,
+    first_generation,
+)
+from repro.system.machine import Machine, MachineConfig
+from repro.system.metrics import arrays_equal
+
+from conftest import run_program, sat_kernel, simple_kernel
+
+
+class TestRepertoireDefinitions:
+    def test_basic_is_a_strict_subset(self):
+        assert BASIC_VECTOR_OPS < FULL_VECTOR_OPS
+        # Roughly the paper's v6->v7 doubling.
+        assert len(BASIC_VECTOR_OPS) <= len(FULL_VECTOR_OPS) * 0.7
+
+    def test_unknown_ops_rejected(self):
+        with pytest.raises(ValueError):
+            AcceleratorConfig(width=8, vector_ops=frozenset({"vmagic"}))
+
+    def test_saturation_switch_removes_q_ops(self):
+        config = AcceleratorConfig(width=8, supports_saturation=False)
+        assert not config.supports_op("vqadd")
+        assert config.supports_op("vadd")
+
+    def test_first_generation_factory(self):
+        gen1 = first_generation(8)
+        assert gen1.width == 8
+        assert not gen1.supports_op("vqadd")
+        assert not gen1.supports_op("vabd")
+        assert gen1.supports_op("vadd")
+        assert all(p.period <= 8 for p in gen1.permutations)
+
+
+class TestRepertoireEnforcement:
+    def test_missing_opcode_aborts_translation(self):
+        # A min/max-using kernel on a generation without vmin/vmax.
+        from repro.kernels.dsl import LoopBuilder
+        from repro.core.scalarize.loop_ir import Kernel
+        from repro.isa.program import DataArray
+        b = LoopBuilder("hot", trip=32, elem="f32")
+        x = b.load("x")
+        b.store("out", b.min(x, b.imm(0.5)))
+        kernel = Kernel("k", arrays=[
+            DataArray("x", "f32", [0.1 * i for i in range(32)]),
+            DataArray("out", "f32", [0.0] * 32),
+        ], stages=[b.build()], schedule=["hot"], repeats=4)
+        gen1 = first_generation(8)
+        result = Machine(MachineConfig(accelerator=gen1)).run(
+            build_liquid_program(kernel))
+        assert not result.translations[0].ok
+        assert result.translations[0].reason is AbortReason.UNSUPPORTED_OPCODE
+
+    def test_old_generation_still_computes_correctly(self):
+        kernel = sat_kernel(calls=4)  # saturating: needs vqadd
+        baseline = run_program(build_baseline_program(kernel))
+        gen1 = first_generation(8)
+        result = Machine(MachineConfig(accelerator=gen1)).run(
+            build_liquid_program(kernel))
+        assert arrays_equal(baseline, result)
+        assert result.functions["hot_fn"].simd_runs == 0  # stayed scalar
+
+    def test_basic_loops_accelerate_on_old_generation(self):
+        kernel = simple_kernel(calls=6)  # add/mul only: in BASIC set
+        gen1 = first_generation(8)
+        result = Machine(MachineConfig(accelerator=gen1)).run(
+            build_liquid_program(kernel))
+        assert result.successful_translations == 1
+        assert result.functions["hot_fn"].simd_runs > 0
+
+
+class TestSoftwareTranslation:
+    def test_mode_validation(self):
+        with pytest.raises(ValueError):
+            MachineConfig(translation_mode="firmware")
+
+    def test_jit_produces_identical_results(self):
+        kernel = simple_kernel(calls=8)
+        liquid = build_liquid_program(kernel)
+        hw = run_program(liquid, width=8)
+        sw = run_program(liquid, width=8, translation_mode="software")
+        assert arrays_equal(hw, sw)
+        assert sw.functions["hot_fn"].simd_runs > 0
+
+    def test_jit_costs_core_cycles(self):
+        kernel = simple_kernel(calls=8)
+        liquid = build_liquid_program(kernel)
+        hw = run_program(liquid, width=8)
+        sw = run_program(liquid, width=8, translation_mode="software",
+                         software_cycles_per_instruction=100)
+        assert sw.cycles > hw.cycles
+
+    def test_jit_microcode_available_immediately(self):
+        # The JIT blocks until done, so even back-to-back calls hit.
+        kernel = simple_kernel(calls=3)
+        liquid = build_liquid_program(kernel)
+        sw = run_program(liquid, width=8, translation_mode="software")
+        assert sw.functions["hot_fn"].scalar_runs == 1
+        assert sw.functions["hot_fn"].simd_runs == 2
+
+    def test_comparison_experiment(self):
+        from repro.evaluation import software_translation_comparison
+        rows = software_translation_comparison(("LU",), width=8)
+        row = rows[0]
+        assert row["software_cycles"] >= row["hardware_cycles"]
+        assert row["jit_cost_pct"] < 15.0  # one-time cost stays small
+        assert row["hw_simd_runs"] <= row["sw_simd_runs"] + 4
+
+
+class TestObservationPoint:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MachineConfig(observation_point="rename")
+
+    def test_decode_mode_translates_data_parallel_loops(self):
+        kernel = simple_kernel(calls=6)
+        liquid = build_liquid_program(kernel)
+        result = run_program(liquid, width=8, observation_point="decode")
+        assert result.successful_translations == 1
+        assert result.functions["hot_fn"].simd_runs > 0
+
+    def test_decode_mode_rejects_permutations(self):
+        from conftest import perm_kernel
+        liquid = build_liquid_program(perm_kernel(calls=4, period=4))
+        result = run_program(liquid, width=8, observation_point="decode")
+        assert result.successful_translations == 0
+        retire = run_program(liquid, width=8)
+        assert retire.successful_translations == 1
+
+    def test_decode_mode_is_correct_regardless(self):
+        from conftest import perm_kernel
+        from repro.core.scalarize import build_baseline_program
+        kernel = perm_kernel(calls=4, period=4)
+        base = run_program(build_baseline_program(kernel))
+        decode = run_program(build_liquid_program(kernel), width=8,
+                             observation_point="decode")
+        assert arrays_equal(base, decode)

@@ -1,0 +1,52 @@
+"""Slow integration tests: every benchmark, cross-binary equivalence.
+
+Marked ``slow``; run with ``pytest -m slow`` (or plain ``pytest``, they
+are included by default) — each case simulates one full benchmark.
+The cheaper per-benchmark checks live in test_kernel_suite.py; this
+module is the exhaustive sweep across the whole suite at one width.
+"""
+
+import pytest
+
+from repro.core.scalarize import build_baseline_program, build_liquid_program
+from repro.kernels.suite import BENCHMARK_ORDER, build_kernel
+from repro.system.metrics import arrays_equal
+
+from conftest import run_program
+
+#: The heavyweights are exercised at reduced strength elsewhere; keep the
+#: in-suite sweep under ~1 minute by skipping only the slowest simulation.
+SWEEP = [name for name in BENCHMARK_ORDER if name != "179.art"]
+
+
+@pytest.mark.parametrize("name", SWEEP)
+def test_benchmark_liquid_matches_baseline_w16(name):
+    kernel = build_kernel(name)
+    # Correctness does not depend on how often the pattern repeats; trim
+    # the schedule so the sweep stays fast (full-length runs are the
+    # benchmark harness's job).
+    kernel.repeats = min(kernel.repeats, 3)
+    baseline = run_program(build_baseline_program(kernel))
+    liquid = run_program(build_liquid_program(kernel), width=16)
+    assert arrays_equal(baseline, liquid), name
+    assert liquid.cycles < baseline.cycles, name
+
+
+def test_art_liquid_matches_baseline_w16():
+    kernel = build_kernel("179.art")
+    # Trim the schedule for test-suite latency; correctness is unaffected.
+    kernel.repeats = 2
+    baseline = run_program(build_baseline_program(kernel))
+    liquid = run_program(build_liquid_program(kernel), width=16)
+    assert arrays_equal(baseline, liquid)
+
+
+@pytest.mark.parametrize("name", ["FFT", "101.tomcatv", "172.mgrid",
+                                  "093.nasa7", "MPEG2 Dec."])
+def test_permutation_benchmarks_abort_cleanly_when_too_narrow(name):
+    """Width-2 machines lack the wide permutations; loops stay scalar."""
+    kernel = build_kernel(name)
+    kernel.repeats = min(kernel.repeats, 2)
+    baseline = run_program(build_baseline_program(kernel))
+    liquid = run_program(build_liquid_program(kernel), width=2)
+    assert arrays_equal(baseline, liquid), name

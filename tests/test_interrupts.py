@@ -1,0 +1,53 @@
+"""Tests for external aborts (context switches) during translation.
+
+The paper: "there is an abort signal from the base pipeline to stop
+translation in the event of a context switch or other interrupt".
+Unlike rule violations, these aborts are transient — the machine retries
+the translation on a later call.
+"""
+
+from repro.core.scalarize import build_liquid_program
+from repro.core.translate.translator import AbortReason
+from repro.system.metrics import arrays_equal
+
+from conftest import run_program, simple_kernel
+
+
+class TestInterruptAborts:
+    def test_constant_interrupts_keep_program_correct(self):
+        kernel = simple_kernel(calls=10)
+        liquid = build_liquid_program(kernel)
+        normal = run_program(liquid, width=8)
+        noisy = run_program(liquid, width=8, interrupt_interval=400)
+        assert arrays_equal(normal, noisy)
+
+    def test_frequent_interrupts_force_scalar_execution(self):
+        kernel = simple_kernel(calls=10)
+        liquid = build_liquid_program(kernel)
+        noisy = run_program(liquid, width=8, interrupt_interval=400)
+        # Translation of this loop takes >400 cycles, so every attempt
+        # is externally aborted and all calls run scalar.
+        assert noisy.functions["hot_fn"].simd_runs == 0
+        assert all(t.reason is AbortReason.EXTERNAL
+                   for t in noisy.translations)
+
+    def test_external_aborts_are_retried_not_blacklisted(self):
+        kernel = simple_kernel(calls=10)
+        liquid = build_liquid_program(kernel)
+        noisy = run_program(liquid, width=8, interrupt_interval=400)
+        # One attempt per call: the machine kept retrying.
+        assert len(noisy.translations) == 10
+
+    def test_rare_interrupts_eventually_translate(self):
+        kernel = simple_kernel(calls=10)
+        liquid = build_liquid_program(kernel)
+        result = run_program(liquid, width=8, interrupt_interval=100_000)
+        assert result.successful_translations >= 1
+        assert result.functions["hot_fn"].simd_runs > 0
+
+    def test_interrupted_runs_cost_more_cycles(self):
+        kernel = simple_kernel(calls=10)
+        liquid = build_liquid_program(kernel)
+        normal = run_program(liquid, width=8)
+        noisy = run_program(liquid, width=8, interrupt_interval=400)
+        assert noisy.cycles > normal.cycles

@@ -1,0 +1,180 @@
+"""Unit tests for the two-pass assembler."""
+
+import pytest
+
+from repro.isa.assembler import AssemblerError, assemble
+from repro.isa.instructions import Imm, Mem, Reg, Sym, VImm
+
+
+class TestBasics:
+    def test_empty_program(self):
+        program = assemble("")
+        assert len(program) == 0
+
+    def test_simple_instruction(self):
+        program = assemble("add r1, r2, #3")
+        instr = program.instructions[0]
+        assert instr.opcode == "add"
+        assert instr.dst == Reg("r1")
+        assert instr.srcs == (Reg("r2"), Imm(3))
+
+    def test_comments_stripped(self):
+        program = assemble("""
+            ; full line comment
+            mov r0, #0      ; trailing
+            add r0, r0, #1  # hash comment
+        """)
+        assert len(program) == 2
+
+    def test_hash_immediate_not_a_comment(self):
+        program = assemble("mov r0, #5")
+        assert program.instructions[0].srcs == (Imm(5),)
+
+    def test_negative_and_hex_immediates(self):
+        program = assemble("mov r0, #-3\nmov r1, #0xFF")
+        assert program.instructions[0].srcs == (Imm(-3),)
+        assert program.instructions[1].srcs == (Imm(255),)
+
+    def test_float_immediate(self):
+        program = assemble("fmov f0, #1.5")
+        assert program.instructions[0].srcs == (Imm(1.5),)
+
+    def test_labels_and_branches(self):
+        program = assemble("""
+        main:
+            mov r0, #0
+        loop:
+            add r0, r0, #1
+            cmp r0, #4
+            blt loop
+            halt
+        """)
+        assert program.label_index("loop") == 1
+        assert program.instructions[3].target == "loop"
+
+    def test_undefined_label_rejected(self):
+        with pytest.raises(AssemblerError):
+            assemble("b nowhere")
+
+    def test_duplicate_label_rejected(self):
+        with pytest.raises(AssemblerError):
+            assemble("x:\nnop\nx:\nnop")
+
+    def test_unknown_opcode(self):
+        with pytest.raises(AssemblerError) as err:
+            assemble("frob r1, r2")
+        assert "line 1" in str(err.value)
+
+
+class TestMemoryOperands:
+    def test_symbol_plus_register(self):
+        program = assemble(".data A f32 4 = 0.0\nldf f0, [A + r1]")
+        mem = program.instructions[0].mem
+        assert mem == Mem(base=Sym("A"), index=Reg("r1"))
+
+    def test_register_base(self):
+        program = assemble("ldw r1, [r2 + #4]")
+        mem = program.instructions[0].mem
+        assert mem == Mem(base=Reg("r2"), index=Imm(4))
+
+    def test_bare_base(self):
+        program = assemble(".data A i32 1 = 0\nldw r1, [A]")
+        assert program.instructions[0].mem.index is None
+
+    def test_store_value_then_mem(self):
+        program = assemble(".data A i32 4 = 0\nstw r3, [A + r0]")
+        instr = program.instructions[0]
+        assert instr.srcs == (Reg("r3"),)
+        assert instr.mem.base == Sym("A")
+
+    def test_load_elem_inferred_from_opcode(self):
+        program = assemble(".data A i16 2 = 0\nldh r1, [A + r0]")
+        assert program.instructions[0].elem == "i16"
+
+    def test_bad_memory_operand(self):
+        with pytest.raises(AssemblerError):
+            assemble("ldw r1, [1 + 2 + 3]")
+
+
+class TestCmpAndConditionals:
+    def test_cmp_has_no_destination(self):
+        program = assemble("cmp r1, #5")
+        instr = program.instructions[0]
+        assert instr.dst is None
+        assert instr.srcs == (Reg("r1"), Imm(5))
+        assert set(instr.reads()) == {"r1"}
+
+    def test_conditional_move(self):
+        program = assemble("movgt r1, #9")
+        instr = program.instructions[0]
+        assert instr.dst == Reg("r1")
+
+
+class TestVectorSyntax:
+    def test_elem_suffix(self):
+        program = assemble("vadd.i16 v1, v2, v3")
+        instr = program.instructions[0]
+        assert instr.opcode == "vadd"
+        assert instr.elem == "i16"
+
+    def test_unknown_elem_suffix(self):
+        with pytest.raises(AssemblerError):
+            assemble("vadd.q7 v1, v2, v3")
+
+    def test_vector_load(self):
+        program = assemble(".data A f32 8 = 0.0\nvld.f32 vf0, [A + r0]")
+        instr = program.instructions[0]
+        assert instr.dst == Reg("vf0")
+        assert instr.elem == "f32"
+
+    def test_vector_immediate(self):
+        program = assemble("vand.i32 v1, v2, #<1, 2, 3, 4>")
+        instr = program.instructions[0]
+        assert instr.srcs[1] == VImm((1, 2, 3, 4))
+
+    def test_scalar_opcode_rejects_vector_register(self):
+        with pytest.raises(AssemblerError):
+            assemble("add v1, v2, v3")
+
+    def test_perm_with_period(self):
+        program = assemble("vbfly.f32 vf1, vf2, #8")
+        assert program.instructions[0].srcs[1] == Imm(8)
+
+
+class TestDataDirectives:
+    def test_data_fill(self):
+        program = assemble(".data A f32 4 = 1.5")
+        assert program.data["A"].values == [1.5] * 4
+
+    def test_data_explicit_values(self):
+        program = assemble(".data A i32 = 1, 2, 3")
+        assert program.data["A"].values == [1, 2, 3]
+
+    def test_rodata_flag(self):
+        program = assemble(".rodata K i32 = 7")
+        assert program.data["K"].read_only
+
+    def test_zero_default(self):
+        program = assemble(".data A i16 5")
+        assert program.data["A"].values == [0] * 5
+
+    def test_count_mismatch_rejected(self):
+        with pytest.raises(AssemblerError):
+            assemble(".data A i32 2 = 1, 2, 3")
+
+    def test_duplicate_symbol_rejected(self):
+        with pytest.raises(AssemblerError):
+            assemble(".data A i32 1 = 0\n.data A i32 1 = 0")
+
+    def test_entry_directive(self):
+        program = assemble(".entry start\nstart:\nnop")
+        assert program.entry == "start"
+
+    def test_unknown_directive(self):
+        with pytest.raises(AssemblerError):
+            assemble(".weird stuff")
+
+    def test_default_entry_is_main(self):
+        program = assemble("nop")
+        assert program.entry == "main"
+        assert program.label_index("main") == 0

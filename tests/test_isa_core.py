@@ -1,0 +1,186 @@
+"""Unit tests for instructions, opcodes, and the Program container."""
+
+import pytest
+
+from repro.isa.instructions import Imm, Instruction, Mem, Reg, Sym, VImm
+from repro.isa.opcodes import (
+    ELEM_SIZES,
+    LOAD_ELEM,
+    LOAD_FOR_ELEM,
+    OPCODES,
+    STORE_ELEM,
+    STORE_FOR_ELEM,
+    InstrClass,
+    is_branch,
+    is_call,
+    is_conditional_branch,
+    is_load,
+    is_store,
+    is_vector_op,
+    spec,
+)
+from repro.isa.program import DataArray, Program, copy_program
+
+
+class TestInstructionModel:
+    def test_reads_collects_sources_and_address_regs(self):
+        instr = Instruction("add", dst=Reg("r1"), srcs=(Reg("r2"), Reg("r3")))
+        assert instr.reads() == ("r2", "r3")
+        assert instr.writes() == ("r1",)
+
+    def test_reads_includes_memory_operands(self):
+        instr = Instruction("ldw", dst=Reg("r1"),
+                            mem=Mem(base=Reg("r4"), index=Reg("r5")))
+        assert set(instr.reads()) == {"r4", "r5"}
+
+    def test_sym_base_not_a_register_read(self):
+        instr = Instruction("ldw", dst=Reg("r1"),
+                            mem=Mem(base=Sym("A"), index=Reg("r0")))
+        assert instr.reads() == ("r0",)
+
+    def test_store_has_no_writes(self):
+        instr = Instruction("stw", srcs=(Reg("r2"),),
+                            mem=Mem(base=Sym("A"), index=Reg("r0")))
+        assert instr.writes() == ()
+
+    def test_immutable(self):
+        instr = Instruction("nop")
+        with pytest.raises(Exception):
+            instr.opcode = "halt"
+
+    def test_with_comment(self):
+        instr = Instruction("nop").with_comment("hello")
+        assert instr.comment == "hello"
+        assert instr.opcode == "nop"
+
+    def test_format_scalar(self):
+        instr = Instruction("add", dst=Reg("r1"), srcs=(Reg("r2"), Imm(3)))
+        assert str(instr) == "add r1, r2, #3"
+
+    def test_format_vector_with_elem(self):
+        instr = Instruction("vadd", dst=Reg("v1"), srcs=(Reg("v2"), Reg("v3")),
+                            elem="i16")
+        assert str(instr).startswith("vadd.i16 v1, v2, v3")
+
+    def test_format_memory(self):
+        instr = Instruction("ldf", dst=Reg("f0"),
+                            mem=Mem(base=Sym("A"), index=Reg("r0")))
+        assert "[A + r0]" in str(instr)
+
+    def test_format_vimm(self):
+        instr = Instruction("vand", dst=Reg("v1"),
+                            srcs=(Reg("v2"), VImm((1, 2))), elem="i32")
+        assert "#<1,2>" in str(instr)
+
+
+class TestOpcodeTable:
+    def test_all_specs_have_matching_names(self):
+        for name, op_spec in OPCODES.items():
+            assert op_spec.name == name
+
+    def test_class_predicates(self):
+        assert is_load("ldw") and is_load("vld")
+        assert is_store("stb") and is_store("vst")
+        assert is_branch("blt") and not is_branch("bl")
+        assert is_conditional_branch("bge") and not is_conditional_branch("b")
+        assert is_call("bl") and is_call("blo")
+        assert is_vector_op("vqadd") and not is_vector_op("add")
+
+    def test_flag_metadata(self):
+        assert OPCODES["cmp"].sets_flags
+        assert OPCODES["movgt"].reads_flags
+        assert not OPCODES["mov"].reads_flags
+        assert OPCODES["beq"].reads_flags
+
+    def test_spec_lookup(self):
+        assert spec("mul").cls is InstrClass.MUL
+        with pytest.raises(KeyError):
+            spec("frobnicate")
+
+    def test_elem_tables_consistent(self):
+        for elem, size in ELEM_SIZES.items():
+            assert size in (1, 2, 4)
+            assert LOAD_FOR_ELEM[elem] in LOAD_ELEM
+            assert STORE_FOR_ELEM[elem] in STORE_ELEM
+
+    def test_load_elem_signedness(self):
+        assert LOAD_ELEM["ldb"] == ("i8", True)
+        assert LOAD_ELEM["ldub"] == ("i8", False)
+        assert LOAD_ELEM["ldf"] == ("f32", True)
+
+    def test_conditional_moves_exist_for_all_conditions(self):
+        for cond in ("eq", "ne", "lt", "le", "gt", "ge"):
+            assert f"mov{cond}" in OPCODES
+            assert f"fmov{cond}" in OPCODES
+            assert f"b{cond}" in OPCODES
+
+
+class TestProgram:
+    def _program(self) -> Program:
+        program = Program("p")
+        program.mark_label("main")
+        program.emit(Instruction("mov", dst=Reg("r0"), srcs=(Imm(0),)))
+        program.mark_label("fn")
+        program.emit(Instruction("nop"))
+        program.emit(Instruction("ret"))
+        return program
+
+    def test_labels_and_lookup(self):
+        program = self._program()
+        assert program.label_index("main") == 0
+        assert program.label_index("fn") == 1
+        with pytest.raises(KeyError):
+            program.label_index("nope")
+
+    def test_duplicate_label_rejected(self):
+        program = self._program()
+        with pytest.raises(ValueError):
+            program.mark_label("main")
+
+    def test_function_body(self):
+        program = self._program()
+        body = program.function_body("fn")
+        assert len(body) == 2
+        assert body[-1].opcode == "ret"
+
+    def test_function_body_without_ret_raises(self):
+        program = Program("p")
+        program.mark_label("f")
+        program.emit(Instruction("nop"))
+        with pytest.raises(ValueError):
+            program.function_body("f")
+
+    def test_data_arrays(self):
+        program = Program("p")
+        arr = program.add_array(DataArray("A", "f32", [1.0, 2.0]))
+        assert arr.size_bytes == 8
+        assert len(program.data["A"]) == 2
+        with pytest.raises(ValueError):
+            program.add_array(DataArray("A", "f32", [0.0]))
+
+    def test_data_array_rejects_bad_elem(self):
+        with pytest.raises(ValueError):
+            DataArray("A", "f64", [0.0])
+
+    def test_unique_names(self):
+        program = Program("p")
+        program.add_array(DataArray("tmp", "i32", [0]))
+        assert program.unique_symbol("tmp") == "tmp_1"
+        program.mark_label("L")
+        assert program.unique_label("L") == "L_1"
+        assert program.unique_label("M") == "M"
+
+    def test_listing_mentions_labels_and_data(self):
+        program = self._program()
+        program.add_array(DataArray("A", "i16", [1, 2, 3], read_only=True))
+        listing = program.listing()
+        assert "main:" in listing and "fn:" in listing
+        assert "read-only" in listing
+
+    def test_copy_program_isolates_data(self):
+        program = self._program()
+        program.add_array(DataArray("A", "i32", [1, 2]))
+        clone = copy_program(program)
+        clone.data["A"].values[0] = 99
+        assert program.data["A"].values[0] == 1
+        assert clone.labels == program.labels

@@ -1,0 +1,103 @@
+"""Tests for binary encoding: round-trips and architectural size accounting."""
+
+import pytest
+
+from repro.core.scalarize import build_baseline_program, build_liquid_program
+from repro.isa.assembler import assemble
+from repro.isa.encoding import (
+    INSTRUCTION_BYTES,
+    decode_instruction,
+    decode_program,
+    encode_instruction,
+    encode_program,
+    encoded_size,
+)
+from repro.isa.instructions import Imm, Instruction, Mem, Reg, Sym, VImm
+
+from conftest import simple_kernel
+
+
+_SAMPLES = [
+    Instruction("nop"),
+    Instruction("halt"),
+    Instruction("mov", dst=Reg("r0"), srcs=(Imm(0),)),
+    Instruction("fmov", dst=Reg("f1"), srcs=(Imm(2.5),)),
+    Instruction("add", dst=Reg("r1"), srcs=(Reg("r2"), Imm(-7))),
+    Instruction("cmp", srcs=(Reg("r0"), Imm(128))),
+    Instruction("blt", target="loop"),
+    Instruction("bl", target="fn"),
+    Instruction("ldf", dst=Reg("f0"),
+                mem=Mem(base=Sym("A"), index=Reg("r0")), elem="f32"),
+    Instruction("stw", srcs=(Reg("r3"),),
+                mem=Mem(base=Reg("r4"), index=Imm(2)), elem="i32"),
+    Instruction("vadd", dst=Reg("v1"), srcs=(Reg("v2"), Reg("v3")), elem="i16"),
+    Instruction("vand", dst=Reg("vf1"),
+                srcs=(Reg("vf2"), VImm((0, -1, 0, -1))), elem="f32"),
+    Instruction("vmul", dst=Reg("vf1"),
+                srcs=(Reg("vf2"), VImm((0.5, 1.5))), elem="f32"),
+    Instruction("vbfly", dst=Reg("vf1"), srcs=(Reg("vf1"), Imm(8)), elem="f32"),
+    Instruction("vredsum", dst=Reg("f1"), srcs=(Reg("f1"), Reg("vf3")),
+                elem="f32"),
+]
+
+
+class TestInstructionRoundTrip:
+    @pytest.mark.parametrize("instr", _SAMPLES, ids=lambda i: str(i)[:30])
+    def test_roundtrip(self, instr):
+        assert decode_instruction(encode_instruction(instr)) == instr
+
+
+class TestProgramRoundTrip:
+    def test_assembled_program_roundtrips(self):
+        program = assemble("""
+        .data A f32 8 = 1.0
+        .rodata K i32 = 1, -2, 3
+        main:
+            mov r0, #0
+        loop:
+            ldf f0, [A + r0]
+            fmul f0, f0, #2.0
+            stf f0, [A + r0]
+            add r0, r0, #1
+            cmp r0, #8
+            blt loop
+            halt
+        """)
+        clone = decode_program(encode_program(program))
+        assert clone.instructions == program.instructions
+        assert clone.labels == program.labels
+        assert clone.entry == program.entry
+        assert clone.data["K"].read_only
+        assert clone.data["A"].values == program.data["A"].values
+
+    def test_liquid_program_roundtrips(self):
+        program = build_liquid_program(simple_kernel())
+        clone = decode_program(encode_program(program))
+        assert clone.instructions == program.instructions
+        assert clone.outlined_functions == program.outlined_functions
+
+    def test_bad_magic_rejected(self):
+        with pytest.raises(ValueError):
+            decode_program(b"NOPE" + b"\x00" * 32)
+
+
+class TestArchitecturalSize:
+    def test_code_is_four_bytes_per_instruction(self):
+        program = assemble("nop\nnop\nnop")
+        assert encoded_size(program) == 3 * INSTRUCTION_BYTES
+
+    def test_data_counted(self):
+        program = assemble(".data A i16 10\nnop")
+        assert encoded_size(program) == 4 + 20
+
+    def test_mvl_alignment_pads_arrays(self):
+        program = assemble(".data A i16 10\nnop")
+        # 10 elements pad to 16 under MVL=16.
+        assert encoded_size(program, mvl=16) == 4 + 16 * 2
+
+    def test_alignment_is_one_source_of_liquid_overhead(self):
+        kernel = simple_kernel()
+        baseline = build_baseline_program(kernel)
+        liquid = build_liquid_program(kernel)
+        # Same data; liquid adds the blo/ret pair.
+        assert encoded_size(liquid, mvl=16) > encoded_size(baseline, mvl=1)

@@ -1,0 +1,117 @@
+"""Unit tests for register naming, banks, and the register file."""
+
+import pytest
+
+from repro.isa import registers as R
+
+
+class TestNaming:
+    def test_int_reg_names(self):
+        assert R.int_reg(0) == "r0"
+        assert R.int_reg(15) == "r15"
+
+    def test_float_reg_names(self):
+        assert R.float_reg(3) == "f3"
+
+    def test_int_reg_out_of_range(self):
+        with pytest.raises(ValueError):
+            R.int_reg(16)
+        with pytest.raises(ValueError):
+            R.float_reg(-1)
+
+    def test_bank_predicates(self):
+        assert R.is_int_reg("r7")
+        assert not R.is_int_reg("f7")
+        assert R.is_float_reg("f7")
+        assert R.is_scalar_reg("r7") and R.is_scalar_reg("f7")
+        assert not R.is_scalar_reg("v7")
+        assert R.is_vector_reg("v7") and R.is_vector_reg("vf7")
+        assert not R.is_vector_reg("r7")
+
+    def test_reg_index(self):
+        assert R.reg_index("r12") == 12
+        assert R.reg_index("f0") == 0
+        assert R.reg_index("v5") == 5
+        assert R.reg_index("vf11") == 11
+
+    def test_reg_index_rejects_garbage(self):
+        for bad in ("x3", "r", "vfx", "r16", "v99"):
+            with pytest.raises(ValueError):
+                R.reg_index(bad)
+
+    def test_vector_mapping_is_index_preserving(self):
+        assert R.vector_reg_for("r3") == "v3"
+        assert R.vector_reg_for("f3") == "vf3"
+
+    def test_vector_mapping_roundtrip(self):
+        for i in range(16):
+            assert R.scalar_reg_for(R.vector_reg_for(f"r{i}")) == f"r{i}"
+            assert R.scalar_reg_for(R.vector_reg_for(f"f{i}")) == f"f{i}"
+
+    def test_vector_reg_for_rejects_vectors(self):
+        with pytest.raises(ValueError):
+            R.vector_reg_for("v3")
+
+    def test_link_register_is_r14(self):
+        assert R.LINK_REGISTER == "r14"
+
+
+class TestRegisterFile:
+    def test_initial_values_are_zero(self):
+        rf = R.RegisterFile()
+        assert rf.read("r5") == 0
+        assert rf.read("f5") == 0.0
+
+    def test_write_read_int(self):
+        rf = R.RegisterFile()
+        rf.write("r1", 42)
+        assert rf.read("r1") == 42
+
+    def test_int_wraps_to_signed_32(self):
+        rf = R.RegisterFile()
+        rf.write("r1", 0x80000000)
+        assert rf.read("r1") == -(1 << 31)
+        rf.write("r1", 0xFFFFFFFF)
+        assert rf.read("r1") == -1
+        rf.write("r1", 1 << 32)
+        assert rf.read("r1") == 0
+
+    def test_write_read_float(self):
+        rf = R.RegisterFile()
+        rf.write("f2", 1.5)
+        assert rf.read("f2") == 1.5
+
+    def test_unknown_register_raises(self):
+        rf = R.RegisterFile()
+        with pytest.raises(KeyError):
+            rf.read("v2")
+        with pytest.raises(KeyError):
+            rf.write("zz", 1)
+
+    def test_flags(self):
+        rf = R.RegisterFile()
+        rf.set_flags(1, 2)
+        assert rf.flag("lt") and not rf.flag("eq") and not rf.flag("gt")
+        rf.set_flags(2, 2)
+        assert rf.flag("eq") and not rf.flag("lt")
+        rf.set_flags(3, 2)
+        assert rf.flag("gt")
+
+    def test_snapshot_contains_both_banks(self):
+        rf = R.RegisterFile()
+        rf.write("r3", 7)
+        rf.write("f4", 2.5)
+        snap = rf.snapshot()
+        assert snap["r3"] == 7
+        assert snap["f4"] == 2.5
+        assert len(snap) == 32
+
+
+class TestWrapHelpers:
+    def test_wrap32(self):
+        assert R.wrap32(0x7FFFFFFF) == 0x7FFFFFFF
+        assert R.wrap32(0x80000000) == -(1 << 31)
+
+    def test_unsigned32(self):
+        assert R.unsigned32(-1) == 0xFFFFFFFF
+        assert R.unsigned32(5) == 5

@@ -1,0 +1,112 @@
+"""Tests for the fifteen benchmark kernels and their structural properties."""
+
+import pytest
+
+from repro.core.scalarize import build_baseline_program, build_liquid_program
+from repro.kernels.suite import BENCHMARK_ORDER, BENCHMARKS, all_kernels, build_kernel
+from repro.system.metrics import arrays_equal, outlined_function_sizes
+
+from conftest import run_program
+
+#: Benchmarks cheap enough to simulate inside the unit-test suite.
+FAST = ["MPEG2 Dec.", "MPEG2 Enc.", "GSM Dec.", "GSM Enc.", "FFT", "LU"]
+
+
+class TestRegistry:
+    def test_all_fifteen_present(self):
+        assert len(BENCHMARK_ORDER) == 15
+        assert set(BENCHMARK_ORDER) == set(BENCHMARKS)
+
+    def test_paper_names(self):
+        for expected in ("171.swim", "179.art", "MPEG2 Dec.", "GSM Enc.",
+                         "FIR", "FFT", "LU"):
+            assert expected in BENCHMARKS
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(KeyError):
+            build_kernel("197.parser")
+
+    def test_all_kernels_validate(self):
+        kernels = all_kernels()
+        assert len(kernels) == 15
+        for kernel in kernels:
+            assert kernel.simd_loops, f"{kernel.name} has no hot loops"
+            assert kernel.schedule
+            assert kernel.repeats >= 2  # hot loops must be called repeatedly
+
+    def test_kernels_are_freshly_built(self):
+        a = build_kernel("FIR")
+        b = build_kernel("FIR")
+        assert a is not b
+        a.arrays[0].values[0] = 999.0
+        assert b.arrays[0].values[0] != 999.0
+
+
+class TestStructuralProperties:
+    def test_outlined_functions_fit_microcode_buffer(self):
+        """Every hot loop must fit the 64-instruction buffer (Table 5)."""
+        for name in BENCHMARK_ORDER:
+            liquid = build_liquid_program(build_kernel(name))
+            for fn, size in outlined_function_sizes(liquid).items():
+                assert size <= 64, f"{name}/{fn} = {size} instructions"
+
+    def test_every_benchmark_has_multiple_hot_loop_calls(self):
+        for name in BENCHMARK_ORDER:
+            kernel = build_kernel(name)
+            loops = {s.name for s in kernel.simd_loops}
+            per_pattern = sum(kernel.schedule.count(n) for n in loops)
+            assert per_pattern * kernel.repeats >= 2
+
+    def test_mpeg2_decode_uses_8_element_rows(self):
+        kernel = build_kernel("MPEG2 Dec.")
+        assert all(loop.trip == 8 for loop in kernel.simd_loops)
+
+    def test_art_arrays_exceed_data_cache(self):
+        kernel = build_kernel("179.art")
+        total = sum(a.size_bytes for a in kernel.arrays)
+        assert total > 16 * 1024  # cache-hostile by design
+
+    def test_fft_scalarizes_into_two_loops(self):
+        from repro.core.scalarize import scalarize_loop
+        kernel = build_kernel("FFT")
+        stage = kernel.stage("fft_stage")
+        scalarized = scalarize_loop(stage, mvl=16)
+        assert len(scalarized.segments) == 2  # the paper's fissioned pair
+        names = {a.name for a in scalarized.new_arrays}
+        assert any("bfly" in n for n in names)
+        assert any("mask" in n for n in names)
+        assert any("tmp" in n for n in names)
+
+
+@pytest.mark.parametrize("name", FAST)
+class TestFastBenchmarksEndToEnd:
+    def test_liquid_matches_baseline_w8(self, name):
+        kernel = build_kernel(name)
+        r_base = run_program(build_baseline_program(kernel))
+        r_liquid = run_program(build_liquid_program(kernel), width=8)
+        assert arrays_equal(r_base, r_liquid)
+        assert r_liquid.cycles < r_base.cycles
+
+    def test_all_hot_loops_translate_at_w8(self, name):
+        kernel = build_kernel(name)
+        result = run_program(build_liquid_program(kernel), width=8)
+        failed = [t for t in result.translations if not t.ok]
+        assert not failed, [(t.function, t.reason) for t in failed]
+
+
+class TestPaperShapeInvariants:
+    def test_mpeg2_decode_saturates_at_width_8(self):
+        kernel = build_kernel("MPEG2 Dec.")
+        liquid = build_liquid_program(kernel)
+        w8 = run_program(liquid, width=8)
+        w16 = run_program(liquid, width=16)
+        # Widening past the 8-element rows buys (almost) nothing.
+        assert abs(w16.cycles - w8.cycles) / w8.cycles < 0.02
+        for t in w16.translations:
+            assert t.entry.width == 8
+
+    def test_gsm_frames_cap_effective_width_at_32(self):
+        kernel = build_kernel("GSM Dec.")  # trip 160 = 32 * 5
+        result = run_program(build_liquid_program(kernel), width=16)
+        for t in result.translations:
+            assert t.ok and t.entry.width == 16

@@ -1,0 +1,121 @@
+"""Tests for the loader, symbol table, and run-result metrics."""
+
+import pytest
+
+from repro.interp.state import SymbolInfo, SymbolTable
+from repro.isa.assembler import assemble
+from repro.memory.memory import MemoryProtectionError
+from repro.system.loader import DATA_BASE, load_program, snapshot_arrays
+from repro.system.metrics import FunctionStats, array_mismatches, arrays_equal
+
+from conftest import run_program, simple_kernel
+from repro.core.scalarize import build_baseline_program
+
+
+class TestSymbolTable:
+    def test_add_lookup(self):
+        table = SymbolTable()
+        table.add(SymbolInfo("A", 0x100, "f32", 8))
+        assert table.address_of("A") == 0x100
+        assert "A" in table
+        assert "B" not in table
+
+    def test_duplicate_rejected(self):
+        table = SymbolTable()
+        table.add(SymbolInfo("A", 0x100, "f32", 8))
+        with pytest.raises(ValueError):
+            table.add(SymbolInfo("A", 0x200, "f32", 8))
+
+    def test_missing_symbol(self):
+        with pytest.raises(KeyError):
+            SymbolTable().lookup("nope")
+
+
+class TestLoader:
+    PROGRAM = """
+    .data A f32 10 = 1.5
+    .rodata K i32 = 7, 8, 9
+    .data B i8 3 = 1, 2, 3
+    main:
+        halt
+    """
+
+    def test_data_placed_and_readable(self):
+        program = assemble(self.PROGRAM)
+        memory, symbols = load_program(program, mvl=16)
+        a = symbols.lookup("A")
+        assert memory.load(a.addr, "f32") == 1.5
+        k = symbols.lookup("K")
+        assert memory.load_vector(k.addr, "i32", 3) == [7, 8, 9]
+
+    def test_arrays_aligned_to_mvl(self):
+        program = assemble(self.PROGRAM)
+        _, symbols = load_program(program, mvl=16)
+        assert symbols.address_of("A") % (16 * 4) == 0
+        assert symbols.address_of("K") % (16 * 4) == 0
+        assert symbols.address_of("B") % 32 == 0  # at least line-aligned
+
+    def test_data_base(self):
+        program = assemble(self.PROGRAM)
+        _, symbols = load_program(program)
+        assert symbols.address_of("A") >= DATA_BASE
+
+    def test_read_only_arrays_protected(self):
+        program = assemble(self.PROGRAM)
+        memory, symbols = load_program(program)
+        with pytest.raises(MemoryProtectionError):
+            memory.store(symbols.address_of("K"), "i32", 0)
+
+    def test_snapshot_excludes_read_only(self):
+        program = assemble(self.PROGRAM)
+        memory, symbols = load_program(program)
+        snap = snapshot_arrays(program, memory, symbols)
+        assert set(snap) == {"A", "B"}
+        assert snap["B"] == [1, 2, 3]
+
+
+class TestMetrics:
+    def test_call_distance(self):
+        stats = FunctionStats("f")
+        assert stats.first_two_call_distance is None
+        stats.call_cycles = [100, 350, 600]
+        assert stats.first_two_call_distance == 250
+
+    def test_arrays_equal_and_mismatches(self):
+        kernel = simple_kernel(calls=2)
+        program = build_baseline_program(kernel)
+        a = run_program(program)
+        b = run_program(program)
+        assert arrays_equal(a, b)
+        assert array_mismatches(a, b) == []
+
+    def test_arrays_equal_detects_differences(self):
+        kernel = simple_kernel(calls=2)
+        program = build_baseline_program(kernel)
+        a = run_program(program)
+        b = run_program(program)
+        b.arrays["out"][3] += 1.0
+        assert not arrays_equal(a, b)
+        assert array_mismatches(a, b) == ["out"]
+
+    def test_arrays_equal_with_tolerance(self):
+        kernel = simple_kernel(calls=2)
+        a = run_program(build_baseline_program(kernel))
+        b = run_program(build_baseline_program(kernel))
+        b.arrays["out"][0] += 1e-9
+        assert not arrays_equal(a, b)
+        assert arrays_equal(a, b, tolerance=1e-6)
+
+    def test_speedup_over(self):
+        kernel = simple_kernel(calls=2)
+        base = run_program(build_baseline_program(kernel))
+        assert base.speedup_over(base) == 1.0
+
+    def test_abort_counts(self):
+        from conftest import perm_kernel
+        from repro.core.scalarize import build_liquid_program
+        from repro.core.translate.translator import AbortReason
+        kernel = perm_kernel(calls=3, period=8)
+        result = run_program(build_liquid_program(kernel), width=4)
+        counts = result.abort_counts
+        assert counts[AbortReason.UNSUPPORTED_PATTERN] == 1

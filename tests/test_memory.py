@@ -1,0 +1,187 @@
+"""Unit tests for the flat memory model, caches, and alignment helpers."""
+
+import pytest
+
+from repro.memory.alignment import (
+    align_up,
+    is_aligned,
+    is_power_of_two,
+    vector_alignment_ok,
+)
+from repro.memory.cache import Cache, CacheConfig
+from repro.memory.memory import Memory, MemoryError_, MemoryProtectionError
+
+
+class TestMemoryScalars:
+    def test_roundtrip_each_type(self):
+        mem = Memory(256)
+        mem.store(0, "i8", -5)
+        mem.store(2, "i16", -1000)
+        mem.store(4, "i32", -100000)
+        mem.store(8, "f32", 1.25)
+        assert mem.load(0, "i8") == -5
+        assert mem.load(2, "i16") == -1000
+        assert mem.load(4, "i32") == -100000
+        assert mem.load(8, "f32") == 1.25
+
+    def test_unsigned_loads(self):
+        mem = Memory(16)
+        mem.store(0, "i8", -1)
+        assert mem.load(0, "i8", signed=False) == 255
+        mem.store(2, "i16", -1)
+        assert mem.load(2, "i16", signed=False) == 65535
+
+    def test_narrow_store_truncates(self):
+        mem = Memory(16)
+        mem.store(0, "i8", 0x1FF)
+        assert mem.load(0, "i8", signed=False) == 0xFF
+
+    def test_little_endian(self):
+        mem = Memory(16)
+        mem.store(0, "i32", 0x01020304)
+        assert mem.read_bytes(0, 4) == b"\x04\x03\x02\x01"
+
+    def test_f32_rounds_through_binary32(self):
+        mem = Memory(16)
+        mem.store(0, "f32", 0.1)
+        value = mem.load(0, "f32")
+        assert value != 0.1  # double 0.1 is not representable in binary32
+        assert abs(value - 0.1) < 1e-7
+
+    def test_out_of_range(self):
+        mem = Memory(8)
+        with pytest.raises(MemoryError_):
+            mem.load(6, "i32")
+        with pytest.raises(MemoryError_):
+            mem.store(8, "i8", 1)
+        with pytest.raises(MemoryError_):
+            mem.load(-1, "i8")
+
+
+class TestMemoryVectors:
+    def test_vector_roundtrip(self):
+        mem = Memory(64)
+        mem.store_vector(0, "i16", [1, -2, 3, -4])
+        assert mem.load_vector(0, "i16", 4) == [1, -2, 3, -4]
+
+    def test_vector_float(self):
+        mem = Memory(64)
+        mem.store_vector(0, "f32", [0.5, 1.5])
+        assert mem.load_vector(0, "f32", 2) == [0.5, 1.5]
+
+    def test_vector_matches_scalar_layout(self):
+        mem = Memory(64)
+        mem.store_vector(0, "i32", [10, 20, 30])
+        assert mem.load(4, "i32") == 20
+
+
+class TestProtection:
+    def test_store_into_protected_range(self):
+        mem = Memory(64)
+        mem.protect(16, 32)
+        mem.store(0, "i32", 1)  # outside: fine
+        with pytest.raises(MemoryProtectionError):
+            mem.store(16, "i32", 1)
+        with pytest.raises(MemoryProtectionError):
+            mem.store(14, "i32", 1)  # straddles the boundary
+
+    def test_loads_from_protected_range_allowed(self):
+        mem = Memory(64)
+        mem.store(16, "i32", 9)
+        mem.protect(16, 32)
+        assert mem.load(16, "i32") == 9
+
+    def test_bad_protect_range(self):
+        mem = Memory(64)
+        with pytest.raises(MemoryError_):
+            mem.protect(32, 16)
+
+
+class TestAlignment:
+    def test_align_up(self):
+        assert align_up(0, 8) == 0
+        assert align_up(1, 8) == 8
+        assert align_up(8, 8) == 8
+        assert align_up(9, 8) == 16
+
+    def test_align_up_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            align_up(4, 0)
+
+    def test_is_aligned(self):
+        assert is_aligned(32, 16)
+        assert not is_aligned(33, 16)
+
+    def test_is_power_of_two(self):
+        assert all(is_power_of_two(v) for v in (1, 2, 4, 8, 1024))
+        assert not any(is_power_of_two(v) for v in (0, 3, 6, -4))
+
+    def test_vector_alignment(self):
+        assert vector_alignment_ok(0, 4, 8)
+        assert vector_alignment_ok(32, 4, 8)
+        assert not vector_alignment_ok(16, 4, 8)  # needs 32-byte alignment
+
+
+class TestCache:
+    def _cache(self, **kw) -> Cache:
+        return Cache(CacheConfig(**kw))
+
+    def test_geometry_16k_64way(self):
+        config = CacheConfig(size_bytes=16 * 1024, assoc=64, line_bytes=32)
+        assert config.num_sets == 8
+
+    def test_bad_geometry_rejected(self):
+        with pytest.raises(ValueError):
+            CacheConfig(size_bytes=32, assoc=64, line_bytes=32).num_sets
+
+    def test_miss_then_hit(self):
+        cache = self._cache(hit_latency=1, miss_penalty=30)
+        assert cache.access(0x100) == 31
+        assert cache.access(0x104) == 1  # same line
+        assert cache.stats.reads == 2
+        assert cache.stats.read_misses == 1
+
+    def test_line_straddle_counts_both_lines(self):
+        cache = self._cache(line_bytes=32)
+        cycles = cache.access(30, nbytes=4)
+        assert cache.stats.reads == 2  # two lines touched
+        assert cycles >= 2
+
+    def test_lru_eviction(self):
+        cache = self._cache(size_bytes=64, assoc=2, line_bytes=32,
+                            miss_penalty=10)
+        # One set; two ways.  Lines A, B fill it; touching A then loading C
+        # must evict B.
+        cache.access(0)        # A miss
+        cache.access(64)       # B miss (same set)
+        cache.access(0)        # A hit, makes B LRU
+        cache.access(128)      # C miss, evicts B
+        assert cache.access(0) == 1          # A still resident
+        assert cache.access(64) == 11        # B was evicted
+
+    def test_writeback_counting(self):
+        cache = self._cache(size_bytes=64, assoc=1, line_bytes=32)
+        cache.access(0, is_write=True)     # dirty A
+        cache.access(64, is_write=False)   # evicts dirty A -> writeback
+        assert cache.stats.writebacks == 1
+
+    def test_contains_is_side_effect_free(self):
+        cache = self._cache()
+        cache.access(0)
+        reads = cache.stats.reads
+        assert cache.contains(0)
+        assert not cache.contains(1 << 20)
+        assert cache.stats.reads == reads
+
+    def test_reset(self):
+        cache = self._cache()
+        cache.access(0)
+        cache.reset()
+        assert cache.stats.accesses == 0
+        assert not cache.contains(0)
+
+    def test_miss_rate(self):
+        cache = self._cache()
+        cache.access(0)
+        cache.access(0)
+        assert cache.stats.miss_rate == 0.5

@@ -1,0 +1,20 @@
+"""Unit-level checks for the memory-sensitivity experiment (E11)."""
+
+from repro.evaluation.experiments import memory_sensitivity
+
+
+def test_rows_shape():
+    rows = memory_sensitivity(("FIR",), width=4, miss_penalties=(0, 30))
+    assert len(rows) == 1
+    row = rows[0]
+    assert row["benchmark"] == "FIR"
+    assert set(row["speedups"]) == {0, 30}
+    assert all(v > 1.0 for v in row["speedups"].values())
+
+
+def test_ideal_memory_never_hurts_speedup_much():
+    rows = memory_sensitivity(("FIR",), width=4, miss_penalties=(0, 100))
+    speedups = rows[0]["speedups"]
+    # Both binaries benefit from ideal memory; the ratio moves only via
+    # the miss-prone fraction, never catastrophically.
+    assert speedups[0] > speedups[100] * 0.8

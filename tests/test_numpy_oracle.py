@@ -1,0 +1,120 @@
+"""External-oracle tests: the simulator vs. independent NumPy math.
+
+Everything else in the suite checks that the execution paths agree with
+*each other*.  These tests close the loop externally: for representative
+hot loops, the expected memory contents are computed directly in NumPy
+(float32 arithmetic, saturating integer semantics) and compared with the
+simulated baseline run — so a systematic error shared by all simulator
+paths cannot hide.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.scalarize import build_baseline_program, build_liquid_program
+from repro.kernels.suite import build_kernel
+
+from conftest import run_program
+
+
+def _arrays(kernel):
+    return {arr.name: arr for arr in kernel.arrays}
+
+
+def _f32(values):
+    return np.asarray(values, dtype=np.float32)
+
+
+class TestFirOracle:
+    def test_fir_products_and_dot(self):
+        kernel = build_kernel("FIR")
+        data = _arrays(kernel)
+        x = _f32(data["fir_x"].values)
+        h = _f32(data["fir_h"].values)
+        result = run_program(build_baseline_program(kernel))
+
+        expected = x * h
+        np.testing.assert_array_equal(
+            _f32(result.arrays["fir_scaled"]), expected)
+        # Reduction folds lanes strictly in order at float32 precision.
+        acc = np.float32(0.0)
+        for value in expected:
+            acc = np.float32(acc + value)
+        assert np.float32(result.arrays["fir_out"][0]) == acc
+
+
+class TestLuOracle:
+    def test_elimination_rows(self):
+        kernel = build_kernel("LU")
+        data = _arrays(kernel)
+        pivot = _f32(data["lu_pivot"].values)
+        factors = (0.25, 0.5, 0.125, 0.75)
+        result = run_program(build_baseline_program(kernel))
+        for step, factor in enumerate(factors):
+            row = _f32(data[f"lu_row{step}"].values)
+            for _ in range(kernel.repeats):
+                row = np.float32(row - np.float32(pivot * np.float32(factor)))
+            np.testing.assert_array_equal(
+                _f32(result.arrays[f"lu_row{step}"]), row)
+
+
+class TestAlvinnOracle:
+    def test_clipped_activation(self):
+        kernel = build_kernel("052.alvinn")
+        data = _arrays(kernel)
+        hidden = _f32(data["alv_hidden"].values)
+        result = run_program(build_baseline_program(kernel))
+        scaled = np.float32(hidden * np.float32(0.5)) + np.float32(0.25)
+        clipped = np.minimum(np.maximum(np.float32(scaled),
+                                        np.float32(-1.0)), np.float32(1.0))
+        np.testing.assert_array_equal(_f32(result.arrays["alv_out"]),
+                                      clipped)
+
+
+class TestSaturationOracle:
+    def test_mpeg2_prediction_add_saturates(self):
+        kernel = build_kernel("MPEG2 Dec.")
+        data = _arrays(kernel)
+        result = run_program(build_baseline_program(kernel))
+
+        blk = np.asarray(data["md_blk"].values, dtype=np.int32)
+        pred = np.asarray(data["md_pred"].values, dtype=np.int32)
+        # IDCT row pass: rev4 within groups, t = (5*blk + mirrored) >> 3.
+        mirrored = blk.reshape(-1, 4)[:, ::-1].reshape(-1)
+        row = (5 * blk + mirrored) >> 3
+        np.testing.assert_array_equal(
+            np.asarray(result.arrays["md_row"], dtype=np.int32), row)
+        pix = np.clip(pred + row, -32768, 32767)
+        np.testing.assert_array_equal(
+            np.asarray(result.arrays["md_pix"], dtype=np.int32), pix)
+
+    def test_gsm_encode_amax(self):
+        kernel = build_kernel("GSM Enc.")
+        data = _arrays(kernel)
+        result = run_program(build_baseline_program(kernel))
+        samples = np.asarray(data["ge_s"].values, dtype=np.int32)
+        assert result.arrays["ge_amax"][0] == int(np.max(np.abs(samples)))
+
+
+class TestOracleAgainstTranslatedExecution:
+    """The oracle must hold for the *translated* path too."""
+
+    @pytest.mark.parametrize("width", [4, 8])
+    def test_fir_translated_matches_numpy(self, width):
+        kernel = build_kernel("FIR")
+        data = _arrays(kernel)
+        x = _f32(data["fir_x"].values)
+        h = _f32(data["fir_h"].values)
+        result = run_program(build_liquid_program(kernel), width=width)
+        np.testing.assert_array_equal(_f32(result.arrays["fir_scaled"]),
+                                      x * h)
+
+    def test_mpeg2_translated_matches_numpy(self):
+        kernel = build_kernel("MPEG2 Dec.")
+        data = _arrays(kernel)
+        result = run_program(build_liquid_program(kernel), width=8)
+        blk = np.asarray(data["md_blk"].values, dtype=np.int32)
+        mirrored = blk.reshape(-1, 4)[:, ::-1].reshape(-1)
+        row = (5 * blk + mirrored) >> 3
+        np.testing.assert_array_equal(
+            np.asarray(result.arrays["md_row"], dtype=np.int32), row)

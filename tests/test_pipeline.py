@@ -1,0 +1,190 @@
+"""Unit tests for the in-order timing model and branch predictors."""
+
+from repro.interp.events import RetireEvent
+from repro.isa.instructions import Imm, Instruction, Mem, Reg, Sym
+from repro.memory.cache import CacheConfig
+from repro.pipeline.branch import BimodalPredictor, StaticPredictor
+from repro.pipeline.core import PipelineConfig, PipelineModel
+from repro.pipeline.latencies import RESULT_LATENCY, result_latency
+from repro.isa.opcodes import InstrClass
+
+
+def _event(instr, pc=0, taken=False, next_pc=None, mem_addr=None,
+           in_vector_unit=False, vector_width=None):
+    return RetireEvent(pc=pc, instr=instr, taken=taken,
+                       next_pc=next_pc if next_pc is not None else pc + 1,
+                       mem_addr=mem_addr, in_vector_unit=in_vector_unit,
+                       vector_width=vector_width)
+
+
+def _model(**kw) -> PipelineModel:
+    # Zero-latency caches by default keep the arithmetic legible.
+    config = PipelineConfig(
+        icache=CacheConfig(miss_penalty=kw.pop("imiss", 0)),
+        dcache=CacheConfig(miss_penalty=kw.pop("dmiss", 0)),
+        **kw,
+    )
+    return PipelineModel(config)
+
+
+ADD = Instruction("add", dst=Reg("r1"), srcs=(Reg("r2"), Reg("r3")))
+MUL = Instruction("mul", dst=Reg("r4"), srcs=(Reg("r1"), Reg("r1")))
+NOP = Instruction("nop")
+
+
+class TestIssueRules:
+    def test_single_issue_one_per_cycle(self):
+        model = _model()
+        issues = [model.account(_event(NOP, pc=i)) for i in range(5)]
+        assert issues == [1, 2, 3, 4, 5]
+
+    def test_dependent_instruction_waits_for_latency(self):
+        model = _model()
+        t0 = model.account(_event(ADD, pc=0))           # r1 ready at t0+1
+        t1 = model.account(_event(MUL, pc=1))            # reads r1
+        assert t1 == t0 + 1
+        # mul result latency is 2: a dependent add stalls one extra cycle.
+        dep = Instruction("add", dst=Reg("r5"), srcs=(Reg("r4"), Imm(1)))
+        t2 = model.account(_event(dep, pc=2))
+        assert t2 == t1 + RESULT_LATENCY[InstrClass.MUL]
+        assert model.stats.data_stall_cycles >= 1
+
+    def test_independent_instructions_do_not_stall(self):
+        model = _model()
+        a = Instruction("add", dst=Reg("r1"), srcs=(Reg("r2"), Imm(1)))
+        b = Instruction("add", dst=Reg("r3"), srcs=(Reg("r4"), Imm(1)))
+        t0 = model.account(_event(a, pc=0))
+        t1 = model.account(_event(b, pc=1))
+        assert t1 == t0 + 1
+
+    def test_flags_create_dependences(self):
+        model = _model()
+        cmp = Instruction("cmp", srcs=(Reg("r1"), Imm(0)))
+        mov = Instruction("movgt", dst=Reg("r2"), srcs=(Imm(1),))
+        t0 = model.account(_event(cmp, pc=0))
+        t1 = model.account(_event(mov, pc=1))
+        assert t1 == t0 + 1  # back-to-back is fine (1-cycle flag latency)
+
+    def test_total_cycles_includes_drain(self):
+        model = _model()
+        model.account(_event(NOP))
+        assert model.total_cycles() >= model.now + 4
+
+
+class TestMemoryTiming:
+    def test_load_miss_then_hit(self):
+        model = _model(dmiss=20)
+        ld = Instruction("ldw", dst=Reg("r1"),
+                         mem=Mem(base=Sym("A"), index=Reg("r0")), elem="i32")
+        use = Instruction("add", dst=Reg("r2"), srcs=(Reg("r1"), Imm(1)))
+        model.account(_event(ld, pc=0, mem_addr=0x1000))
+        t1 = model.account(_event(use, pc=1))
+        assert model.stats.load_miss_cycles == 20
+        assert t1 > 2  # stalled on the miss
+        # Second load to the same line hits.
+        model.account(_event(ld, pc=2, mem_addr=0x1004))
+        assert model.stats.load_miss_cycles == 20
+
+    def test_store_updates_cache_without_stalling(self):
+        model = _model(dmiss=20)
+        st = Instruction("stw", srcs=(Reg("r1"),),
+                         mem=Mem(base=Sym("A"), index=Reg("r0")), elem="i32")
+        t0 = model.account(_event(st, pc=0, mem_addr=0x2000))
+        t1 = model.account(_event(NOP, pc=1))
+        assert t1 == t0 + 1  # write buffer hides the miss
+        assert model.dcache.stats.writes == 1
+
+    def test_vector_load_charges_full_footprint(self):
+        model = _model(dmiss=20)
+        vld = Instruction("vld", dst=Reg("vf0"),
+                          mem=Mem(base=Sym("A"), index=Reg("r0")), elem="f32")
+        # 16 lanes x 4 bytes = 64 bytes = 2 lines -> 2 misses.
+        model.account(_event(vld, pc=0, mem_addr=0x3000, vector_width=16))
+        assert model.dcache.stats.read_misses == 2
+
+    def test_icache_fetch_stall(self):
+        model = _model(imiss=10)
+        model.account(_event(NOP, pc=0))
+        assert model.stats.fetch_stall_cycles == 10
+        model.account(_event(NOP, pc=1))  # same line: no new stall
+        assert model.stats.fetch_stall_cycles == 10
+
+    def test_microcode_injection_skips_icache(self):
+        model = _model(imiss=10)
+        model.account(_event(NOP, pc=0, in_vector_unit=True))
+        assert model.stats.fetch_stall_cycles == 0
+        assert model.icache.stats.accesses == 0
+
+
+class TestControlFlow:
+    def test_backward_taken_branch_predicted(self):
+        model = _model()
+        branch = Instruction("blt", target="loop")
+        for i in range(10):
+            model.account(_event(NOP, pc=5))
+            model.account(_event(branch, pc=6, taken=True, next_pc=5))
+        # Static backward-taken bias: the loop branch never mispredicts.
+        assert model.stats.mispredicts == 0
+
+    def test_final_not_taken_mispredicts_once(self):
+        model = _model()
+        branch = Instruction("blt", target="loop")
+        for _ in range(5):
+            model.account(_event(branch, pc=6, taken=True, next_pc=5))
+        model.account(_event(branch, pc=6, taken=False, next_pc=7))
+        assert model.stats.mispredicts == 1
+        assert model.stats.branch_penalty_cycles >= 2
+
+    def test_call_redirect_penalty(self):
+        model = _model()
+        call = Instruction("bl", target="fn")
+        model.account(_event(call, pc=0, taken=True, next_pc=50))
+        before = model.now
+        model.account(_event(NOP, pc=50))
+        assert model.now >= before + 1 + model.config.call_redirect_penalty
+
+    def test_simd_instructions_counted(self):
+        model = _model()
+        v = Instruction("vadd", dst=Reg("v1"), srcs=(Reg("v2"), Reg("v3")),
+                        elem="i32")
+        model.account(_event(v, in_vector_unit=True, vector_width=8))
+        assert model.stats.simd_instructions == 1
+
+
+class TestPredictors:
+    def test_static(self):
+        p = StaticPredictor()
+        assert p.predict(10, 5)       # backward -> taken
+        assert not p.predict(10, 20)  # forward -> not taken
+        p.update(10, True)            # no-op
+
+    def test_bimodal_learns_taken(self):
+        p = BimodalPredictor(entries=16)
+        for _ in range(4):
+            p.update(3, True)
+        assert p.predict(3, 100)  # learned taken even for forward target
+
+    def test_bimodal_learns_not_taken(self):
+        p = BimodalPredictor(entries=16)
+        for _ in range(4):
+            p.update(3, False)
+        assert not p.predict(3, 0)
+
+    def test_bimodal_cold_backward_bias(self):
+        p = BimodalPredictor(entries=16)
+        assert p.predict(9, 2)
+
+    def test_bimodal_rejects_bad_size(self):
+        import pytest
+        with pytest.raises(ValueError):
+            BimodalPredictor(entries=0)
+
+
+class TestLatencies:
+    def test_all_classes_covered(self):
+        for cls in InstrClass:
+            assert result_latency(cls) >= 1
+
+    def test_relative_ordering(self):
+        assert RESULT_LATENCY[InstrClass.FDIV] > RESULT_LATENCY[InstrClass.FMUL]
+        assert RESULT_LATENCY[InstrClass.MUL] > RESULT_LATENCY[InstrClass.ALU]

@@ -1,0 +1,323 @@
+"""Property-based tests (hypothesis).
+
+The headline property is the paper's central correctness claim: for any
+SIMD loop expressible in the IR, the scalar representation, the native
+SIMD execution, and the dynamically translated execution all leave
+bit-identical results in memory — "no information is lost during this
+conversion" (section 2).  Kernels are generated randomly over loads,
+stores, data-parallel ops, saturating idioms, permutations, and
+reductions, then run through every path.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings, strategies as st
+
+from repro import arith
+from repro.core.scalarize import (
+    Kernel,
+    build_baseline_program,
+    build_liquid_program,
+    build_native_program,
+)
+from repro.isa.encoding import decode_instruction, encode_instruction
+from repro.isa.instructions import Imm, Instruction, Mem, Reg, Sym
+from repro.isa.program import DataArray
+from repro.kernels.dsl import LoopBuilder
+from repro.memory.cache import Cache, CacheConfig
+from repro.simd.permutations import PermPattern, PermutationCAM
+from repro.system.metrics import arrays_equal
+
+from conftest import run_program
+
+# ---------------------------------------------------------------------------
+# Arithmetic invariants
+# ---------------------------------------------------------------------------
+
+int32 = st.integers(min_value=-(1 << 31), max_value=(1 << 31) - 1)
+small_ints = st.integers(min_value=-1000, max_value=1000)
+
+
+class TestArithProperties:
+    @given(int32, st.sampled_from(["i8", "i16", "i32"]))
+    def test_wrap_is_idempotent(self, value, elem):
+        once = arith.wrap_int(value, elem)
+        assert arith.wrap_int(once, elem) == once
+        lo, hi = arith.INT_BOUNDS[elem]
+        assert lo <= once <= hi
+
+    @given(small_ints, small_ints, st.sampled_from(["i8", "i16"]))
+    def test_qadd_is_clamped_and_commutative(self, a, b, elem):
+        lo, hi = arith.INT_BOUNDS[elem]
+        result = arith.qadd(a, b, elem)
+        assert lo <= result <= hi
+        assert result == arith.qadd(b, a, elem)
+
+    @given(small_ints, small_ints, small_ints, st.sampled_from(["i8", "i16"]))
+    def test_qadd_monotone_in_first_argument(self, a1, a2, b, elem):
+        if a1 <= a2:
+            assert arith.qadd(a1, b, elem) <= arith.qadd(a2, b, elem)
+
+    @given(st.floats(-1e6, 1e6), st.floats(-1e6, 1e6))
+    def test_float_ops_round_like_numpy32(self, a, b):
+        import numpy as np
+        assert arith.float_op("fadd", a, b) == float(
+            np.float32(np.float32(a) + np.float32(b))
+        )
+
+    @given(st.floats(-1e20, 1e20, allow_nan=False))
+    def test_float_bits_roundtrip(self, value):
+        assert arith.bits_float(arith.float_bits(value)) == arith.f32(value)
+
+
+# ---------------------------------------------------------------------------
+# Permutation invariants
+# ---------------------------------------------------------------------------
+
+def pattern_strategy():
+    kinds = st.sampled_from(["bfly", "rev", "rot"])
+    periods = st.sampled_from([2, 4, 8, 16])
+
+    def build(kind, period, amount):
+        if kind == "rot":
+            return PermPattern(kind, period, 1 + amount % (period - 1)) \
+                if period > 2 else PermPattern("rot", 2, 1)
+        return PermPattern(kind, period)
+
+    return st.builds(build, kinds, periods, st.integers(0, 15))
+
+
+class TestPermutationProperties:
+    @given(pattern_strategy(), st.sampled_from([16, 32]))
+    def test_apply_is_a_permutation(self, pattern, width):
+        lanes = list(range(width))
+        result = pattern.apply(lanes)
+        assert sorted(result) == lanes
+
+    @given(pattern_strategy(), st.sampled_from([16, 32]))
+    def test_inverse_undoes(self, pattern, width):
+        lanes = list(range(width))
+        assert pattern.inverse().apply(pattern.apply(lanes)) == lanes
+
+    @given(pattern_strategy())
+    def test_offsets_are_periodic(self, pattern):
+        offsets = pattern.offsets(64)
+        period = pattern.period
+        assert offsets == offsets[:period] * (64 // period)
+
+    @given(pattern_strategy())
+    def test_cam_recognizes_own_signature(self, pattern):
+        width = max(16, pattern.period)
+        # Include the generated pattern in the accelerator repertoire (the
+        # standard repertoire carries only +/-1 rotations).
+        from repro.simd.permutations import STANDARD_PATTERNS
+        cam = PermutationCAM(width, STANDARD_PATTERNS + (pattern,))
+        hit = cam.lookup(pattern.offsets(width))
+        assert hit is not None
+        # Signatures are unique up to lane-map equality.
+        assert hit.lane_map(width) == pattern.lane_map(width)
+
+
+# ---------------------------------------------------------------------------
+# Cache invariants
+# ---------------------------------------------------------------------------
+
+class TestCacheProperties:
+    @given(st.lists(st.integers(0, 1 << 16), min_size=1, max_size=200))
+    def test_second_access_to_line_always_hits(self, addresses):
+        cache = Cache(CacheConfig(size_bytes=16 * 1024, assoc=64,
+                                  line_bytes=32, miss_penalty=30))
+        for addr in addresses:
+            lines = (addr + 3) // 32 - addr // 32 + 1
+            cache.access(addr)
+            assert cache.access(addr) == lines * cache.config.hit_latency
+
+    @given(st.lists(st.integers(0, 1 << 20), min_size=1, max_size=200))
+    def test_stats_are_consistent(self, addresses):
+        cache = Cache(CacheConfig())
+        for addr in addresses:
+            cache.access(addr, is_write=addr % 3 == 0)
+        stats = cache.stats
+        assert stats.accesses == stats.reads + stats.writes
+        assert 0 <= stats.misses <= stats.accesses
+        assert 0.0 <= stats.miss_rate <= 1.0
+
+
+# ---------------------------------------------------------------------------
+# Encoding round-trip
+# ---------------------------------------------------------------------------
+
+def instruction_strategy():
+    regs = st.sampled_from(["r0", "r3", "f2", "v4", "vf5"])
+    imms = st.one_of(st.integers(-1 << 30, 1 << 30).map(Imm),
+                     st.floats(-100, 100).map(Imm))
+    operands = st.one_of(regs.map(Reg), imms)
+
+    def build(opcode, dst, srcs, with_mem, elem):
+        mem = Mem(base=Sym("A"), index=Reg("r0")) if with_mem else None
+        return Instruction(opcode, dst=Reg(dst), srcs=tuple(srcs), mem=mem,
+                           elem=elem)
+
+    return st.builds(
+        build,
+        st.sampled_from(["add", "fmul", "vadd", "vqsub", "mov"]),
+        regs,
+        st.lists(operands, max_size=2),
+        st.booleans(),
+        st.sampled_from([None, "i8", "i16", "i32", "f32"]),
+    )
+
+
+class TestEncodingProperties:
+    @given(instruction_strategy())
+    def test_instruction_roundtrip(self, instr):
+        assert decode_instruction(encode_instruction(instr)) == instr
+
+
+# ---------------------------------------------------------------------------
+# The headline property: scalar == native SIMD == translated SIMD
+# ---------------------------------------------------------------------------
+
+_FLOAT_BIN = ["add", "sub", "mul", "min", "max"]
+_INT_BIN = ["add", "sub", "min", "max", "qadd", "qsub", "abd"]
+
+
+@st.composite
+def kernel_strategy(draw):
+    """A random but always-valid SIMD loop over two input arrays."""
+    elem = draw(st.sampled_from(["f32", "i16"]))
+    trip = draw(st.sampled_from([16, 32]))
+    n_ops = draw(st.integers(2, 6))
+    use_perm = draw(st.booleans())
+    use_reduce = draw(st.booleans())
+
+    builder = LoopBuilder("hot", trip=trip, elem=elem)
+    a = builder.load("in_a")
+    b = builder.load("in_b")
+    values = [a, b]
+
+    for i in range(n_ops):
+        op_pool = _FLOAT_BIN if elem == "f32" else _INT_BIN
+        choice = draw(st.sampled_from(op_pool))
+        x = draw(st.sampled_from(values))
+        use_imm = draw(st.booleans()) and choice not in ("abd",)
+        if use_imm:
+            imm = builder.imm(draw(st.sampled_from([2.0, 0.5, -1.5])) if
+                              elem == "f32" else draw(st.sampled_from([2, 3, -5])))
+            operand = imm
+        else:
+            operand = draw(st.sampled_from(values))
+        values.append(builder.binary(choice, x, operand))
+
+    result = values[-1]
+    if use_perm:
+        period = draw(st.sampled_from([2, 4]))
+        kind = draw(st.sampled_from(["bfly", "rev"]))
+        result = getattr(builder, kind)(result, period)
+    builder.store("out", result)
+    if use_reduce:
+        acc = "f1" if elem == "f32" else "r1"
+        builder.reduce(draw(st.sampled_from(["sum", "min", "max"])),
+                       values[-1], acc=acc, init=0,
+                       store_to="red_out")
+
+    if elem == "f32":
+        in_a = [round((i * 7 % 13) * 0.07 - 0.4, 3) for i in range(trip)]
+        in_b = [round((i * 5 % 11) * 0.09 - 0.5, 3) for i in range(trip)]
+        out_elem = "f32"
+    else:
+        in_a = [(i * 7) % 25 - 12 for i in range(trip)]
+        in_b = [(i * 11) % 19 - 9 for i in range(trip)]
+        out_elem = elem
+    return Kernel(
+        name="prop",
+        arrays=[
+            DataArray("in_a", elem, in_a),
+            DataArray("in_b", elem, in_b),
+            DataArray("out", out_elem, [0] * trip),
+            DataArray("red_out", "f32" if elem == "f32" else "i32", [0]),
+        ],
+        stages=[builder.build()],
+        schedule=["hot"],
+        repeats=3,
+    )
+
+
+class TestEndToEndEquivalence:
+    @settings(max_examples=30, deadline=None)
+    @given(kernel_strategy(), st.sampled_from([4, 8]))
+    def test_all_execution_paths_agree(self, kernel, width):
+        baseline = build_baseline_program(kernel)
+        liquid = build_liquid_program(kernel)
+        native = build_native_program(kernel, width=width)
+        r_base = run_program(baseline)
+        r_liquid = run_program(liquid, width=width)
+        r_native = run_program(native, width=width)
+        assert arrays_equal(r_base, r_liquid), "liquid diverged from scalar"
+        assert arrays_equal(r_base, r_native), "native diverged from scalar"
+
+    @settings(max_examples=15, deadline=None)
+    @given(kernel_strategy())
+    def test_liquid_binary_is_width_portable(self, kernel):
+        """One Liquid binary must produce identical results on every
+        accelerator generation — the paper's binary-compatibility claim."""
+        liquid = build_liquid_program(kernel)
+        reference = run_program(liquid)  # pure scalar machine
+        for width in (2, 4, 8, 16):
+            result = run_program(liquid, width=width)
+            assert arrays_equal(reference, result), f"width {width} diverged"
+
+
+class TestCrossCompilerProperty:
+    @settings(max_examples=15, deadline=None)
+    @given(kernel_strategy())
+    def test_cross_compiling_the_baseline_is_equivalent(self, kernel):
+        """The baseline binary's inlined loops are in canonical scalar
+        form, so the post-compilation cross-compiler must be able to
+        outline them — and the result must stay bit-identical whether it
+        translates or aborts."""
+        from repro.core.scalarize.crosscompile import cross_compile
+        baseline = build_baseline_program(kernel)
+        liquid = cross_compile(baseline)
+        reference = run_program(baseline)
+        for width in (4, 8):
+            result = run_program(liquid, width=width)
+            assert arrays_equal(reference, result), f"width {width}"
+
+    @settings(max_examples=10, deadline=None)
+    @given(kernel_strategy())
+    def test_cross_compiler_finds_at_least_the_simple_loops(self, kernel):
+        from repro.core.scalarize.crosscompile import find_candidate_loops
+        baseline = build_baseline_program(kernel)
+        # Every kernel has at least one canonical loop per segment.
+        assert len(find_candidate_loops(baseline)) >= 1
+
+
+class TestIdiomModeProperty:
+    @settings(max_examples=15, deadline=None)
+    @given(kernel_strategy(), st.sampled_from([4, 8]))
+    def test_minmax_idiom_mode_is_equivalent(self, kernel, width):
+        """Emitting cmp/conditional-move idioms instead of min/max
+        pseudo-ops must not change results on any path."""
+        baseline = build_baseline_program(kernel, minmax_idioms=True)
+        liquid = build_liquid_program(kernel, minmax_idioms=True)
+        plain = build_baseline_program(kernel)
+        r_plain = run_program(plain)
+        r_base = run_program(baseline)
+        r_liquid = run_program(liquid, width=width)
+        assert arrays_equal(r_plain, r_base)
+        assert arrays_equal(r_plain, r_liquid)
+
+
+class TestVerifierProperty:
+    @settings(max_examples=10, deadline=None)
+    @given(kernel_strategy())
+    def test_oracle_accepts_every_real_translation(self, kernel):
+        """The verification replay must never reject a translation the
+        (correct) translator produced."""
+        liquid = build_liquid_program(kernel)
+        plain = run_program(liquid, width=8)
+        verified = run_program(liquid, width=8, verify_translations=True)
+        assert plain.successful_translations == \
+            verified.successful_translations
+        assert arrays_equal(plain, verified)

@@ -1,0 +1,352 @@
+"""Unit tests for Table 1 scalarization: categories, idioms, fission."""
+
+import pytest
+
+from repro.core.scalarize.loop_ir import Kernel, LoopIRError, ScalarBlock, SimdLoop
+from repro.core.scalarize.scalarizer import ScalarizeError, scalarize_loop
+from repro.isa.instructions import Imm, Instruction, Mem, Reg, Sym, VImm
+from repro.kernels.dsl import LoopBuilder
+
+
+def scalar_opcodes(scalarized):
+    return [i.opcode for seg in scalarized.segments for i in seg]
+
+
+class TestDataParallel:
+    def test_category1_float(self):
+        b = LoopBuilder("L", trip=16, elem="f32")
+        x = b.load("A")
+        y = b.load("B")
+        b.store("C", b.add(x, y))
+        out = scalarize_loop(b.build(), mvl=16)
+        assert scalar_opcodes(out) == ["ldf", "ldf", "fadd", "stf"]
+        assert len(out.segments) == 1
+
+    def test_category1_int_elem_types(self):
+        b = LoopBuilder("L", trip=16, elem="i16")
+        x = b.load("A")
+        b.store("C", b.mul(x, x))
+        out = scalarize_loop(b.build(), mvl=16)
+        assert scalar_opcodes(out) == ["ldh", "mul", "sth"]
+
+    def test_category2_scalar_constant(self):
+        b = LoopBuilder("L", trip=16, elem="f32")
+        x = b.load("A")
+        b.store("C", b.mul(x, b.imm(2.0)))
+        out = scalarize_loop(b.build(), mvl=16)
+        ops = scalar_opcodes(out)
+        assert "fmul" in ops
+        fmul = [i for seg in out.segments for i in seg if i.opcode == "fmul"][0]
+        assert fmul.srcs[1] == Imm(2.0)
+
+    def test_register_mapping_preserves_index(self):
+        b = LoopBuilder("L", trip=16, elem="f32")
+        x = b.load("A")                       # vf2
+        b.store("C", b.add(x, x))             # vf3
+        out = scalarize_loop(b.build(), mvl=16)
+        load = out.segments[0][0]
+        assert load.dst == Reg("f2")
+
+    def test_category3_lane_constant_becomes_array(self):
+        b = LoopBuilder("L", trip=16, elem="f32")
+        x = b.load("A")
+        b.store("C", b.mask(x, b.lanes([0, -1])))
+        out = scalarize_loop(b.build(), mvl=16)
+        mask_arrays = [a for a in out.new_arrays if "mask" in a.name]
+        assert len(mask_arrays) == 1
+        arr = mask_arrays[0]
+        assert arr.read_only
+        assert arr.values[:4] == [0, -1, 0, -1]
+        assert len(arr) == 16
+        ops = scalar_opcodes(out)
+        assert "ldw" in ops and "and" in ops
+
+    def test_category3_dedupes_identical_constants(self):
+        b = LoopBuilder("L", trip=16, elem="f32")
+        x = b.load("A")
+        y = b.load("B")
+        m = b.lanes([0, 0, -1, -1])
+        b.store("C", b.or_(b.mask(x, m), b.mask(y, m)))
+        out = scalarize_loop(b.build(), mvl=16)
+        mask_arrays = [a for a in out.new_arrays if "mask" in a.name]
+        assert len(mask_arrays) == 1
+        # ... and the temp is loaded only once per iteration.
+        assert scalar_opcodes(out).count("ldw") == 1
+
+    def test_float_lane_constant_uses_float_array(self):
+        b = LoopBuilder("L", trip=8, elem="f32")
+        x = b.load("A")
+        b.store("C", b.mul(x, b.lanes([0.5, 2.0])))
+        out = scalarize_loop(b.build(), mvl=8)
+        cnst = [a for a in out.new_arrays if "cnst" in a.name][0]
+        assert cnst.elem == "f32"
+        assert "ldf" in scalar_opcodes(out)
+
+    def test_category4_reduction_is_loop_carried(self):
+        b = LoopBuilder("L", trip=16, elem="f32")
+        x = b.load("A")
+        b.reduce("sum", x, acc="f1", init=0.0, store_to="out")
+        out = scalarize_loop(b.build(), mvl=16)
+        red = [i for seg in out.segments for i in seg if i.opcode == "fadd"][0]
+        assert red.dst == Reg("f1")
+        assert red.srcs[0] == Reg("f1")
+        assert out.pre[0].opcode == "fmov"
+        assert out.post[0].opcode == "stf"
+
+    def test_reduction_must_be_loop_carried(self):
+        loop = SimdLoop("L", trip=8, body=[
+            Instruction("vld", dst=Reg("vf2"),
+                        mem=Mem(base=Sym("A"), index=Reg("r0")), elem="f32"),
+            Instruction("vredsum", dst=Reg("f1"),
+                        srcs=(Reg("f2"), Reg("vf2")), elem="f32"),
+        ])
+        with pytest.raises(ScalarizeError):
+            scalarize_loop(loop, mvl=8)
+
+
+class TestIdioms:
+    def test_saturating_add_idiom_shape(self):
+        b = LoopBuilder("L", trip=16, elem="i16")
+        x = b.load("A")
+        y = b.load("B")
+        b.store("C", b.qadd(x, y))
+        out = scalarize_loop(b.build(), mvl=16)
+        ops = scalar_opcodes(out)
+        assert ops == ["ldh", "ldh", "add", "cmp", "movgt", "cmp", "movlt",
+                       "sth"]
+
+    def test_saturating_bounds_match_elem(self):
+        b = LoopBuilder("L", trip=16, elem="i8")
+        x = b.load("A")
+        b.store("C", b.qsub(x, x))
+        out = scalarize_loop(b.build(), mvl=16)
+        movs = [i for seg in out.segments for i in seg
+                if i.opcode in ("movgt", "movlt")]
+        assert movs[0].srcs[0] == Imm(127)
+        assert movs[1].srcs[0] == Imm(-128)
+
+    def test_saturating_float_rejected(self):
+        b = LoopBuilder("L", trip=16, elem="f32")
+        x = b.load("A")
+        b.store("C", b.qadd(x, x))
+        with pytest.raises(ScalarizeError):
+            scalarize_loop(b.build(), mvl=16)
+
+    def test_minmax_pseudo_by_default(self):
+        b = LoopBuilder("L", trip=16, elem="i16")
+        x = b.load("A")
+        y = b.load("B")
+        b.store("C", b.min(x, y))
+        out = scalarize_loop(b.build(), mvl=16)
+        assert "min" in scalar_opcodes(out)
+
+    def test_minmax_idiom_mode(self):
+        b = LoopBuilder("L", trip=16, elem="i16")
+        x = b.load("A")
+        y = b.load("B")
+        b.store("C", b.min(x, y))
+        out = scalarize_loop(b.build(), mvl=16, minmax_idioms=True)
+        ops = scalar_opcodes(out)
+        assert "min" not in ops
+        assert ops[2:5] == ["mov", "cmp", "movgt"]
+
+    def test_float_minmax_idiom_mode(self):
+        b = LoopBuilder("L", trip=16, elem="f32")
+        x = b.load("A")
+        y = b.load("B")
+        b.store("C", b.max(x, y))
+        out = scalarize_loop(b.build(), mvl=16, minmax_idioms=True)
+        ops = scalar_opcodes(out)
+        assert ops[2:5] == ["fmov", "fcmp", "fmovlt"]
+
+    def test_abd_idiom(self):
+        b = LoopBuilder("L", trip=16, elem="i16")
+        x = b.load("A")
+        y = b.load("B")
+        b.store("C", b.abd(x, y))
+        out = scalarize_loop(b.build(), mvl=16)
+        assert scalar_opcodes(out)[2:5] == ["sub", "sub", "max"]
+
+    def test_int_neg_and_abs_idioms(self):
+        b = LoopBuilder("L", trip=16, elem="i16")
+        x = b.load("A")
+        b.store("C", b.neg(x))
+        b.store("D", b.abs(x))
+        out = scalarize_loop(b.build(), mvl=16)
+        ops = scalar_opcodes(out)
+        assert "rsb" in ops and "max" in ops
+
+    def test_float_abd_uses_fsub_fabs(self):
+        b = LoopBuilder("L", trip=16, elem="f32")
+        x = b.load("A")
+        y = b.load("B")
+        b.store("C", b.abd(x, y))
+        out = scalarize_loop(b.build(), mvl=16)
+        ops = scalar_opcodes(out)
+        assert "fsub" in ops and "fabs" in ops
+
+
+class TestPermutations:
+    def test_load_fold_category7(self):
+        b = LoopBuilder("L", trip=16, elem="f32")
+        shuffled = b.bfly(b.load("A"), 8, inplace=True)
+        b.store("C", shuffled)
+        out = scalarize_loop(b.build(), mvl=16)
+        ops = scalar_opcodes(out)
+        # offset load, index add, data load, store — one segment.
+        assert ops == ["ldw", "add", "ldf", "stf"]
+        assert len(out.segments) == 1
+        bfly_arrays = [a for a in out.new_arrays if "bfly" in a.name]
+        assert len(bfly_arrays) == 1
+        assert bfly_arrays[0].values[:8] == [4, 4, 4, 4, -4, -4, -4, -4]
+
+    def test_fresh_load_perm_prefers_load_fold(self):
+        # A permutation of a just-loaded value folds into the load even if
+        # written in two-register form.
+        b = LoopBuilder("L", trip=16, elem="f32")
+        x = b.load("A")
+        rotated = b.rot(x, 4, 1)
+        b.store("C", rotated)
+        out = scalarize_loop(b.build(), mvl=16)
+        assert len(out.segments) == 1
+        assert scalar_opcodes(out) == ["ldw", "add", "ldf", "stf"]
+
+    def test_store_fold_category8_uses_inverse(self):
+        # Permutation of a *computed* value feeding only a store: category 8.
+        b = LoopBuilder("L", trip=16, elem="f32")
+        x = b.load("A")
+        doubled = b.mul(x, b.imm(2.0))
+        rotated = b.rot(doubled, 4, 1)
+        b.store("C", rotated)
+        out = scalarize_loop(b.build(), mvl=16)
+        assert len(out.segments) == 1
+        arrays = [a for a in out.new_arrays if "rot" in a.name]
+        assert len(arrays) == 1
+        # Store-side offsets are the *inverse* rotation (rot4 by 3).
+        from repro.simd.permutations import PermPattern
+        assert arrays[0].values[:4] == PermPattern("rot", 4, 3).offsets(4)
+
+    def test_mid_loop_perm_fissions(self):
+        b = LoopBuilder("L", trip=16, elem="f32")
+        x = b.load("A")
+        doubled = b.mul(x, b.imm(2.0))
+        swapped = b.bfly(doubled, 4)
+        b.store("C", b.add(swapped, x))
+        out = scalarize_loop(b.build(), mvl=16)
+        assert len(out.segments) == 2
+        tmp_arrays = [a for a in out.new_arrays if "tmp" in a.name]
+        assert len(tmp_arrays) == 2  # permuted value + live x
+        # Second segment starts by reloading both.
+        seg2_ops = [i.opcode for i in out.segments[1]]
+        assert seg2_ops[:2] == ["ldf", "ldf"]
+        assert seg2_ops[-1] == "stf"
+
+    def test_fission_spills_only_live_values(self):
+        b = LoopBuilder("L", trip=16, elem="f32")
+        x = b.load("A")
+        y = b.load("B")       # dead after the product
+        prod = b.mul(x, y)
+        swapped = b.bfly(prod, 4)
+        b.store("C", b.add(swapped, swapped))  # perm feeds an op: fission
+        out = scalarize_loop(b.build(), mvl=16)
+        assert len(out.segments) == 2
+        tmp_arrays = [a for a in out.new_arrays if "tmp" in a.name]
+        assert len(tmp_arrays) == 1  # only the permuted value crosses the cut
+
+    def test_two_perms_two_fissions(self):
+        b = LoopBuilder("L", trip=16, elem="f32")
+        x = b.load("A")
+        s1 = b.bfly(b.mul(x, b.imm(2.0)), 4)
+        s2 = b.rev(b.add(s1, s1), 4)
+        b.store("C", b.add(s2, s2))
+        out = scalarize_loop(b.build(), mvl=16)
+        assert len(out.segments) == 3
+
+    def test_offset_arrays_are_read_only_and_padded(self):
+        b = LoopBuilder("L", trip=20, elem="f32")
+        shuffled = b.bfly(b.load("A"), 4, inplace=True)
+        b.store("C", shuffled)
+        out = scalarize_loop(b.build(), mvl=16)
+        arr = [a for a in out.new_arrays if "bfly" in a.name][0]
+        assert arr.read_only
+        assert len(arr) == 32  # 20 padded up to a multiple of 16
+
+
+class TestValidation:
+    def test_scalar_op_in_simd_body_rejected(self):
+        loop = SimdLoop("L", trip=8, body=[
+            Instruction("add", dst=Reg("r1"), srcs=(Reg("r2"), Reg("r3"))),
+        ])
+        with pytest.raises(LoopIRError):
+            loop.validate()
+
+    def test_memory_base_must_be_symbol(self):
+        loop = SimdLoop("L", trip=8, body=[
+            Instruction("vld", dst=Reg("vf2"),
+                        mem=Mem(base=Reg("r4"), index=Reg("r0")), elem="f32"),
+        ])
+        with pytest.raises(LoopIRError):
+            loop.validate()
+
+    def test_memory_index_must_be_induction(self):
+        loop = SimdLoop("L", trip=8, body=[
+            Instruction("vld", dst=Reg("vf2"),
+                        mem=Mem(base=Sym("A"), index=Reg("r5")), elem="f32"),
+        ])
+        with pytest.raises(LoopIRError):
+            loop.validate()
+
+    def test_vimm_period_power_of_two(self):
+        loop = SimdLoop("L", trip=8, body=[
+            Instruction("vld", dst=Reg("vf2"),
+                        mem=Mem(base=Sym("A"), index=Reg("r0")), elem="f32"),
+            Instruction("vand", dst=Reg("vf3"),
+                        srcs=(Reg("vf2"), VImm((1, 2, 3))), elem="f32"),
+        ])
+        with pytest.raises(LoopIRError):
+            loop.validate()
+
+    def test_trip_positive(self):
+        loop = SimdLoop("L", trip=0, body=[])
+        with pytest.raises(LoopIRError):
+            loop.validate()
+
+    def test_kernel_schedule_names_checked(self):
+        b = LoopBuilder("hot", trip=8, elem="f32")
+        x = b.load("A")
+        b.store("A", x)
+        from repro.isa.program import DataArray
+        kernel = Kernel("k", arrays=[DataArray("A", "f32", [0.0] * 8)],
+                        stages=[b.build()], schedule=["missing"])
+        with pytest.raises(LoopIRError):
+            kernel.validate()
+
+    def test_kernel_unknown_array_checked(self):
+        b = LoopBuilder("hot", trip=8, elem="f32")
+        x = b.load("NOPE")
+        b.store("NOPE", x)
+        kernel = Kernel("k", arrays=[], stages=[b.build()], schedule=["hot"])
+        with pytest.raises(LoopIRError):
+            kernel.validate()
+
+    def test_scalar_block_rejects_vector_and_calls(self):
+        block = ScalarBlock("b", body=[
+            Instruction("vadd", dst=Reg("v1"), srcs=(Reg("v2"), Reg("v3")),
+                        elem="i32"),
+        ])
+        with pytest.raises(LoopIRError):
+            block.validate()
+        block2 = ScalarBlock("b", body=[Instruction("bl", target="x")])
+        with pytest.raises(LoopIRError):
+            block2.validate()
+
+    def test_scalar_block_branch_targets_local(self):
+        block = ScalarBlock("b", body=[Instruction("b", target="far")],
+                            labels={})
+        with pytest.raises(LoopIRError):
+            block.validate()
+
+    def test_kernel_repeats_positive(self):
+        kernel = Kernel("k", arrays=[], stages=[], schedule=[], repeats=0)
+        with pytest.raises(LoopIRError):
+            kernel.validate()

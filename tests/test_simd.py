@@ -1,0 +1,224 @@
+"""Unit tests for vector semantics, permutations, and the accelerator."""
+
+import pytest
+
+from repro.simd.accelerator import (
+    AcceleratorConfig,
+    GENERATIONS,
+    VectorRegisterFile,
+    config_for_width,
+)
+from repro.simd.permutations import (
+    STANDARD_PATTERNS,
+    PermPattern,
+    PermutationCAM,
+)
+from repro.simd.vector_ops import (
+    SCALAR_TO_REDUCTION,
+    SCALAR_TO_VECTOR,
+    vector_binary,
+    vector_reduce,
+    vector_unary,
+)
+
+
+class TestVectorBinary:
+    def test_int_elementwise(self):
+        assert vector_binary("vadd", [1, 2], [10, 20], "i32") == [11, 22]
+        assert vector_binary("vsub", [1, 2], [10, 20], "i32") == [-9, -18]
+        assert vector_binary("vmul", [3, 4], [2, 2], "i16") == [6, 8]
+
+    def test_broadcast_scalar(self):
+        assert vector_binary("vadd", [1, 2, 3], 10, "i32") == [11, 12, 13]
+
+    def test_lane_count_mismatch(self):
+        with pytest.raises(ValueError):
+            vector_binary("vadd", [1, 2], [1, 2, 3], "i32")
+
+    def test_saturating_lanes(self):
+        assert vector_binary("vqadd", [120, -120], [120, -120], "i8") == \
+            [127, -128]
+        assert vector_binary("vqsub", [30000], [-30000], "i16") == [32767]
+
+    def test_narrow_wrap(self):
+        assert vector_binary("vadd", [127], [1], "i8") == [-128]
+
+    def test_vabd(self):
+        assert vector_binary("vabd", [5, -5], [2, 2], "i16") == [3, 7]
+
+    def test_vmask_int(self):
+        assert vector_binary("vmask", [0xFF, 0xFF], [0x0F, 0], "i32") == \
+            [0x0F, 0]
+
+    def test_vmask_float_uses_bit_pattern(self):
+        lanes = vector_binary("vmask", [1.5, 2.5], [0xFFFFFFFF, 0], "f32")
+        assert lanes == [1.5, 0.0]
+
+    def test_float_arithmetic(self):
+        assert vector_binary("vadd", [1.0, 2.0], [0.5, 0.5], "f32") == \
+            [1.5, 2.5]
+        assert vector_binary("vmin", [1.0, -1.0], [0.0, 0.0], "f32") == \
+            [0.0, -1.0]
+
+    def test_float_or_combines_bits(self):
+        kept = vector_binary("vmask", [3.5, 9.0], [0xFFFFFFFF, 0], "f32")
+        other = vector_binary("vmask", [7.0, 4.5], [0, 0xFFFFFFFF], "f32")
+        assert vector_binary("vorr", kept, other, "f32") == [3.5, 4.5]
+
+    def test_shifts(self):
+        assert vector_binary("vshl", [1, 2], 3, "i32") == [8, 16]
+        assert vector_binary("vshr", [-8, 8], 1, "i32") == [-4, 4]
+
+    def test_unknown_ops(self):
+        with pytest.raises(ValueError):
+            vector_binary("vwhat", [1], [1], "i32")
+        with pytest.raises(ValueError):
+            vector_binary("vshl", [1.0], [1.0], "f32")
+
+
+class TestVectorUnaryAndReduce:
+    def test_unary(self):
+        assert vector_unary("vneg", [1, -2], "i32") == [-1, 2]
+        assert vector_unary("vabs", [-3, 4], "i16") == [3, 4]
+        assert vector_unary("vabs", [-1.5], "f32") == [1.5]
+
+    def test_reduce_matches_lane_order(self):
+        assert vector_reduce("vredsum", 0, [1, 2, 3], "i32") == 6
+        assert vector_reduce("vredmin", 100, [5, -1, 7], "i32") == -1
+        assert vector_reduce("vredmax", -100, [5, -1, 7], "i32") == 7
+
+    def test_float_reduce_rounds_per_step(self):
+        # Equivalent to the scalar loop's sequential fadds.
+        from repro import arith
+        acc = 0.0
+        lanes = [0.1, 0.2, 0.3, 0.4]
+        for lane in lanes:
+            acc = arith.float_op("fadd", acc, lane)
+        assert vector_reduce("vredsum", 0.0, lanes, "f32") == acc
+
+    def test_translator_maps_are_consistent(self):
+        assert SCALAR_TO_VECTOR["add"] == "vadd"
+        assert SCALAR_TO_VECTOR["fmul"] == "vmul"
+        assert SCALAR_TO_REDUCTION["fadd"] == "vredsum"
+        assert SCALAR_TO_REDUCTION["min"] == "vredmin"
+
+
+class TestPermPatterns:
+    def test_bfly_swaps_halves(self):
+        p = PermPattern("bfly", 4)
+        assert p.apply([0, 1, 2, 3]) == [2, 3, 0, 1]
+        assert p.apply(list(range(8))) == [2, 3, 0, 1, 6, 7, 4, 5]
+
+    def test_rev_reverses_groups(self):
+        p = PermPattern("rev", 4)
+        assert p.apply([0, 1, 2, 3, 4, 5, 6, 7]) == [3, 2, 1, 0, 7, 6, 5, 4]
+
+    def test_rot_rotates_left(self):
+        p = PermPattern("rot", 4, 1)
+        assert p.apply([0, 1, 2, 3]) == [1, 2, 3, 0]
+
+    def test_inverse(self):
+        data = list(range(8))
+        for pattern in (PermPattern("bfly", 4), PermPattern("rev", 8),
+                        PermPattern("rot", 8, 3)):
+            assert pattern.inverse().apply(pattern.apply(data)) == data
+
+    def test_offsets_reconstruct_map(self):
+        p = PermPattern("bfly", 8)
+        offsets = p.offsets(16)
+        for i, off in enumerate(offsets):
+            assert i + off == p.source_lane(i)
+
+    def test_offsets_width_independent_periodicity(self):
+        p = PermPattern("rev", 4)
+        offsets = p.offsets(32)
+        assert offsets[:4] * 8 == offsets
+
+    def test_lane_map_requires_divisible_width(self):
+        with pytest.raises(ValueError):
+            PermPattern("bfly", 8).lane_map(4)
+
+    def test_invalid_patterns_rejected(self):
+        with pytest.raises(ValueError):
+            PermPattern("zip", 4)
+        with pytest.raises(ValueError):
+            PermPattern("bfly", 3)
+        with pytest.raises(ValueError):
+            PermPattern("rot", 4, 0)
+        with pytest.raises(ValueError):
+            PermPattern("rot", 4, 4)
+
+
+class TestPermutationCAM:
+    def test_hit_at_matching_width(self):
+        cam = PermutationCAM(8)
+        hit = cam.lookup(PermPattern("bfly", 8).offsets(8))
+        assert hit is not None and hit.kind == "bfly" and hit.period == 8
+
+    def test_narrower_period_tiles_wider_hardware(self):
+        cam = PermutationCAM(16)
+        hit = cam.lookup(PermPattern("rev", 4).offsets(16))
+        assert hit is not None and hit.name == "rev4"
+
+    def test_wide_pattern_misses_narrow_hardware(self):
+        cam = PermutationCAM(4)
+        prefix = PermPattern("bfly", 8).offsets(4)
+        assert cam.lookup(prefix) is None
+
+    def test_wrong_length_misses(self):
+        cam = PermutationCAM(8)
+        assert cam.lookup([4, 4, 4, 4]) is None
+
+    def test_garbage_misses(self):
+        cam = PermutationCAM(8)
+        assert cam.lookup([0, 0, 0, 0, 0, 0, 0, 0]) is None
+
+    def test_restricted_repertoire(self):
+        cam = PermutationCAM(8, patterns=(PermPattern("rev", 4),))
+        assert cam.lookup(PermPattern("rev", 4).offsets(8)) is not None
+        assert cam.lookup(PermPattern("bfly", 4).offsets(8)) is None
+
+    def test_cam_width_must_be_power_of_two(self):
+        with pytest.raises(ValueError):
+            PermutationCAM(6)
+
+
+class TestAccelerator:
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            AcceleratorConfig(width=3)
+        with pytest.raises(ValueError):
+            AcceleratorConfig(width=1)
+
+    def test_generations(self):
+        assert sorted(GENERATIONS) == ["simd16", "simd2", "simd4", "simd8"]
+        assert config_for_width(8).width == 8
+        assert config_for_width(32).width == 32  # built on demand
+
+    def test_vrf_read_write(self):
+        vrf = VectorRegisterFile(4)
+        vrf.write("v3", [1, 2, 3, 4], "i16")
+        assert vrf.read("v3") == [1, 2, 3, 4]
+        assert vrf.elem_of("v3") == "i16"
+        assert vrf.elem_of("v4") is None
+
+    def test_vrf_lane_count_enforced(self):
+        vrf = VectorRegisterFile(4)
+        with pytest.raises(ValueError):
+            vrf.write("v0", [1, 2], "i32")
+
+    def test_vrf_unknown_register(self):
+        vrf = VectorRegisterFile(4)
+        with pytest.raises(KeyError):
+            vrf.read("r0")
+
+    def test_vrf_read_returns_copy(self):
+        vrf = VectorRegisterFile(2)
+        vrf.write("vf1", [1.0, 2.0], "f32")
+        lanes = vrf.read("vf1")
+        lanes[0] = 99.0
+        assert vrf.read("vf1") == [1.0, 2.0]
+
+    def test_standard_patterns_cover_all_kinds(self):
+        kinds = {p.kind for p in STANDARD_PATTERNS}
+        assert kinds == {"bfly", "rev", "rot"}

@@ -1,0 +1,123 @@
+"""Tests for the tracer, run summaries, and ASCII figure rendering."""
+
+import pytest
+
+from repro.core.scalarize import build_liquid_program
+from repro.evaluation.figures import render_figure6_chart, render_sweep_chart
+from repro.simd.accelerator import config_for_width
+from repro.system import Machine, MachineConfig, TraceRecorder
+
+from conftest import run_program, simple_kernel
+
+
+def traced_run(tracer, calls=3, width=8):
+    program = build_liquid_program(simple_kernel(calls=calls))
+    machine = Machine(MachineConfig(accelerator=config_for_width(width)),
+                      tracer=tracer)
+    return machine.run(program)
+
+
+class TestTraceRecorder:
+    def test_captures_both_streams(self):
+        tracer = TraceRecorder(limit=10_000)
+        traced_run(tracer)
+        sources = {rec.source for rec in tracer.records}
+        assert sources == {"scalar", "ucode"}
+
+    def test_opcode_filter(self):
+        tracer = TraceRecorder(limit=1000, opcodes={"blo"})
+        traced_run(tracer, calls=4)
+        assert len(tracer) == 4
+        assert all("blo" in rec.text for rec in tracer.records)
+
+    def test_pc_range_filter(self):
+        tracer = TraceRecorder(limit=1000, pc_range=(0, 2))
+        traced_run(tracer)
+        assert all(rec.pc < 2 for rec in tracer.records)
+
+    def test_ring_buffer_rotation(self):
+        tracer = TraceRecorder(limit=5)
+        traced_run(tracer)
+        assert len(tracer) == 5
+        assert tracer.dropped > 0
+        # The newest records survive.
+        indexes = [rec.index for rec in tracer.records]
+        assert indexes == sorted(indexes)
+
+    def test_render_marks_microcode(self):
+        tracer = TraceRecorder(limit=50, opcodes={"vld"})
+        traced_run(tracer)
+        text = tracer.render()
+        assert " U " in text
+        assert "vld" in text
+
+    def test_histogram(self):
+        tracer = TraceRecorder(limit=10_000)
+        traced_run(tracer)
+        hist = tracer.opcode_histogram()
+        assert hist["blo"] == 3
+        assert "vld" in hist and "ldf" in hist
+
+    def test_limit_validation(self):
+        with pytest.raises(ValueError):
+            TraceRecorder(limit=0)
+
+    def test_tracing_does_not_change_timing(self):
+        program = build_liquid_program(simple_kernel(calls=3))
+        plain = Machine(MachineConfig(
+            accelerator=config_for_width(8))).run(program)
+        tracer = TraceRecorder(limit=10)
+        traced = Machine(MachineConfig(accelerator=config_for_width(8)),
+                         tracer=tracer).run(program)
+        assert plain.cycles == traced.cycles
+
+
+class TestRunSummary:
+    def test_summary_contains_key_sections(self):
+        result = run_program(build_liquid_program(simple_kernel(calls=4)),
+                             width=8)
+        text = result.summary()
+        assert "cycles" in text and "CPI" in text
+        assert "hot_fn" in text and "translated" in text
+        assert "microcode cache" in text
+
+    def test_summary_reports_aborts(self):
+        from conftest import perm_kernel
+        result = run_program(build_liquid_program(perm_kernel(period=8)),
+                             width=4)
+        assert "aborted (unsupported-permutation)" in result.summary()
+
+    def test_cpi_positive(self):
+        result = run_program(build_liquid_program(simple_kernel(calls=2)),
+                             width=8)
+        assert result.cpi > 0.5
+
+
+class TestFigureRendering:
+    ROWS = [
+        {"benchmark": "FIR", "speedups": {2: 2.0, 8: 5.2}},
+        {"benchmark": "179.art", "speedups": {2: 1.1, 8: 1.3}},
+    ]
+
+    def test_figure6_chart(self):
+        text = render_figure6_chart(self.ROWS, (2, 8))
+        assert "FIR" in text and "179.art" in text
+        assert "5.20" in text
+        assert "legend" in text
+
+    def test_bars_scale_with_value(self):
+        text = render_figure6_chart(self.ROWS, (2, 8))
+        fir_lines = [l for l in text.splitlines() if "w=8" in l]
+        # FIR's w=8 bar is the longest.
+        assert max(fir_lines, key=len).endswith("5.20")
+
+    def test_sweep_chart(self):
+        rows = [{"entries": 1, "cycles": 100}, {"entries": 8, "cycles": 50}]
+        text = render_sweep_chart(rows, "entries", "cycles", "sweep")
+        assert "sweep" in text
+        assert "100.00" in text
+
+    def test_empty_speedups_rejected(self):
+        with pytest.raises(ValueError):
+            render_figure6_chart(
+                [{"benchmark": "x", "speedups": {2: 0.0}}], (2,))

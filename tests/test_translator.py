@@ -1,0 +1,584 @@
+"""Unit tests for the dynamic translator: Table 3 rules, idioms, aborts.
+
+These tests drive the translator directly with a scalar program executed
+on a bare executor — no Machine — so each rule's effect on the microcode
+buffer is observable in isolation.
+"""
+
+import pytest
+
+from repro.core.translate.translator import (
+    AbortReason,
+    DynamicTranslator,
+    TranslatorConfig,
+)
+from repro.isa.assembler import assemble
+from repro.isa.instructions import Imm, Reg, VImm
+from repro.simd.permutations import PermPattern
+
+from test_executor import make_state
+
+
+def translate(source: str, width: int = 4, function: str = "fn",
+              **config_kw):
+    """Run *source*'s function `fn` and feed its retire stream through a
+    translator; returns (TranslationResult, final machine state)."""
+    state, executor = make_state(source)
+    program = state.program
+    config = TranslatorConfig(width=width, **config_kw)
+    translator = DynamicTranslator(config, resolve_label=program.label_index)
+    translator.begin(function)
+    # Execute from the function entry to its ret.
+    state.pc = program.label_index(function)
+    state.regs.write("r14", len(program.instructions))  # sentinel return
+    steps = 0
+    while True:
+        steps += 1
+        assert steps < 200000, "runaway function"
+        instr = program.instructions[state.pc]
+        event = executor.execute(instr)
+        translator.observe(event)
+        if instr.opcode == "ret":
+            break
+    return translator.finish(ret_cycle=1000), state
+
+
+def ucode_ops(result):
+    return [i.opcode for i in result.entry.fragment.instructions]
+
+
+BASIC_LOOP = """
+.data A f32 16 = 1.0
+.data B f32 16 = 0.0
+fn:
+    mov r0, #0
+L:
+    ldf f2, [A + r0]
+    fmul f3, f2, #2.0
+    stf f3, [B + r0]
+    add r0, r0, #1
+    cmp r0, #16
+    blt L
+    ret
+"""
+
+
+class TestBasicRules:
+    def test_simple_loop_translates(self):
+        result, _ = translate(BASIC_LOOP, width=4)
+        assert result.ok
+        assert ucode_ops(result) == ["mov", "vld", "vmul", "vst", "add",
+                                     "cmp", "blt"]
+
+    def test_effective_width_patches_increment(self):
+        result, _ = translate(BASIC_LOOP, width=4)
+        add = result.entry.fragment.instructions[4]
+        assert add.srcs[1] == Imm(4)
+        assert result.entry.width == 4
+
+    def test_effective_width_capped_by_trip(self):
+        src = BASIC_LOOP.replace("16", "8")
+        result, _ = translate(src, width=16)
+        assert result.ok
+        assert result.entry.width == 8  # the paper's MPEG2 effect
+
+    def test_vector_registers_mirror_scalar_names(self):
+        result, _ = translate(BASIC_LOOP, width=4)
+        vld = result.entry.fragment.instructions[1]
+        assert vld.dst == Reg("vf2")
+
+    def test_loop_label_resolves_into_fragment(self):
+        result, _ = translate(BASIC_LOOP, width=4)
+        fragment = result.entry.fragment
+        blt = fragment.instructions[-1]
+        assert blt.target in fragment.labels
+        assert fragment.label_index(blt.target) == 1  # the vld
+
+    def test_static_instruction_count(self):
+        result, _ = translate(BASIC_LOOP, width=4)
+        assert result.observed_static == 8  # 7 body/scaffold + ret
+
+    def test_ready_cycle_includes_latency(self):
+        result, _ = translate(BASIC_LOOP, width=4, cycles_per_instruction=10)
+        assert result.entry.ready_cycle == 1000 + 10 * result.observed_static
+
+    def test_reduction_rule9(self):
+        src = """
+        .data A f32 16 = 1.0
+        fn:
+            fmov f1, #0.0
+            mov r0, #0
+        L:
+            ldf f2, [A + r0]
+            fadd f1, f1, f2
+            add r0, r0, #1
+            cmp r0, #16
+            blt L
+            ret
+        """
+        result, _ = translate(src, width=4)
+        assert result.ok
+        assert "vredsum" in ucode_ops(result)
+
+    def test_int_accumulator_demoted_from_induction(self):
+        # `mov r1, #0` looks like rule 1; the reduction must demote it.
+        src = """
+        .data A i32 16 = 3
+        fn:
+            mov r1, #0
+            mov r0, #0
+        L:
+            ldw r2, [A + r0]
+            add r1, r1, r2
+            add r0, r0, #1
+            cmp r0, #16
+            blt L
+            ret
+        """
+        result, _ = translate(src, width=4)
+        assert result.ok
+        assert "vredsum" in ucode_ops(result)
+
+    def test_category2_immediate_operand(self):
+        result, _ = translate(BASIC_LOOP, width=4)
+        vmul = result.entry.fragment.instructions[2]
+        assert vmul.srcs[1] == Imm(2.0)
+
+    def test_multi_loop_function(self):
+        src = """
+        .data A f32 16 = 1.0
+        .data B f32 16 = 0.0
+        fn:
+            mov r0, #0
+        L1:
+            ldf f2, [A + r0]
+            stf f2, [B + r0]
+            add r0, r0, #1
+            cmp r0, #16
+            blt L1
+            mov r0, #0
+        L2:
+            ldf f3, [B + r0]
+            fadd f3, f3, f3
+            stf f3, [B + r0]
+            add r0, r0, #1
+            cmp r0, #16
+            blt L2
+            ret
+        """
+        result, _ = translate(src, width=8)
+        assert result.ok
+        ops = ucode_ops(result)
+        assert ops.count("blt") == 2
+        assert ops.count("mov") == 2
+
+    def test_rsb_zero_becomes_vneg(self):
+        src = """
+        .data A i32 16 = 5
+        .data B i32 16 = 0
+        fn:
+            mov r0, #0
+        L:
+            ldw r2, [A + r0]
+            rsb r3, r2, #0
+            stw r3, [B + r0]
+            add r0, r0, #1
+            cmp r0, #16
+            blt L
+            ret
+        """
+        result, _ = translate(src, width=4)
+        assert result.ok
+        assert "vneg" in ucode_ops(result)
+
+    def test_pass_through_scalar_pre_post(self):
+        src = """
+        .data A f32 16 = 1.0
+        .data OUT f32 1 = 0.0
+        fn:
+            fmov f1, #0.0
+            mov r0, #0
+        L:
+            ldf f2, [A + r0]
+            fadd f1, f1, f2
+            add r0, r0, #1
+            cmp r0, #16
+            blt L
+            stf f1, [OUT + #0]
+            ret
+        """
+        result, _ = translate(src, width=4)
+        assert result.ok
+        ops = ucode_ops(result)
+        assert ops[0] == "fmov"
+        assert ops[-1] == "stf"
+
+
+class TestPermutationRules:
+    PERM_LOOP = """
+    .data A f32 16 = 1.0
+    .data B f32 16 = 0.0
+    .rodata off i32 = {offs}
+    fn:
+        mov r0, #0
+    L:
+        ldw r3, [off + r0]
+        add r4, r0, r3
+        ldf f2, [A + r4]
+        stf f2, [B + r0]
+        add r0, r0, #1
+        cmp r0, #16
+        blt L
+        ret
+    """
+
+    def _offsets(self, pattern):
+        return ", ".join(str(v) for v in pattern.offsets(16))
+
+    def test_load_perm_recognized(self):
+        src = self.PERM_LOOP.format(offs=self._offsets(PermPattern("bfly", 4)))
+        result, _ = translate(src, width=8)
+        assert result.ok
+        ops = ucode_ops(result)
+        assert "vbfly" in ops
+
+    def test_offset_load_collapsed(self):
+        src = self.PERM_LOOP.format(offs=self._offsets(PermPattern("bfly", 4)))
+        result, _ = translate(src, width=8)
+        ops = ucode_ops(result)
+        # Only the data load remains; the offset vld was collapsed.
+        assert ops.count("vld") == 1
+
+    def test_collapse_can_be_disabled(self):
+        src = self.PERM_LOOP.format(offs=self._offsets(PermPattern("bfly", 4)))
+        result, _ = translate(src, width=8, collapse_offset_loads=False)
+        assert ucode_ops(result).count("vld") == 2
+
+    def test_unknown_offsets_abort(self):
+        offs = ", ".join(["1"] * 16)
+        result, _ = translate(self.PERM_LOOP.format(offs=offs), width=8)
+        assert not result.ok
+        assert result.reason is AbortReason.UNSUPPORTED_PATTERN
+
+    def test_pattern_wider_than_hardware_aborts(self):
+        src = self.PERM_LOOP.format(offs=self._offsets(PermPattern("bfly", 8)))
+        result, _ = translate(src, width=4)
+        assert not result.ok
+        assert result.reason is AbortReason.UNSUPPORTED_PATTERN
+
+    def test_restricted_repertoire_aborts(self):
+        src = self.PERM_LOOP.format(offs=self._offsets(PermPattern("rev", 4)))
+        result, _ = translate(
+            src, width=8, permutations=(PermPattern("bfly", 4),)
+        )
+        assert not result.ok
+        assert result.reason is AbortReason.UNSUPPORTED_PATTERN
+
+    def test_store_perm_uses_scratch_register(self):
+        src = """
+        .data A f32 16 = 1.0
+        .data B f32 16 = 0.0
+        .rodata off i32 = {offs}
+        fn:
+            mov r0, #0
+        L:
+            ldf f2, [A + r0]
+            ldw r3, [off + r0]
+            add r4, r0, r3
+            stf f2, [B + r4]
+            add r0, r0, #1
+            cmp r0, #16
+            blt L
+            ret
+        """.format(offs=self._offsets(PermPattern("rev", 4)))
+        result, _ = translate(src, width=8)
+        assert result.ok
+        instrs = result.entry.fragment.instructions
+        perm = [i for i in instrs if i.opcode == "vrev"][0]
+        store = [i for i in instrs if i.opcode == "vst"][0]
+        assert perm.dst == Reg("vf15")
+        assert store.srcs[0] == Reg("vf15")
+
+
+class TestConstRewrite:
+    MASK_LOOP = """
+    .data A f32 16 = 1.5
+    .data B f32 16 = 0.0
+    .rodata m i32 = {mask}
+    fn:
+        mov r0, #0
+    L:
+        ldf f2, [A + r0]
+        ldw r3, [m + r0]
+        and f4, f2, r3
+        stf f4, [B + r0]
+        add r0, r0, #1
+        cmp r0, #16
+        blt L
+        ret
+    """
+
+    def test_periodic_mask_becomes_immediate(self):
+        mask = ", ".join(["0", "-1"] * 8)
+        result, _ = translate(self.MASK_LOOP.format(mask=mask), width=4)
+        assert result.ok
+        vand = [i for i in result.entry.fragment.instructions
+                if i.opcode == "vand"][0]
+        assert vand.srcs[1] == VImm((0, -1, 0, -1))
+        # The mask load collapses once the immediate is materialized.
+        assert ucode_ops(result).count("vld") == 1
+
+    def test_aperiodic_mask_keeps_register_form(self):
+        mask = ", ".join(str(i) for i in range(16))  # period 16 > width 4
+        result, _ = translate(self.MASK_LOOP.format(mask=mask), width=4)
+        assert result.ok
+        vand = [i for i in result.entry.fragment.instructions
+                if i.opcode == "vand"][0]
+        assert vand.srcs[1] == Reg("v3")
+        assert ucode_ops(result).count("vld") == 2  # mask load kept
+
+    def test_const_immediates_can_be_disabled(self):
+        mask = ", ".join(["0", "-1"] * 8)
+        result, _ = translate(self.MASK_LOOP.format(mask=mask), width=4,
+                              const_immediates=False)
+        vand = [i for i in result.entry.fragment.instructions
+                if i.opcode == "vand"][0]
+        assert vand.srcs[1] == Reg("v3")
+
+
+class TestIdiomRecognition:
+    SAT_LOOP = """
+    .data A i16 16 = 30000
+    .data B i16 16 = 30000
+    .data C i16 16 = 0
+    fn:
+        mov r0, #0
+    L:
+        ldh r2, [A + r0]
+        ldh r3, [B + r0]
+        add r4, r2, r3
+        cmp r4, #32767
+        movgt r4, #32767
+        cmp r4, #-32768
+        movlt r4, #-32768
+        sth r4, [C + r0]
+        add r0, r0, #1
+        cmp r0, #16
+        blt L
+        ret
+    """
+
+    def test_saturation_collapses_to_vqadd(self):
+        result, _ = translate(self.SAT_LOOP, width=4)
+        assert result.ok
+        ops = ucode_ops(result)
+        assert "vqadd" in ops
+        assert "movgt" not in ops and "cmp" in ops  # loop cmp survives
+        vq = [i for i in result.entry.fragment.instructions
+              if i.opcode == "vqadd"][0]
+        assert vq.elem == "i16"
+
+    def test_unsupported_bounds_abort(self):
+        src = self.SAT_LOOP.replace("#32767", "#1000").replace("#-32768",
+                                                               "#-1000")
+        result, _ = translate(src, width=4)
+        assert not result.ok
+        assert result.reason is AbortReason.UNSUPPORTED_SATURATION
+
+    def test_old_generation_without_saturation_aborts(self):
+        result, _ = translate(self.SAT_LOOP, width=4,
+                              supports_saturation=False)
+        assert not result.ok
+        assert result.reason is AbortReason.UNSUPPORTED_SATURATION
+
+    def test_broken_idiom_aborts(self):
+        # A compare of vector data that is not part of any idiom.
+        src = """
+        .data A i16 16 = 1
+        fn:
+            mov r0, #0
+        L:
+            ldh r2, [A + r0]
+            cmp r2, r2
+            add r0, r0, #1
+            cmp r0, #16
+            blt L
+            ret
+        """
+        result, _ = translate(src, width=4)
+        assert not result.ok
+        assert result.reason is AbortReason.IDIOM_BROKEN
+
+    def test_minmax_idiom_collapses(self):
+        src = """
+        .data A i16 16 = 5
+        .data B i16 16 = 9
+        .data C i16 16 = 0
+        fn:
+            mov r0, #0
+        L:
+            ldh r2, [A + r0]
+            ldh r3, [B + r0]
+            mov r4, r2
+            cmp r2, r3
+            movgt r4, r3
+            sth r4, [C + r0]
+            add r0, r0, #1
+            cmp r0, #16
+            blt L
+            ret
+        """
+        result, _ = translate(src, width=4)
+        assert result.ok
+        assert "vmin" in ucode_ops(result)
+
+    def test_float_max_idiom_collapses(self):
+        src = """
+        .data A f32 16 = 5.0
+        .data B f32 16 = 9.0
+        .data C f32 16 = 0.0
+        fn:
+            mov r0, #0
+        L:
+            ldf f2, [A + r0]
+            ldf f3, [B + r0]
+            fmov f4, f2
+            fcmp f2, f3
+            fmovlt f4, f3
+            stf f4, [C + r0]
+            add r0, r0, #1
+            cmp r0, #16
+            blt L
+            ret
+        """
+        result, _ = translate(src, width=4)
+        assert result.ok
+        assert "vmax" in ucode_ops(result)
+
+
+class TestAborts:
+    def test_illegal_opcode(self):
+        src = """
+        .data A f32 16 = 1.0
+        fn:
+            mov r0, #0
+        L:
+            ldf f2, [A + r0]
+            fdiv f3, f2, f2
+            stf f3, [A + r0]
+            add r0, r0, #1
+            cmp r0, #16
+            blt L
+            ret
+        """
+        result, _ = translate(src, width=4)
+        assert not result.ok
+        assert result.reason is AbortReason.ILLEGAL_OPCODE
+
+    def test_nested_call(self):
+        src = """
+        fn:
+            mov r0, #0
+            bl helper
+            ret
+        helper:
+            nop
+            ret
+        """
+        result, _ = translate(src, width=4)
+        assert not result.ok
+        assert result.reason is AbortReason.NESTED_CALL
+
+    def test_no_loop(self):
+        src = "fn:\n    mov r1, #7\n    ret"
+        result, _ = translate(src, width=4)
+        assert not result.ok
+        assert result.reason is AbortReason.NO_LOOP
+
+    def test_trip_without_pow2_factor(self):
+        src = BASIC_LOOP.replace("#16", "#15")
+        result, _ = translate(src, width=4)
+        assert not result.ok
+        assert result.reason is AbortReason.TRIP_NOT_VECTORIZABLE
+
+    def test_buffer_overflow(self):
+        body = "\n".join(
+            f"    fadd f{3 + (i % 4)}, f2, f2" for i in range(70)
+        )
+        src = f"""
+        .data A f32 16 = 1.0
+        fn:
+            mov r0, #0
+        L:
+            ldf f2, [A + r0]
+        {body}
+            add r0, r0, #1
+            cmp r0, #16
+            blt L
+            ret
+        """
+        result, _ = translate(src, width=4)
+        assert not result.ok
+        assert result.reason is AbortReason.BUFFER_OVERFLOW
+
+    def test_external_abort(self):
+        state, executor = make_state(BASIC_LOOP)
+        program = state.program
+        translator = DynamicTranslator(
+            TranslatorConfig(width=4), resolve_label=program.label_index
+        )
+        translator.begin("fn")
+        state.pc = program.label_index("fn")
+        state.regs.write("r14", len(program.instructions))
+        for _ in range(4):
+            instr = program.instructions[state.pc]
+            translator.observe(executor.execute(instr))
+        translator.abort_external()  # context switch mid-translation
+        result = translator.finish()
+        assert not result.ok
+        assert result.reason is AbortReason.EXTERNAL
+
+    def test_insufficient_iterations_for_permutation(self):
+        # Loop trip 16 but effective width 16 needs 16 offset samples;
+        # shrink trip to 4 with width 8 -> effective width 4, but pattern
+        # period 8 cannot fit: abort via CAM, not a crash.
+        offs = ", ".join(str(v) for v in PermPattern("bfly", 8).offsets(16))
+        src = TestPermutationRules.PERM_LOOP.format(offs=offs)
+        src = src.replace("cmp r0, #16", "cmp r0, #4")
+        result, _ = translate(src, width=8)
+        assert not result.ok
+
+    def test_scalar_store_indexed_by_induction_aborts(self):
+        src = """
+        .data A i32 16 = 0
+        fn:
+            mov r1, #7
+            mov r0, #0
+        L:
+            stw r1, [A + r0]
+            add r0, r0, #1
+            cmp r0, #16
+            blt L
+            ret
+        """
+        result, _ = translate(src, width=4)
+        assert not result.ok
+        assert result.reason is AbortReason.INCONSISTENT
+
+    def test_arbitrary_indexed_load_aborts(self):
+        # VTBL-style runtime indices are not representable (paper 3.3).
+        src = """
+        .data A i32 16 = 1
+        .data IDX i32 16 = 3
+        fn:
+            mov r0, #0
+        L:
+            ldw r2, [IDX + r0]
+            ldw r3, [A + r2]
+            add r0, r0, #1
+            cmp r0, #16
+            blt L
+            ret
+        """
+        result, _ = translate(src, width=4)
+        assert not result.ok

@@ -1,0 +1,229 @@
+"""Additional translator edge cases: widths, multi-loop, fragments."""
+
+from repro.core.translate.translator import AbortReason
+from repro.isa.instructions import Imm
+
+from test_translator import translate, ucode_ops
+
+
+class TestEffectiveWidth:
+    def test_mixed_trip_loops_use_minimum_width(self):
+        src = """
+        .data A f32 32 = 1.0
+        .data B f32 8 = 1.0
+        fn:
+            mov r0, #0
+        L1:
+            ldf f2, [A + r0]
+            fadd f2, f2, f2
+            stf f2, [A + r0]
+            add r0, r0, #1
+            cmp r0, #32
+            blt L1
+            mov r0, #0
+        L2:
+            ldf f3, [B + r0]
+            fadd f3, f3, f3
+            stf f3, [B + r0]
+            add r0, r0, #1
+            cmp r0, #8
+            blt L2
+            ret
+        """
+        result, _ = translate(src, width=16)
+        assert result.ok
+        # One fragment-wide width: min(16-capped-by-32, 16-capped-by-8) = 8.
+        assert result.entry.width == 8
+        adds = [i for i in result.entry.fragment.instructions
+                if i.opcode == "add"]
+        assert all(a.srcs[1] == Imm(8) for a in adds)
+
+    def test_odd_trip_uses_pow2_factor(self):
+        src = """
+        .data A f32 32 = 1.0
+        fn:
+            mov r0, #0
+        L:
+            ldf f2, [A + r0]
+            stf f2, [A + r0]
+            add r0, r0, #1
+            cmp r0, #24
+            blt L
+            ret
+        """
+        result, _ = translate(src, width=16)
+        assert result.ok
+        assert result.entry.width == 8  # largest power-of-two factor of 24
+
+    def test_trip_two_is_minimum(self):
+        src = """
+        .data A f32 32 = 1.0
+        fn:
+            mov r0, #0
+        L:
+            ldf f2, [A + r0]
+            stf f2, [A + r0]
+            add r0, r0, #1
+            cmp r0, #2
+            blt L
+            ret
+        """
+        result, _ = translate(src, width=16)
+        assert result.ok and result.entry.width == 2
+
+
+class TestFragmentStructure:
+    def test_fragment_has_entry_label(self):
+        from test_translator import BASIC_LOOP
+        result, _ = translate(BASIC_LOOP, width=4)
+        fragment = result.entry.fragment
+        assert fragment.entry == "u_entry"
+        assert fragment.label_index("u_entry") == 0
+
+    def test_two_loops_two_fragment_labels(self):
+        src = """
+        .data A f32 16 = 1.0
+        fn:
+            mov r0, #0
+        L1:
+            ldf f2, [A + r0]
+            stf f2, [A + r0]
+            add r0, r0, #1
+            cmp r0, #16
+            blt L1
+            mov r0, #0
+        L2:
+            ldf f2, [A + r0]
+            stf f2, [A + r0]
+            add r0, r0, #1
+            cmp r0, #16
+            blt L2
+            ret
+        """
+        result, _ = translate(src, width=4)
+        assert result.ok
+        fragment = result.entry.fragment
+        blts = [i for i in fragment.instructions if i.opcode == "blt"]
+        assert len(blts) == 2
+        assert blts[0].target != blts[1].target
+        # Each backward branch targets its own loop's first body entry.
+        for blt in blts:
+            target = fragment.label_index(blt.target)
+            assert fragment.instructions[target].opcode == "vld"
+
+
+class TestLegalityEdges:
+    def test_store_base_register_form_passes_through_when_scalar(self):
+        src = """
+        .data OUT i32 4 = 0
+        fn:
+            mov r5, #3
+            mov r0, #0
+        L:
+            add r0, r0, #1
+            cmp r0, #8
+            blt L
+            stw r5, [OUT + #0]
+            ret
+        """
+        result, _ = translate(src, width=4)
+        # The loop has no vector work but is still a legal translation
+        # (everything passes through; increment becomes +4).
+        assert result.ok
+        assert "stw" in ucode_ops(result)
+
+    def test_unconditional_branch_aborts(self):
+        src = """
+        fn:
+            mov r0, #0
+        L:
+            add r0, r0, #1
+            cmp r0, #8
+            blt L
+            b skip
+            nop
+        skip:
+            ret
+        """
+        result, _ = translate(src, width=4)
+        assert not result.ok
+        assert result.reason is AbortReason.MALFORMED_LOOP
+
+    def test_loop_without_compare_aborts(self):
+        src = """
+        .data A f32 16 = 1.0
+        fn:
+            mov r0, #0
+            mov r1, #16
+        L:
+            ldf f2, [A + r0]
+            stf f2, [A + r0]
+            add r0, r0, #1
+            cmp r0, r1
+            blt L
+            ret
+        """
+        # Trip bound held in a register: the translator cannot size the
+        # vectorized loop, so finalization rejects it.
+        result, _ = translate(src, width=4)
+        assert not result.ok
+        assert result.reason is AbortReason.MALFORMED_LOOP
+
+    def test_second_use_of_induction_as_data_aborts(self):
+        src = """
+        .data A i32 16 = 1
+        fn:
+            mov r0, #0
+        L:
+            ldw r2, [A + r0]
+            add r3, r2, r0
+            stw r3, [A + r0]
+            add r0, r0, #1
+            cmp r0, #16
+            blt L
+            ret
+        """
+        # `add r3, r2, r0` looks like rule 8 (induction + vector) but r2
+        # has genuine data, not offsets: the translator treats it as an
+        # offset vector and the store then scatter-misses the CAM.
+        result, _ = translate(src, width=4)
+        assert not result.ok
+
+
+class TestUnsignedLoads:
+    def test_unsigned_load_aborts(self):
+        src = """
+        .data A i8 16 = 200
+        fn:
+            mov r0, #0
+        L:
+            ldub r2, [A + r0]
+            stb r2, [A + r0]
+            add r0, r0, #1
+            cmp r0, #16
+            blt L
+            ret
+        """
+        result, _ = translate(src, width=4)
+        assert not result.ok
+        assert result.reason is AbortReason.ILLEGAL_OPCODE
+
+    def test_unsigned_load_outside_loop_passes_through(self):
+        src = """
+        .data A i8 16 = 200
+        .data OUT i32 1 = 0
+        fn:
+            mov r0, #0
+        L:
+            ldb r2, [A + r0]
+            stb r2, [A + r0]
+            add r0, r0, #1
+            cmp r0, #16
+            blt L
+            ldub r3, [A + #0]
+            stw r3, [OUT + #0]
+            ret
+        """
+        result, _ = translate(src, width=4)
+        assert result.ok
+        assert "ldub" in ucode_ops(result)

@@ -1,0 +1,141 @@
+"""Exhaustive cross-checks: every vector op vs. its scalar twin.
+
+The correctness of the whole system reduces to one contract: for every
+vector opcode, every element type, and every lane value, the lane result
+equals what the corresponding scalar-representation instruction computes
+on that element.  This module enumerates that contract directly, using
+edge-heavy lane vectors (bounds, zeros, sign flips).
+"""
+
+import pytest
+
+from repro import arith
+from repro.simd.vector_ops import (
+    SCALAR_TO_VECTOR,
+    vector_binary,
+    vector_reduce,
+    vector_unary,
+)
+
+_INT_EDGES = {
+    "i8": [0, 1, -1, 127, -128, 64, -64, 100],
+    "i16": [0, 1, -1, 32767, -32768, 12345, -12345, 255],
+    "i32": [0, 1, -1, (1 << 31) - 1, -(1 << 31), 65536, -65536, 7],
+}
+_F32_EDGES = [0.0, 1.0, -1.0, 0.5, -2.25, 1e10, -1e-10, 3.0]
+
+_INT_OPS = {
+    "vadd": "add", "vsub": "sub", "vmul": "mul",
+    "vand": "and", "vorr": "orr", "veor": "eor", "vbic": "bic",
+    "vmin": "min", "vmax": "max",
+    "vqadd": "qadd", "vqsub": "qsub",
+}
+_F32_OPS = {
+    "vadd": "fadd", "vsub": "fsub", "vmul": "fmul",
+    "vmin": "fmin", "vmax": "fmax",
+}
+
+
+@pytest.mark.parametrize("elem", ["i8", "i16", "i32"])
+@pytest.mark.parametrize("vop,sop", sorted(_INT_OPS.items()))
+def test_integer_lanes_match_scalar_op(vop, sop, elem):
+    a = _INT_EDGES[elem]
+    b = list(reversed(a))
+    lanes = vector_binary(vop, a, b, elem)
+    for x, y, lane in zip(a, b, lanes):
+        assert lane == arith.int_op(sop, x, y, elem), (vop, x, y)
+
+
+@pytest.mark.parametrize("vop,sop", sorted(_F32_OPS.items()))
+def test_float_lanes_match_scalar_op(vop, sop):
+    a = _F32_EDGES
+    b = list(reversed(a))
+    lanes = vector_binary(vop, a, b, "f32")
+    for x, y, lane in zip(a, b, lanes):
+        assert lane == arith.float_op(sop, x, y), (vop, x, y)
+
+
+@pytest.mark.parametrize("elem", ["i8", "i16", "i32"])
+@pytest.mark.parametrize("shift", [0, 1, 3, 7])
+def test_shift_lanes_match_scalar(elem, shift):
+    a = _INT_EDGES[elem]
+    assert vector_binary("vshl", a, shift, elem) == \
+        [arith.int_op("lsl", x, shift, elem) for x in a]
+    assert vector_binary("vshr", a, shift, elem) == \
+        [arith.int_op("asr", x, shift, elem) for x in a]
+
+
+@pytest.mark.parametrize("elem", ["i8", "i16", "i32"])
+def test_abd_is_absolute_difference(elem):
+    a = _INT_EDGES[elem]
+    b = list(reversed(a))
+    lanes = vector_binary("vabd", a, b, elem)
+    for x, y, lane in zip(a, b, lanes):
+        assert lane == arith.wrap_int(abs(int(x) - int(y)), elem)
+
+
+@pytest.mark.parametrize("elem", ["i8", "i16", "i32"])
+def test_unary_lanes(elem):
+    a = _INT_EDGES[elem]
+    assert vector_unary("vneg", a, elem) == \
+        [arith.wrap_int(-x, elem) for x in a]
+    assert vector_unary("vabs", a, elem) == \
+        [arith.wrap_int(abs(x), elem) for x in a]
+
+
+def test_float_unary_lanes():
+    a = _F32_EDGES
+    assert vector_unary("vneg", a, "f32") == \
+        [arith.float_op("fneg", x) for x in a]
+    assert vector_unary("vabs", a, "f32") == \
+        [arith.float_op("fabs", x) for x in a]
+
+
+@pytest.mark.parametrize("red,sop", [("vredsum", "add"), ("vredmin", "min"),
+                                     ("vredmax", "max")])
+@pytest.mark.parametrize("elem", ["i16", "i32"])
+def test_integer_reductions_fold_in_lane_order(red, sop, elem):
+    lanes = _INT_EDGES[elem]
+    acc = 5
+    expected = acc
+    for lane in lanes:
+        expected = arith.int_op(sop, expected, lane, "i32")
+    assert vector_reduce(red, acc, lanes, elem) == expected
+
+
+@pytest.mark.parametrize("red,sop", [("vredsum", "fadd"), ("vredmin", "fmin"),
+                                     ("vredmax", "fmax")])
+def test_float_reductions_fold_in_lane_order(red, sop):
+    lanes = _F32_EDGES
+    acc = 0.25
+    expected = acc
+    for lane in lanes:
+        expected = arith.float_op(sop, expected, lane)
+    assert vector_reduce(red, acc, lanes, "f32") == expected
+
+
+def test_translator_map_targets_real_semantics():
+    """Every SCALAR_TO_VECTOR target must have lane semantics."""
+    for scalar_op, vector_op in SCALAR_TO_VECTOR.items():
+        if vector_op in ("vneg", "vabs"):
+            vector_unary(vector_op, [1.0, -1.0] if scalar_op.startswith("f")
+                         else [1, -1],
+                         "f32" if scalar_op.startswith("f") else "i32")
+        elif scalar_op.startswith("f") or scalar_op in ("fand", "forr"):
+            vector_binary(vector_op, [1.0, 2.0], [0.5, 0.5], "f32")
+        else:
+            vector_binary(vector_op, [1, 2], [3, 4], "i32")
+
+
+@pytest.mark.parametrize("elem", ["i8", "i16"])
+def test_saturating_ops_match_idiom_shape(elem):
+    """vqadd lanes equal the scalar clamp idiom's result on every edge."""
+    lo, hi = arith.INT_BOUNDS[elem]
+    a = _INT_EDGES[elem]
+    b = _INT_EDGES[elem][::-1]
+    lanes = vector_binary("vqadd", a, b, elem)
+    for x, y, lane in zip(a, b, lanes):
+        # The idiom computes the exact 32-bit sum, then clamps.
+        s = arith.wrap_int(int(x) + int(y), "i32")
+        idiom = max(lo, min(hi, s))
+        assert lane == idiom
