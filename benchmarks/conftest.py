@@ -3,14 +3,34 @@
 The :class:`EvalContext` memoizes machine runs, so experiments that need
 the same simulations (Figure 6, Table 6, the overhead callout) share
 them across benchmark modules instead of re-simulating.
+
+The ``engine_bench_records`` fixture collects fast-vs-reference engine
+timings (filled in by ``test_engine_speedup.py``) and writes them to
+``benchmarks/BENCH_engine.json`` at session teardown, so successive runs
+leave a machine-readable record of the measured speedup.
 """
+
+import json
+from pathlib import Path
 
 import pytest
 
 from repro.evaluation.experiments import EvalContext
+
+ENGINE_BENCH_PATH = Path(__file__).resolve().parent / "BENCH_engine.json"
 
 
 @pytest.fixture(scope="session")
 def ctx() -> EvalContext:
     """One evaluation context (all fifteen benchmarks) per session."""
     return EvalContext()
+
+
+@pytest.fixture(scope="session")
+def engine_bench_records():
+    """Mutable dict of engine-timing records, dumped as BENCH_engine.json."""
+    records = {}
+    yield records
+    if records:
+        ENGINE_BENCH_PATH.write_text(json.dumps(records, indent=2,
+                                                sort_keys=True) + "\n")

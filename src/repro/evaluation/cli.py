@@ -32,6 +32,10 @@ def build_parser() -> argparse.ArgumentParser:
                         help=f"which experiments to run {EXPERIMENTS}")
     parser.add_argument("--all", action="store_true",
                         help="all experiments over all fifteen benchmarks")
+    parser.add_argument("--engine", choices=("fast", "reference"),
+                        default="fast",
+                        help="execution engine (results are bit-identical; "
+                             "'reference' is the slow canonical interpreter)")
     return parser
 
 
@@ -44,7 +48,7 @@ def run(argv: Optional[List[str]] = None) -> int:
         benchmarks = args.benchmarks or FAST_SUBSET
         selected = args.experiments
 
-    ctx = experiments.EvalContext(benchmarks)
+    ctx = experiments.EvalContext(benchmarks, engine=args.engine)
     start = time.time()
 
     if "table2" in selected:
@@ -72,12 +76,12 @@ def run(argv: Optional[List[str]] = None) -> int:
         print(report.render_code_size(experiments.code_size_overhead(ctx)))
         print()
     if "ucache" in selected:
-        rows = experiments.ucode_cache_ablation("LU")
+        rows = experiments.ucode_cache_ablation("LU", engine=args.engine)
         print(report.render_ablation(rows, "entries",
                                      "Microcode cache entries sweep (LU)"))
         print()
     if "jit" in selected:
-        rows = experiments.software_translation_comparison()
+        rows = experiments.software_translation_comparison(engine=args.engine)
         print(f"{'Benchmark':<14}{'HW cycles':>12}{'JIT cycles':>12}"
               f"{'JIT cost':>10}")
         for row in rows:
@@ -86,7 +90,8 @@ def run(argv: Optional[List[str]] = None) -> int:
                   f"{row['jit_cost_pct']:>9.2f}%")
         print()
     if "latency" in selected:
-        rows = experiments.translation_latency_ablation("171.swim")
+        rows = experiments.translation_latency_ablation(
+            "171.swim", engine=args.engine)
         print(report.render_ablation(
             rows, "cycles_per_instruction",
             "Translation latency sweep (171.swim)"))

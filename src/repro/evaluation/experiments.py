@@ -42,10 +42,17 @@ DEFAULT_WIDTHS: Tuple[int, ...] = (2, 4, 8, 16)
 
 
 class EvalContext:
-    """Builds programs and memoizes machine runs across experiments."""
+    """Builds programs and memoizes machine runs across experiments.
 
-    def __init__(self, benchmarks: Optional[Sequence[str]] = None) -> None:
+    ``engine`` selects the execution engine for every machine run made
+    through this context (see docs/execution-engines.md); results are
+    bit-identical either way, only wall-clock time differs.
+    """
+
+    def __init__(self, benchmarks: Optional[Sequence[str]] = None,
+                 engine: str = "fast") -> None:
         self.benchmarks = list(benchmarks or BENCHMARK_ORDER)
+        self.engine = engine
         self._programs: Dict[Tuple[str, str], Program] = {}
         self._runs: Dict[Tuple[str, str], RunResult] = {}
 
@@ -77,16 +84,18 @@ class EvalContext:
         return self._runs[key]
 
     def baseline_run(self, benchmark: str) -> RunResult:
-        return self.run(benchmark, MachineConfig(), "baseline")
+        return self.run(benchmark, MachineConfig(engine=self.engine),
+                        "baseline")
 
     def liquid_run(self, benchmark: str, width: int) -> RunResult:
-        config = MachineConfig(accelerator=config_for_width(width))
+        config = MachineConfig(accelerator=config_for_width(width),
+                               engine=self.engine)
         return self.run(benchmark, config, f"liquid-w{width}")
 
     def pretranslated_run(self, benchmark: str, width: int) -> RunResult:
         """The paper's 'built-in ISA support' point: microcode from call 1."""
         config = MachineConfig(accelerator=config_for_width(width),
-                               pretranslate=True)
+                               pretranslate=True, engine=self.engine)
         return self.run(benchmark, config, f"native-w{width}")
 
 
@@ -214,8 +223,10 @@ def native_overhead(ctx: Optional[EvalContext] = None,
         base = ctx.baseline_run(benchmark)
         liquid = ctx.liquid_run(benchmark, width)
         native = ctx.pretranslated_run(benchmark, width)
-        liquid2 = _scaled_run(benchmark, width, factor=2, pretranslate=False)
-        native2 = _scaled_run(benchmark, width, factor=2, pretranslate=True)
+        liquid2 = _scaled_run(benchmark, width, factor=2, pretranslate=False,
+                              engine=ctx.engine)
+        native2 = _scaled_run(benchmark, width, factor=2, pretranslate=True,
+                              engine=ctx.engine)
         liquid_slope = liquid2.cycles - liquid.cycles
         native_slope = native2.cycles - native.cycles
         s_liquid = liquid.speedup_over(base)
@@ -234,13 +245,13 @@ def native_overhead(ctx: Optional[EvalContext] = None,
 
 
 def _scaled_run(benchmark: str, width: int, factor: int,
-                pretranslate: bool) -> RunResult:
+                pretranslate: bool, engine: str = "fast") -> RunResult:
     """Run a Liquid binary whose schedule repeats *factor*x longer."""
     kernel = build_kernel(benchmark)
     kernel.repeats *= factor
     program = build_liquid_program(kernel, DEFAULT_MVL)
     config = MachineConfig(accelerator=config_for_width(width),
-                           pretranslate=pretranslate)
+                           pretranslate=pretranslate, engine=engine)
     return Machine(config).run(program)
 
 
@@ -277,8 +288,8 @@ def code_size_overhead(ctx: Optional[EvalContext] = None,
 
 
 def ucode_cache_ablation(benchmark: str = "FFT", width: int = 8,
-                         entry_counts: Iterable[int] = (1, 2, 4, 8, 16)
-                         ) -> List[dict]:
+                         entry_counts: Iterable[int] = (1, 2, 4, 8, 16),
+                         engine: str = "fast") -> List[dict]:
     """Sweep microcode cache entries; 8 should capture every working set.
 
     Reports SIMD-run fraction and cycles per geometry.  The paper found
@@ -289,7 +300,7 @@ def ucode_cache_ablation(benchmark: str = "FFT", width: int = 8,
     rows = []
     for entries in entry_counts:
         config = MachineConfig(accelerator=config_for_width(width),
-                               ucode_cache_entries=entries)
+                               ucode_cache_entries=entries, engine=engine)
         run = Machine(config).run(program)
         calls = sum(s.calls for s in run.functions.values())
         simd = sum(s.simd_runs for s in run.functions.values())
@@ -310,7 +321,8 @@ def ucode_cache_ablation(benchmark: str = "FFT", width: int = 8,
 
 def software_translation_comparison(benchmarks: Optional[Sequence[str]] = None,
                                     width: int = 8,
-                                    software_cpi: int = 30) -> List[dict]:
+                                    software_cpi: int = 30,
+                                    engine: str = "fast") -> List[dict]:
     """Extension E9: hardware vs. software (JIT) dynamic translation.
 
     The paper chooses hardware translation but notes "nothing about our
@@ -325,11 +337,12 @@ def software_translation_comparison(benchmarks: Optional[Sequence[str]] = None,
     for benchmark in benchmarks or ("MPEG2 Dec.", "GSM Enc.", "LU", "FIR"):
         program = build_liquid_program(build_kernel(benchmark), DEFAULT_MVL)
         hw = Machine(MachineConfig(
-            accelerator=config_for_width(width))).run(program)
+            accelerator=config_for_width(width), engine=engine)).run(program)
         sw = Machine(MachineConfig(
             accelerator=config_for_width(width),
             translation_mode="software",
-            software_cycles_per_instruction=software_cpi)).run(program)
+            software_cycles_per_instruction=software_cpi,
+            engine=engine)).run(program)
         rows.append({
             "benchmark": benchmark,
             "hardware_cycles": hw.cycles,
@@ -344,8 +357,8 @@ def software_translation_comparison(benchmarks: Optional[Sequence[str]] = None,
 
 def memory_sensitivity(benchmarks: Optional[Sequence[str]] = None,
                        width: int = 8,
-                       miss_penalties: Iterable[int] = (0, 30, 100)
-                       ) -> List[dict]:
+                       miss_penalties: Iterable[int] = (0, 30, 100),
+                       engine: str = "fast") -> List[dict]:
     """Extension E11: how much of each speedup the memory system gates.
 
     The paper attributes 179.art's poor speedup to "many cache misses in
@@ -368,17 +381,19 @@ def memory_sensitivity(benchmarks: Optional[Sequence[str]] = None,
                 icache=CacheConfig(miss_penalty=penalty),
                 dcache=CacheConfig(miss_penalty=penalty),
             )
-            base = Machine(MachineConfig(pipeline=pipe)).run(baseline_prog)
+            base = Machine(MachineConfig(pipeline=pipe,
+                                         engine=engine)).run(baseline_prog)
             liquid = Machine(MachineConfig(
                 accelerator=config_for_width(width),
-                pipeline=pipe)).run(liquid_prog)
+                pipeline=pipe, engine=engine)).run(liquid_prog)
             speedups[penalty] = round(liquid.speedup_over(base), 3)
         rows.append({"benchmark": benchmark, "speedups": speedups})
     return rows
 
 
 def observation_point_comparison(benchmarks: Optional[Sequence[str]] = None,
-                                 width: int = 8) -> List[dict]:
+                                 width: int = 8,
+                                 engine: str = "fast") -> List[dict]:
     """Extension E10: decode-time vs. post-retirement translation.
 
     Section 4 weighs the two hardware tap points.  Decode-time
@@ -392,10 +407,10 @@ def observation_point_comparison(benchmarks: Optional[Sequence[str]] = None,
     for benchmark in benchmarks or ("FFT", "FIR", "093.nasa7", "MPEG2 Dec."):
         program = build_liquid_program(build_kernel(benchmark), DEFAULT_MVL)
         retire = Machine(MachineConfig(
-            accelerator=config_for_width(width))).run(program)
+            accelerator=config_for_width(width), engine=engine)).run(program)
         decode = Machine(MachineConfig(
             accelerator=config_for_width(width),
-            observation_point="decode")).run(program)
+            observation_point="decode", engine=engine)).run(program)
         rows.append({
             "benchmark": benchmark,
             "retirement_cycles": retire.cycles,
@@ -410,7 +425,8 @@ def observation_point_comparison(benchmarks: Optional[Sequence[str]] = None,
 
 def translation_latency_ablation(benchmark: str = "171.swim", width: int = 8,
                                  cycles_per_instruction: Iterable[int] =
-                                 (1, 10, 50, 100, 500, 5000)) -> List[dict]:
+                                 (1, 10, 50, 100, 500, 5000),
+                                 engine: str = "fast") -> List[dict]:
     """Sweep translator speed; performance should degrade only slowly.
 
     The paper argues post-retirement translation "could have taken tens
@@ -422,7 +438,8 @@ def translation_latency_ablation(benchmark: str = "171.swim", width: int = 8,
     baseline_cycles = None
     for cpi in cycles_per_instruction:
         config = MachineConfig(accelerator=config_for_width(width),
-                               translation_cycles_per_instruction=cpi)
+                               translation_cycles_per_instruction=cpi,
+                               engine=engine)
         run = Machine(config).run(program)
         if baseline_cycles is None:
             baseline_cycles = run.cycles

@@ -1,13 +1,22 @@
 """Functional execution: architectural state and the instruction executor."""
 
 from repro.interp.events import RetireEvent
-from repro.interp.executor import ExecutionError, Executor
+from repro.interp.executor import (
+    ENGINES,
+    ExecutionError,
+    Executor,
+    FastExecutor,
+    make_executor,
+)
 from repro.interp.state import MachineState, SymbolTable
 
 __all__ = [
     "RetireEvent",
+    "ENGINES",
     "ExecutionError",
     "Executor",
+    "FastExecutor",
+    "make_executor",
     "MachineState",
     "SymbolTable",
 ]

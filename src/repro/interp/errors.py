@@ -1,0 +1,12 @@
+"""Execution-error types shared by the reference and fast engines.
+
+Kept in a leaf module so :mod:`repro.isa.decoded` (the pre-decode pass)
+can raise the same exception type as :mod:`repro.interp.executor`
+without creating an import cycle between the two.
+"""
+
+from __future__ import annotations
+
+
+class ExecutionError(Exception):
+    """Semantic error during execution (bad operands, misalignment, ...)."""

@@ -18,6 +18,7 @@ from __future__ import annotations
 from typing import List, Optional, Tuple, Union
 
 from repro import arith
+from repro.interp.errors import ExecutionError
 from repro.interp.events import RetireEvent
 from repro.interp.state import MachineState
 from repro.isa.instructions import Imm, Instruction, Mem, Reg, Sym, VImm
@@ -27,11 +28,10 @@ from repro.memory.alignment import vector_alignment_ok
 from repro.simd.permutations import PermPattern
 from repro.simd.vector_ops import vector_binary, vector_reduce, vector_unary
 
+__all__ = ["ExecutionError", "Executor", "FastExecutor", "make_executor",
+           "ENGINES"]
+
 Number = Union[int, float]
-
-
-class ExecutionError(Exception):
-    """Semantic error during execution (bad operands, misalignment, ...)."""
 
 
 _COND = {
@@ -54,7 +54,18 @@ _VEC_RED = {"vredsum", "vredmin", "vredmax"}
 
 
 class Executor:
-    """Executes instructions against a :class:`MachineState`."""
+    """Executes instructions against a :class:`MachineState`.
+
+    This is the *reference* engine: it re-derives opcode metadata and
+    operand kinds on every step, which keeps the semantics maximally
+    explicit.  The pre-decoded fast engine (:class:`FastExecutor`) is
+    validated bit-for-bit against it — see ``docs/execution-engines.md``.
+    """
+
+    #: Reference engine has no pre-decoded timing metadata or handler
+    #: tables; hot loops test these for None to pick the dispatch path.
+    metas = None
+    handlers = None
 
     def __init__(self, state: MachineState) -> None:
         self.state = state
@@ -164,8 +175,14 @@ class Executor:
         opcode = instr.opcode
         base = "fmov" if opcode.startswith("fmov") else "mov"
         cond = opcode[len(base):]
-        if cond and not _COND[cond](state.regs.flags):
-            return None
+        if cond:
+            cond_fn = _COND.get(cond)
+            if cond_fn is None:
+                raise ExecutionError(
+                    f"unknown condition suffix {cond!r} in opcode {opcode!r}"
+                )
+            if not cond_fn(state.regs.flags):
+                return None
         if len(instr.srcs) != 1:
             raise ExecutionError(f"{opcode} expects one source")
         src = self._value(instr.srcs[0])
@@ -267,7 +284,13 @@ class Executor:
         if opcode == "b":
             taken = True
         else:
-            taken = _COND[opcode[1:]](self.state.regs.flags)
+            cond_fn = _COND.get(opcode[1:])
+            if cond_fn is None:
+                raise ExecutionError(
+                    f"unknown branch condition {opcode[1:]!r} "
+                    f"in opcode {opcode!r}"
+                )
+            taken = cond_fn(self.state.regs.flags)
         next_pc = self.state.program.label_index(instr.target) if taken else pc + 1
         return taken, next_pc
 
@@ -363,3 +386,58 @@ def _mask_bits(value: Number) -> int:
     if isinstance(value, float):
         return arith.float_bits(value)
     return int(value) & 0xFFFFFFFF
+
+
+#: Selectable execution engines ("fast" is the default production path).
+ENGINES = ("fast", "reference")
+
+
+class FastExecutor:
+    """Table-driven engine: one pre-decoded handler call per step.
+
+    The program is compiled once by :func:`repro.isa.decoded.predecode`
+    into a dense handler table; each :meth:`execute` is then a single
+    indexed call with operands, condition codes, and opcode dispatch all
+    pre-bound.  Semantics are bit-identical to :class:`Executor` (the
+    differential conformance suite enforces this); only the speed
+    differs.
+
+    Attributes:
+        table: the :class:`~repro.isa.decoded.DecodedProgram` in use.
+        metas: per-pc :class:`~repro.isa.decoded.InstrMeta` timing
+            metadata, indexable by the pipeline model.
+        handlers: per-pc executable closures; hot loops may index these
+            directly (``handlers[pc](state)``) to skip the ``execute``
+            call layer.
+    """
+
+    def __init__(self, state: MachineState, table=None) -> None:
+        from repro.isa.decoded import predecode  # deferred: import cycle
+        self.state = state
+        if table is None:
+            table = predecode(state.program)
+        elif table.program is not state.program:
+            raise ValueError("decoded table belongs to a different program")
+        self.table = table
+        self.metas = table.metas
+        self.handlers = table.handlers
+
+    def execute(self, instr: Instruction) -> RetireEvent:
+        """Execute the instruction at the current PC (must equal *instr*)."""
+        return self.handlers[self.state.pc](self.state)
+
+
+def make_executor(state: MachineState, engine: str = "fast", table=None):
+    """Build the selected execution engine over *state*.
+
+    ``table`` optionally supplies an already-predecoded program (fast
+    engine only), so callers running many short fragments can amortize
+    the decode pass.
+    """
+    if engine == "fast":
+        return FastExecutor(state, table)
+    if engine == "reference":
+        return Executor(state)
+    raise ValueError(
+        f"unknown engine {engine!r}; expected one of {ENGINES}"
+    )

@@ -125,24 +125,24 @@ class RegisterFile:
     """
 
     def __init__(self) -> None:
-        self._int: Dict[str, int] = {name: 0 for name in INT_REGS}
-        self._float: Dict[str, float] = {name: 0.0 for name in FLOAT_REGS}
+        self.ints: Dict[str, int] = {name: 0 for name in INT_REGS}
+        self.floats: Dict[str, float] = {name: 0.0 for name in FLOAT_REGS}
         self.flags: Dict[str, bool] = {FLAG_LT: False, FLAG_EQ: False, FLAG_GT: False}
 
     def read(self, name: str):
         """Read a scalar register by name."""
-        if name in self._int:
-            return self._int[name]
-        if name in self._float:
-            return self._float[name]
+        if name in self.ints:
+            return self.ints[name]
+        if name in self.floats:
+            return self.floats[name]
         raise KeyError(f"unknown scalar register: {name!r}")
 
     def write(self, name: str, value) -> None:
         """Write a scalar register, wrapping integers to signed 32 bits."""
-        if name in self._int:
-            self._int[name] = _wrap32(int(value))
-        elif name in self._float:
-            self._float[name] = float(value)
+        if name in self.ints:
+            self.ints[name] = _wrap32(int(value))
+        elif name in self.floats:
+            self.floats[name] = float(value)
         else:
             raise KeyError(f"unknown scalar register: {name!r}")
 
@@ -158,8 +158,8 @@ class RegisterFile:
     def snapshot(self) -> Dict[str, object]:
         """Return a copy of all register values (for tests and debugging)."""
         state: Dict[str, object] = {}
-        state.update(self._int)
-        state.update(self._float)
+        state.update(self.ints)
+        state.update(self.floats)
         return state
 
 

@@ -70,6 +70,13 @@ class Cache:
         self.config = config
         self.name = name
         self.stats = CacheStats()
+        # Geometry is immutable: bind it to plain attributes so the
+        # per-access hot path avoids repeated property evaluation.
+        self._line_bytes = config.line_bytes
+        self._num_sets = config.num_sets
+        self._assoc = config.assoc
+        self._hit_latency = config.hit_latency
+        self._miss_latency = config.hit_latency + config.miss_penalty
         self._sets: List[Dict[int, _Line]] = [dict() for _ in range(config.num_sets)]
         self._tick = 0
 
@@ -80,9 +87,9 @@ class Cache:
         self._tick = 0
 
     def _locate(self, addr: int):
-        line = addr // self.config.line_bytes
-        set_index = line % self.config.num_sets
-        tag = line // self.config.num_sets
+        line = addr // self._line_bytes
+        set_index = line % self._num_sets
+        tag = line // self._num_sets
         return set_index, tag
 
     def access(self, addr: int, nbytes: int = 4, is_write: bool = False) -> int:
@@ -91,41 +98,54 @@ class Cache:
         Accesses that straddle a line boundary are charged per line
         touched (vector loads wider than a line touch several lines).
         """
-        first = addr // self.config.line_bytes
-        last = (addr + max(nbytes, 1) - 1) // self.config.line_bytes
+        line_bytes = self._line_bytes
+        first = addr // line_bytes
+        last = (addr + max(nbytes, 1) - 1) // line_bytes
+        if first == last:
+            return self._access_line_number(first, is_write)
         cycles = 0
         for line_number in range(first, last + 1):
-            cycles += self._access_line(line_number * self.config.line_bytes, is_write)
+            cycles += self._access_line_number(line_number, is_write)
         return cycles
 
     def _access_line(self, addr: int, is_write: bool) -> int:
-        self._tick += 1
-        set_index, tag = self._locate(addr)
-        ways = self._sets[set_index]
+        return self._access_line_number(addr // self._line_bytes, is_write)
+
+    def _access_line_number(self, line_number: int, is_write: bool) -> int:
+        # True LRU is kept via dict insertion order (most-recent last):
+        # a hit re-inserts the tag at the end, an eviction pops the
+        # front.  This is order-identical to timestamp-scan LRU but O(1).
+        num_sets = self._num_sets
+        tag = line_number // num_sets
+        ways = self._sets[line_number % num_sets]
+        stats = self.stats
         if is_write:
-            self.stats.writes += 1
+            stats.writes += 1
         else:
-            self.stats.reads += 1
+            stats.reads += 1
         line = ways.get(tag)
         if line is not None:
-            line.lru = self._tick
+            if len(ways) > 1:        # re-insert: tag becomes most recent
+                del ways[tag]
+                ways[tag] = line
             if is_write:
                 line.dirty = True
-            return self.config.hit_latency
+            return self._hit_latency
         # Miss: allocate (write-allocate policy), evicting true-LRU victim.
+        self._tick += 1
         if is_write:
-            self.stats.write_misses += 1
+            stats.write_misses += 1
         else:
-            self.stats.read_misses += 1
-        if len(ways) >= self.config.assoc:
-            victim_tag = min(ways, key=lambda t: ways[t].lru)
+            stats.read_misses += 1
+        if len(ways) >= self._assoc:
+            victim_tag = next(iter(ways))
             if ways[victim_tag].dirty:
-                self.stats.writebacks += 1
+                stats.writebacks += 1
             del ways[victim_tag]
         new_line = _Line(tag, self._tick)
         new_line.dirty = is_write
         ways[tag] = new_line
-        return self.config.hit_latency + self.config.miss_penalty
+        return self._miss_latency
 
     def contains(self, addr: int) -> bool:
         """True when the line holding *addr* is resident (no state change)."""

@@ -25,16 +25,20 @@ from dataclasses import dataclass
 from typing import Dict, Optional
 
 from repro.interp.events import RetireEvent
+from repro.isa.decoded import InstrMeta, meta_of
 from repro.isa.opcodes import ELEM_SIZES, OPCODES, InstrClass
 from repro.memory.cache import Cache, CacheConfig
 from repro.pipeline.branch import BimodalPredictor
-from repro.pipeline.latencies import result_latency
 
 #: Flags are modelled as one extra renameable resource.
 _FLAGS = "<flags>"
 
 #: Architectural instruction size used to map PCs to I-cache addresses.
 _INSTR_BYTES = 4
+
+#: Enum members pre-bound: ``account`` tests these once per retirement.
+_BRANCH = InstrClass.BRANCH
+_CALL_OR_RET = (InstrClass.CALL, InstrClass.RET)
 
 
 @dataclass(frozen=True)
@@ -76,6 +80,17 @@ class PipelineModel:
         self._last_issue = 0
         self._fetch_ready = 0
         self._last_completion = 0
+        self._dcache_hit = self.config.dcache.hit_latency
+        # Instruction fetches are _INSTR_BYTES wide: when the line size
+        # is a multiple of that (and code_base is aligned), a fetch can
+        # never straddle a line, so account() may call the cache's
+        # single-line path directly.
+        icache_cfg = self.config.icache
+        self._ifetch_line = self.icache._access_line_number
+        self._iline_bytes = icache_cfg.line_bytes
+        self._ifetch_direct = (icache_cfg.line_bytes % _INSTR_BYTES == 0
+                               and self.config.code_base % _INSTR_BYTES == 0)
+        self._code_base = self.config.code_base
 
     # -- public API -------------------------------------------------------------
 
@@ -102,79 +117,101 @@ class PipelineModel:
         return max(self._last_completion,
                    self._last_issue + self.config.pipeline_depth)
 
-    def account(self, event: RetireEvent) -> int:
-        """Charge one retired instruction; return its issue cycle."""
-        instr = event.instr
-        spec = OPCODES[instr.opcode]
-        cls = spec.cls
-        config = self.config
+    def account(self, event: RetireEvent,
+                meta: Optional[InstrMeta] = None) -> int:
+        """Charge one retired instruction; return its issue cycle.
+
+        ``meta`` optionally supplies the pre-extracted
+        :class:`~repro.isa.decoded.InstrMeta` (the fast engine hands over
+        its decode table's entry); when omitted, it is derived — and
+        memoized — from the instruction.  Either way the same timing
+        logic runs on the same fields, so the two execution engines are
+        cycle-identical by construction.
+        """
+        if meta is None:
+            meta = meta_of(event.instr)
+        cls = meta.cls
+        stats = self.stats
 
         # -- fetch ---------------------------------------------------------------
         if event.in_vector_unit:
             fetch_ready = self._fetch_ready  # injected from microcode cache
         else:
-            fetch_addr = config.code_base + event.pc * _INSTR_BYTES
-            fetch_cycles = self.icache.access(fetch_addr, _INSTR_BYTES,
-                                              is_write=False)
+            fetch_addr = self._code_base + event.pc * _INSTR_BYTES
+            if self._ifetch_direct:
+                fetch_cycles = self._ifetch_line(
+                    fetch_addr // self._iline_bytes, False)
+            else:
+                fetch_cycles = self.icache.access(fetch_addr, _INSTR_BYTES,
+                                                  is_write=False)
             fetch_ready = self._fetch_ready + (fetch_cycles - 1)
             if fetch_cycles > 1:
-                self.stats.fetch_stall_cycles += fetch_cycles - 1
+                stats.fetch_stall_cycles += fetch_cycles - 1
 
         # -- operand readiness ------------------------------------------------------
         ready = fetch_ready
-        for reg in instr.reads():
-            ready = max(ready, self._reg_ready.get(reg, 0))
-        if spec.reads_flags:
-            ready = max(ready, self._reg_ready.get(_FLAGS, 0))
+        reg_ready = self._reg_ready
+        for reg in meta.reads:
+            t = reg_ready.get(reg, 0)
+            if t > ready:
+                ready = t
+        if meta.reads_flags:
+            t = reg_ready.get(_FLAGS, 0)
+            if t > ready:
+                ready = t
 
-        issue = max(self._last_issue + 1, ready)
-        if issue > self._last_issue + 1:
-            self.stats.data_stall_cycles += issue - (self._last_issue + 1)
+        issue = self._last_issue + 1
+        if ready > issue:
+            stats.data_stall_cycles += ready - issue
+            issue = ready
 
         # -- memory --------------------------------------------------------------------
-        completion = issue + result_latency(cls)
+        completion = issue + meta.latency
         if event.mem_addr is not None:
-            nbytes = self._access_bytes(event)
-            if cls in (InstrClass.LOAD, InstrClass.VLOAD):
+            nbytes = meta.elem_bytes
+            if meta.is_vector and event.vector_width:
+                nbytes *= event.vector_width
+            if meta.is_load:
                 access = self.dcache.access(event.mem_addr, nbytes, is_write=False)
                 completion = issue + access
-                if access > self.config.dcache.hit_latency:
-                    self.stats.load_miss_cycles += (
-                        access - self.config.dcache.hit_latency
-                    )
+                if access > self._dcache_hit:
+                    stats.load_miss_cycles += access - self._dcache_hit
             else:
                 # Stores update cache state; the write buffer hides latency.
                 self.dcache.access(event.mem_addr, nbytes, is_write=True)
 
         # -- writeback of results ---------------------------------------------------------
-        for reg in instr.writes():
-            self._reg_ready[reg] = completion
-        if spec.sets_flags:
-            self._reg_ready[_FLAGS] = completion
+        for reg in meta.writes:
+            reg_ready[reg] = completion
+        if meta.sets_flags:
+            reg_ready[_FLAGS] = completion
 
         # -- control flow -------------------------------------------------------------------
         next_fetch = issue
-        if cls is InstrClass.BRANCH:
-            self.stats.branches += 1
+        if cls is _BRANCH:
+            config = self.config
+            stats.branches += 1
             target_pc = event.next_pc if event.taken else event.pc
             predicted = self.predictor.predict(event.pc, target_pc)
             self.predictor.update(event.pc, event.taken)
             if predicted != event.taken:
-                self.stats.mispredicts += 1
+                stats.mispredicts += 1
                 # The penalty is in *bubbles*: the next fetch slips this many
                 # cycles past its natural slot.
                 next_fetch = issue + 1 + config.mispredict_penalty
-                self.stats.branch_penalty_cycles += config.mispredict_penalty
-        elif cls in (InstrClass.CALL, InstrClass.RET):
+                stats.branch_penalty_cycles += config.mispredict_penalty
+        elif cls in _CALL_OR_RET:
+            config = self.config
             next_fetch = issue + 1 + config.call_redirect_penalty
-            self.stats.branch_penalty_cycles += config.call_redirect_penalty
+            stats.branch_penalty_cycles += config.call_redirect_penalty
 
         self._last_issue = issue
         self._fetch_ready = next_fetch
-        self._last_completion = max(self._last_completion, completion)
-        self.stats.instructions += 1
-        if spec.is_vector:
-            self.stats.simd_instructions += 1
+        if completion > self._last_completion:
+            self._last_completion = completion
+        stats.instructions += 1
+        if meta.is_vector:
+            stats.simd_instructions += 1
         return issue
 
     # -- helpers --------------------------------------------------------------------------

@@ -33,7 +33,9 @@ from repro.core.translate.translator import (
     TranslatorConfig,
 )
 from repro.core.translate.ucode_cache import MicrocodeCache, MicrocodeEntry
-from repro.interp.executor import ExecutionError, Executor
+from repro.interp.events import RetireEvent
+from repro.interp.executor import ENGINES, ExecutionError, make_executor
+from repro.isa.decoded import DecodedProgram, predecode
 from repro.memory.memory import MemoryError_
 from repro.interp.state import MachineState
 from repro.isa.program import Program
@@ -99,10 +101,19 @@ class MachineConfig:
     #: (defense in depth against translator bugs and the paper's
     #: false-positive scenario).
     verify_translations: bool = False
+    #: Execution engine: "fast" (pre-decoded handler tables + numpy
+    #: vector lowerings — the production default) or "reference" (the
+    #: canonical per-step interpreter).  The two are bit-identical; see
+    #: docs/execution-engines.md and tests/test_engine_differential.py.
+    engine: str = "fast"
     mvl: int = 16
     max_steps: int = 80_000_000
 
     def __post_init__(self) -> None:
+        if self.engine not in ENGINES:
+            raise ValueError(
+                f"engine must be one of {ENGINES}, got {self.engine!r}"
+            )
         if self.translation_mode not in ("hardware", "software"):
             raise ValueError(
                 f"translation_mode must be 'hardware' or 'software', "
@@ -160,7 +171,9 @@ class Machine:
         hw_width = (config.accelerator.width
                     if config.accelerator is not None else None)
         state = MachineState(program, memory, symbols, vector_width=hw_width)
-        executor = Executor(state)
+        executor = make_executor(state, config.engine)
+        metas = executor.metas        # fast engine only; None for reference
+        handlers = executor.handlers  # fast engine only; None for reference
         pipeline = PipelineModel(config.pipeline)
         use_translation = (config.accelerator is not None
                            and config.translation_enabled)
@@ -177,15 +190,30 @@ class Machine:
         blacklist = set()
         translating: Optional[DynamicTranslator] = None
         fragment_offsets: Dict[str, int] = {}
+        #: id(fragment) -> DecodedProgram, so repeated microcode runs
+        #: under the fast engine pay the decode pass once.
+        fragment_tables: Dict[int, DecodedProgram] = {}
         next_interrupt = (config.interrupt_interval
                           if config.interrupt_interval is not None else 0)
 
         steps = 0
         instructions = program.instructions
         n_instr = len(instructions)
+        # Hot-loop locals: bound once, used every iteration.
+        account = pipeline.account
+        tracer = self.tracer
+        max_steps = config.max_steps
+        #: per-pc flag for the marked-call slow path, so the loop skips
+        #: two string compares per instruction.
+        marked_call = [
+            (ins.opcode == "blo"
+             or (ins.opcode == "bl" and config.attempt_plain_bl))
+            and ins.target is not None
+            for ins in instructions
+        ]
         while not state.halted:
             steps += 1
-            if steps > config.max_steps:
+            if steps > max_steps:
                 raise MachineError(
                     f"{program.name}: exceeded {config.max_steps} steps"
                 )
@@ -194,10 +222,7 @@ class Machine:
                 raise MachineError(f"{program.name}: pc {pc} out of range")
             instr = instructions[pc]
 
-            marked = instr.opcode == "blo" or (
-                instr.opcode == "bl" and config.attempt_plain_bl
-            )
-            if marked and instr.target is not None:
+            if marked_call[pc]:
                 target = instr.target
                 stats = functions.setdefault(target, FunctionStats(target))
                 stats.calls += 1
@@ -208,11 +233,12 @@ class Machine:
                         # Front-end injection: charge the call, run microcode,
                         # resume after the call.
                         event = executor.execute(instr)  # sets lr, jumps
-                        pipeline.account(event)
+                        pipeline.account(
+                            event, metas[pc] if metas is not None else None)
                         if self.tracer is not None:
                             self.tracer.record(event, source="scalar")
                         self._run_fragment(entry, state, pipeline,
-                                           fragment_offsets)
+                                           fragment_offsets, fragment_tables)
                         stats.simd_runs += 1
                         state.pc = pc + 1
                         continue
@@ -225,18 +251,24 @@ class Machine:
                         translating.begin(target)
                 stats.scalar_runs += 1
                 event = executor.execute(instr)
-                pipeline.account(event)
+                pipeline.account(
+                    event, metas[pc] if metas is not None else None)
                 if self.tracer is not None:
                     self.tracer.record(event, source="scalar")
                 continue
 
             try:
-                event = executor.execute(instr)
+                if handlers is not None:
+                    event = handlers[pc](state)
+                    meta = metas[pc]
+                else:
+                    event = executor.execute(instr)
+                    meta = None
             except (ExecutionError, MemoryError_) as exc:
                 raise MachineError(f"{program.name} @pc={pc}: {exc}") from exc
-            pipeline.account(event)
-            if self.tracer is not None:
-                self.tracer.record(event, source="scalar")
+            account(event, meta)
+            if tracer is not None:
+                tracer.record(event, source="scalar")
             if translating is not None:
                 if config.interrupt_interval is not None \
                         and pipeline.now >= next_interrupt:
@@ -317,7 +349,7 @@ class Machine:
                                           state.symbols,
                                           vector_width=entry.width)
                 frag_state.regs = clone.regs
-                executor = Executor(frag_state)
+                executor = make_executor(frag_state, self.config.engine)
                 count = len(entry.fragment.instructions)
                 guard = 0
                 while frag_state.pc < count:
@@ -329,7 +361,7 @@ class Machine:
             else:
                 clone.pc = program.label_index(target)
                 clone.regs.write("r14", len(program.instructions))
-                executor = Executor(clone)
+                executor = make_executor(clone, self.config.engine)
                 guard = 0
                 while True:
                     guard += 1
@@ -350,7 +382,9 @@ class Machine:
 
     def _run_fragment(self, entry: MicrocodeEntry, state: MachineState,
                       pipeline: PipelineModel,
-                      offsets: Dict[str, int]) -> None:
+                      offsets: Dict[str, int],
+                      tables: Optional[Dict[int, DecodedProgram]] = None,
+                      ) -> None:
         """Execute one cached translation on the SIMD accelerator."""
         fragment = entry.fragment
         if entry.function not in offsets:
@@ -360,7 +394,15 @@ class Machine:
         frag_state = MachineState(fragment, state.memory, state.symbols,
                                   vector_width=entry.width)
         frag_state.regs = state.regs  # architectural scalar state is shared
-        frag_executor = Executor(frag_state)
+        table = None
+        if self.config.engine == "fast" and tables is not None:
+            table = tables.get(id(fragment))
+            if table is None:
+                table = predecode(fragment)
+                tables[id(fragment)] = table
+        frag_executor = make_executor(frag_state, self.config.engine, table)
+        metas = frag_executor.metas
+        handlers = frag_executor.handlers
         count = len(fragment.instructions)
         guard = 0
         while frag_state.pc < count:
@@ -369,18 +411,34 @@ class Machine:
                 raise MachineError(
                     f"microcode for {entry.function} did not terminate"
                 )
-            instr = fragment.instructions[frag_state.pc]
+            frag_pc = frag_state.pc
+            instr = fragment.instructions[frag_pc]
             try:
-                event = frag_executor.execute(instr)
+                if handlers is not None:
+                    event = handlers[frag_pc](frag_state)
+                    meta = metas[frag_pc]
+                else:
+                    event = frag_executor.execute(instr)
+                    meta = None
             except (ExecutionError, MemoryError_) as exc:
                 raise MachineError(
                     f"microcode for {entry.function}: {exc}"
                 ) from exc
-            pipeline.account(dataclasses.replace(
-                event,
-                pc=event.pc + offset,
-                next_pc=event.next_pc + offset,
-                in_vector_unit=True,
-            ))
+            # Direct construction (not dataclasses.replace): this runs once
+            # per injected microcode instruction and replace() is ~3x the
+            # cost of the frozen-dataclass constructor.
+            pipeline.account(
+                RetireEvent(
+                    pc=event.pc + offset,
+                    instr=event.instr,
+                    value=event.value,
+                    mem_addr=event.mem_addr,
+                    taken=event.taken,
+                    next_pc=event.next_pc + offset,
+                    in_vector_unit=True,
+                    vector_width=event.vector_width,
+                ),
+                meta,
+            )
             if self.tracer is not None:
                 self.tracer.record(event, source="ucode")

@@ -1,0 +1,88 @@
+"""Translator regression under the fast engine.
+
+The dynamic translator consumes the retire-event stream; the fast engine
+produces the same stream as the reference interpreter, so translation
+outcomes must be indistinguishable: byte-identical microcode fragments
+(via :func:`repro.isa.encoding.encode_program`) for successful
+translations and identical :class:`AbortReason`s for abandoned ones.
+The paper's outlined FFT example (the ``examples/fft_paper_example.py``
+flow, section 3.4) is the primary fixture because it exercises the full
+observation pipeline: masks, shuffled offset loads, loop fission, and
+permutation recognition.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro.core.scalarize import build_liquid_program
+from repro.core.translate.translator import AbortReason
+from repro.isa.encoding import encode_program
+from repro.kernels.suite import build_kernel
+from repro.simd.accelerator import config_for_width
+from repro.system.machine import Machine, MachineConfig
+
+
+def _translations(program, **config_kwargs):
+    config = MachineConfig(**config_kwargs)
+    return Machine(config).run(program).translations
+
+
+def _compare_streams(program, **config_kwargs):
+    fast = _translations(program, engine="fast", **config_kwargs)
+    ref = _translations(program, engine="reference", **config_kwargs)
+    assert len(fast) == len(ref)
+    for f, r in zip(fast, ref):
+        assert f.function == r.function
+        assert f.ok == r.ok
+        assert f.reason == r.reason
+        if f.ok:
+            assert f.entry.width == r.entry.width
+            assert encode_program(f.entry.fragment) == \
+                encode_program(r.entry.fragment)
+    return fast
+
+
+@pytest.fixture(scope="module")
+def fft_program():
+    return build_liquid_program(build_kernel("FFT"))
+
+
+def test_fft_microcode_byte_identical(fft_program):
+    """The paper's worked example translates to identical microcode."""
+    translations = _compare_streams(
+        fft_program, accelerator=config_for_width(8))
+    fft = [t for t in translations if t.function == "fft_stage_fn"]
+    assert fft and fft[0].ok, "FFT stage must translate successfully"
+
+
+def test_fft_abort_reasons_identical_without_permutations(fft_program):
+    """Remove the permutation repertoire: both engines abort identically."""
+    accel = dataclasses.replace(config_for_width(8), permutations=())
+    translations = _compare_streams(fft_program, accelerator=accel)
+    fft = [t for t in translations if t.function == "fft_stage_fn"]
+    assert fft and not fft[0].ok
+    assert fft[0].reason is AbortReason.UNSUPPORTED_PATTERN
+
+
+def test_fft_abort_reasons_identical_with_tiny_buffer(fft_program):
+    """A 2-entry microcode buffer overflows identically on both engines."""
+    translations = _compare_streams(
+        fft_program, accelerator=config_for_width(8),
+        max_ucode_instructions=2)
+    assert translations and all(not t.ok for t in translations)
+    assert {t.reason for t in translations} == {AbortReason.BUFFER_OVERFLOW}
+
+
+def test_decode_observation_point_identical(fft_program):
+    """Decode-tap translation (no observed values) matches across engines."""
+    _compare_streams(fft_program, accelerator=config_for_width(8),
+                     observation_point="decode")
+
+
+@pytest.mark.parametrize("bench", ["MPEG2 Dec.", "GSM Enc.", "LU", "FIR"])
+def test_other_benchmarks_translate_identically(bench):
+    program = build_liquid_program(build_kernel(bench))
+    _compare_streams(program, accelerator=config_for_width(8))

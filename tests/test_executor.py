@@ -2,10 +2,14 @@
 
 import pytest
 
-from repro.interp.executor import ExecutionError, Executor
+from repro.interp.executor import (ExecutionError, Executor, FastExecutor,
+                                   make_executor)
 from repro.interp.state import MachineState, SymbolInfo, SymbolTable
 from repro.isa.assembler import assemble
+from repro.isa.decoded import predecode
 from repro.isa.instructions import Imm, Instruction, Mem, Reg, Sym, VImm
+from repro.isa.opcodes import OPCODES
+from repro.isa.program import Program
 from repro.memory.memory import Memory
 
 
@@ -295,3 +299,98 @@ class TestVectorExecution:
         """, width=4)
         run(state, ex)
         assert state.vregs.read("v4") == [127, -128, 10, 0]
+
+
+# ---------------------------------------------------------------------------
+# Dispatch error paths (both engines)
+#
+# The assembler rejects unknown opcodes outright, so these tests build
+# Instruction/Program objects by hand to reach the interpreter's own
+# guards.  Both engines must raise ExecutionError with the same message;
+# the fast engine defers decode-time failures into handlers that raise
+# at execution time (see repro.isa.decoded.predecode), so an unreachable
+# bad instruction never aborts a run.
+# ---------------------------------------------------------------------------
+
+
+def make_raw_state(instructions, width=None):
+    """Build a state over hand-constructed instructions (no assembler)."""
+    program = Program(name="raw")
+    program.labels["main"] = 0
+    for ins in instructions:
+        program.emit(ins)
+    return MachineState(program, Memory(1 << 16), SymbolTable(),
+                        vector_width=width)
+
+
+class TestDispatchErrors:
+    def test_unknown_opcode_reference(self):
+        state = make_raw_state([
+            Instruction("frobnicate", dst=Reg("r0"), srcs=(Imm(1),)),
+        ])
+        ex = Executor(state)
+        with pytest.raises(ExecutionError,
+                           match=r"unknown opcode 'frobnicate' at pc=0"):
+            ex.execute(state.program.instructions[0])
+
+    def test_unknown_opcode_fast(self):
+        state = make_raw_state([
+            Instruction("frobnicate", dst=Reg("r0"), srcs=(Imm(1),)),
+        ])
+        ex = make_executor(state, "fast")
+        with pytest.raises(ExecutionError,
+                           match=r"unknown opcode 'frobnicate' at pc=0"):
+            ex.execute(state.program.instructions[0])
+
+    def test_unknown_condition_suffix_both_engines(self, monkeypatch):
+        # Register the opcode so dispatch reaches the condition decoder;
+        # the suffix guard must still reject what _COND doesn't know.
+        monkeypatch.setitem(OPCODES, "movxx", OPCODES["moveq"])
+        match = r"unknown condition suffix 'xx' in opcode 'movxx'"
+        for engine in ("reference", "fast"):
+            state = make_raw_state([
+                Instruction("movxx", dst=Reg("r0"), srcs=(Imm(1),)),
+            ])
+            ex = make_executor(state, engine)
+            with pytest.raises(ExecutionError, match=match):
+                ex.execute(state.program.instructions[0])
+
+    def test_unknown_branch_condition_both_engines(self, monkeypatch):
+        monkeypatch.setitem(OPCODES, "bxx", OPCODES["beq"])
+        match = r"unknown branch condition 'xx' in opcode 'bxx'"
+        for engine in ("reference", "fast"):
+            state = make_raw_state([
+                Instruction("bxx", target="main"),
+            ])
+            ex = make_executor(state, engine)
+            with pytest.raises(ExecutionError, match=match):
+                ex.execute(state.program.instructions[0])
+
+    def test_predecode_defers_errors_to_execution(self):
+        # A program with an unreachable bad instruction must predecode
+        # cleanly and run to completion on the fast engine.
+        state = make_raw_state([
+            Instruction("halt"),
+            Instruction("frobnicate"),  # never reached
+        ])
+        table = predecode(state.program)  # must not raise
+        ex = FastExecutor(state, table)
+        ex.execute(state.program.instructions[0])
+        assert state.halted
+        # Forcing execution of the bad pc raises the captured error.
+        state.pc = 1
+        with pytest.raises(ExecutionError,
+                           match=r"unknown opcode 'frobnicate' at pc=1"):
+            ex.execute(state.program.instructions[1])
+
+    def test_make_executor_rejects_unknown_engine(self):
+        state = make_raw_state([Instruction("halt")])
+        with pytest.raises(ValueError, match="unknown engine"):
+            make_executor(state, "turbo")
+
+    def test_fast_executor_rejects_foreign_table(self):
+        state_a = make_raw_state([Instruction("halt")])
+        state_b = make_raw_state([Instruction("halt")])
+        table = predecode(state_a.program)
+        with pytest.raises(ValueError, match="different program"):
+            FastExecutor(state_b, table)
