@@ -2,35 +2,60 @@
 
 The :class:`EvalContext` memoizes machine runs, so experiments that need
 the same simulations (Figure 6, Table 6, the overhead callout) share
-them across benchmark modules instead of re-simulating.
+them across benchmark modules instead of re-simulating.  The context
+rides a :class:`RunScheduler` backed by the persistent run cache
+(docs/evaluation-runner.md), so a benchmark session that follows an
+``evaluate --all`` — or a previous benchmark session — skips those
+simulations entirely; set ``REPRO_CACHE_DIR`` to relocate the cache or
+``REPRO_JOBS`` to bound worker processes.
 
-The ``engine_bench_records`` fixture collects fast-vs-reference engine
-timings (filled in by ``test_engine_speedup.py``) and writes them to
-``benchmarks/BENCH_engine.json`` at session teardown, so successive runs
-leave a machine-readable record of the measured speedup.
+The ``engine_bench_records`` / ``parallel_bench_records`` fixtures
+collect timing records (filled in by ``test_engine_speedup.py`` and
+``test_parallel_speedup.py``) and write them to ``BENCH_engine.json`` /
+``BENCH_parallel.json`` at session teardown, so successive runs leave a
+machine-readable record of the measured speedups.
 """
 
 import json
+import os
 from pathlib import Path
 
 import pytest
 
 from repro.evaluation.experiments import EvalContext
+from repro.evaluation.runcache import RunCache
+from repro.evaluation.runner import RunScheduler
 
 ENGINE_BENCH_PATH = Path(__file__).resolve().parent / "BENCH_engine.json"
+PARALLEL_BENCH_PATH = Path(__file__).resolve().parent / "BENCH_parallel.json"
+
+
+def _bench_jobs():
+    env = os.environ.get("REPRO_JOBS")
+    return int(env) if env else None  # None -> os.cpu_count()
 
 
 @pytest.fixture(scope="session")
 def ctx() -> EvalContext:
     """One evaluation context (all fifteen benchmarks) per session."""
-    return EvalContext()
+    scheduler = RunScheduler(jobs=_bench_jobs(), cache=RunCache.default())
+    return EvalContext(scheduler=scheduler)
+
+
+def _records_fixture(path: Path):
+    records = {}
+    yield records
+    if records:
+        path.write_text(json.dumps(records, indent=2, sort_keys=True) + "\n")
 
 
 @pytest.fixture(scope="session")
 def engine_bench_records():
     """Mutable dict of engine-timing records, dumped as BENCH_engine.json."""
-    records = {}
-    yield records
-    if records:
-        ENGINE_BENCH_PATH.write_text(json.dumps(records, indent=2,
-                                                sort_keys=True) + "\n")
+    yield from _records_fixture(ENGINE_BENCH_PATH)
+
+
+@pytest.fixture(scope="session")
+def parallel_bench_records():
+    """Scheduler/cache timing records, dumped as BENCH_parallel.json."""
+    yield from _records_fixture(PARALLEL_BENCH_PATH)

@@ -8,6 +8,8 @@ Subcommands:
 * ``list``      — list the benchmark suite.
 * ``run NAME``  — run one benchmark across the width sweep and print its
   Figure 6 row plus translation outcomes.
+* ``cache``     — inspect (``cache info``) or empty (``cache clear``)
+  the persistent run cache (docs/evaluation-runner.md).
 """
 
 from __future__ import annotations
@@ -54,6 +56,22 @@ def _cmd_run(args) -> int:
     return 0
 
 
+def _cmd_cache(args) -> int:
+    from repro.evaluation.runcache import RunCache
+    cache = RunCache.default(args.cache_dir)
+    if args.action == "clear":
+        removed = cache.clear()
+        print(f"cleared {removed} cached run{'s' if removed != 1 else ''} "
+              f"from {cache.root}")
+        return 0
+    entries = cache.entry_count()
+    size = cache.size_bytes()
+    print(f"run cache at {cache.root}")
+    print(f"  entries  {entries}")
+    print(f"  size     {size / 1024:.1f} KB")
+    return 0
+
+
 def main(argv=None) -> int:
     argv = list(sys.argv[1:] if argv is None else argv)
     if argv and argv[0] == "evaluate":
@@ -74,11 +92,22 @@ def main(argv=None) -> int:
     sub.add_parser("evaluate", help="regenerate evaluation artifacts "
                                     "(see `repro evaluate --help`)")
 
+    cache_p = sub.add_parser("cache", help="inspect or clear the "
+                                           "persistent run cache")
+    cache_p.add_argument("action", choices=("info", "clear"),
+                         help="'info' prints entry count and size; "
+                              "'clear' deletes every cached run")
+    cache_p.add_argument("--cache-dir", default=None, metavar="DIR",
+                         help="cache directory (default: $REPRO_CACHE_DIR "
+                              "or ~/.cache/repro-liquid-simd)")
+
     args = parser.parse_args(argv)
     if args.command == "list":
         return _cmd_list(args)
     if args.command == "run":
         return _cmd_run(args)
+    if args.command == "cache":
+        return _cmd_cache(args)
     return 2  # pragma: no cover
 
 

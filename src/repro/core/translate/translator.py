@@ -121,6 +121,30 @@ class TranslationResult:
     observed_static: int = 0
     detail: str = ""
 
+    def to_dict(self) -> dict:
+        """JSON-safe representation (inverse of :meth:`from_dict`)."""
+        return {
+            "function": self.function,
+            "ok": self.ok,
+            "reason": self.reason.value if self.reason is not None else None,
+            "entry": self.entry.to_dict() if self.entry is not None else None,
+            "observed_static": self.observed_static,
+            "detail": self.detail,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "TranslationResult":
+        return cls(
+            function=data["function"],
+            ok=data["ok"],
+            reason=(AbortReason(data["reason"])
+                    if data["reason"] is not None else None),
+            entry=(MicrocodeEntry.from_dict(data["entry"])
+                   if data["entry"] is not None else None),
+            observed_static=data["observed_static"],
+            detail=data["detail"],
+        )
+
 
 @dataclass
 class _Scope:

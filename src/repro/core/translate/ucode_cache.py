@@ -10,6 +10,7 @@ executing the scalar body.  Replacement is LRU.
 
 from __future__ import annotations
 
+import base64
 from dataclasses import dataclass
 from typing import Dict, List, Optional
 
@@ -42,6 +43,34 @@ class MicrocodeEntry:
     def simd_instruction_count(self) -> int:
         return len(self.fragment.instructions)
 
+    def to_dict(self) -> dict:
+        """JSON-safe representation (inverse of :meth:`from_dict`).
+
+        The fragment rides along as the base64 of its reversible binary
+        encoding (:func:`repro.isa.encoding.encode_program`), so nothing
+        about the microcode — labels, data, operands — is lost.
+        """
+        from repro.isa.encoding import encode_program
+        return {
+            "function": self.function,
+            "fragment": base64.b64encode(
+                encode_program(self.fragment)).decode("ascii"),
+            "width": self.width,
+            "ready_cycle": self.ready_cycle,
+            "static_instructions": self.static_instructions,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "MicrocodeEntry":
+        from repro.isa.encoding import decode_program
+        return cls(
+            function=data["function"],
+            fragment=decode_program(base64.b64decode(data["fragment"])),
+            width=data["width"],
+            ready_cycle=data["ready_cycle"],
+            static_instructions=data["static_instructions"],
+        )
+
 
 @dataclass
 class MicrocodeCacheStats:
@@ -53,6 +82,24 @@ class MicrocodeCacheStats:
     @property
     def misses(self) -> int:
         return self.lookups - self.hits
+
+    def to_dict(self) -> dict:
+        """JSON-safe representation (inverse of :meth:`from_dict`)."""
+        return {
+            "lookups": self.lookups,
+            "hits": self.hits,
+            "not_ready": self.not_ready,
+            "evictions": self.evictions,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "MicrocodeCacheStats":
+        return cls(
+            lookups=data["lookups"],
+            hits=data["hits"],
+            not_ready=data["not_ready"],
+            evictions=data["evictions"],
+        )
 
 
 class MicrocodeCache:

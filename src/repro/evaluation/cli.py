@@ -1,6 +1,14 @@
 """Command-line driver for the evaluation harness.
 
 Used by ``python -m repro evaluate`` and ``examples/run_evaluation.py``.
+
+Execution goes through the parallel run scheduler and the persistent
+run cache (docs/evaluation-runner.md): before any experiment runs, the
+CLI collects every experiment's declared :class:`RunRequest`\\ s and
+prefetches their deduplicated union — fanned out over ``--jobs`` worker
+processes on cold cache, answered from ``~/.cache/repro-liquid-simd``
+(or ``$REPRO_CACHE_DIR`` / ``--cache-dir``) on warm.  Rendered tables
+are byte-identical whatever the job count or cache state.
 """
 
 from __future__ import annotations
@@ -10,6 +18,8 @@ import time
 from typing import List, Optional
 
 from repro.evaluation import experiments, report
+from repro.evaluation.runcache import RunCache
+from repro.evaluation.runner import RunScheduler
 from repro.kernels.suite import BENCHMARK_ORDER
 
 FAST_SUBSET = ["MPEG2 Dec.", "GSM Enc.", "LU", "FFT", "FIR"]
@@ -36,11 +46,61 @@ def build_parser() -> argparse.ArgumentParser:
                         default="fast",
                         help="execution engine (results are bit-identical; "
                              "'reference' is the slow canonical interpreter)")
+    parser.add_argument("--jobs", type=int, default=None, metavar="N",
+                        help="worker processes for simulations (default: "
+                             "os.cpu_count(); 1 = in-process/sequential)")
+    parser.add_argument("--cache-dir", default=None, metavar="DIR",
+                        help="persistent run-cache directory (default: "
+                             "$REPRO_CACHE_DIR or ~/.cache/repro-liquid-simd)")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="disable the persistent run cache "
+                             "(always re-simulate)")
+    parser.add_argument("--ucache-benchmark", default="LU", metavar="NAME",
+                        help="benchmark for the microcode-cache sweep "
+                             "(default: LU, the suite's largest hot-loop "
+                             "working set)")
     return parser
 
 
+def _validate_benchmarks(parser: argparse.ArgumentParser,
+                         names: Optional[List[str]], flag: str) -> None:
+    """Reject unknown benchmark names up front with the valid choices."""
+    unknown = [n for n in names or [] if n not in BENCHMARK_ORDER]
+    if unknown:
+        parser.error(
+            f"unknown benchmark{'s' if len(unknown) > 1 else ''} for {flag}: "
+            f"{', '.join(repr(n) for n in unknown)}.\n"
+            f"Valid choices: {', '.join(BENCHMARK_ORDER)}"
+        )
+
+
+def _prefetch_requests(ctx: experiments.EvalContext, selected,
+                       ucache_benchmark: str) -> list:
+    """The deduplicated union of every selected experiment's runs."""
+    requests = []
+    if "table6" in selected:
+        requests += experiments.table6_requests(ctx)
+    if "figure6" in selected:
+        requests += experiments.figure6_requests(ctx)
+    if "overhead" in selected:
+        requests += experiments.native_overhead_requests(ctx)
+    if "ucache" in selected:
+        requests += experiments.ucode_cache_ablation_requests(
+            ctx, ucache_benchmark)
+    if "jit" in selected:
+        requests += experiments.software_translation_requests(ctx)
+    if "latency" in selected:
+        requests += experiments.translation_latency_requests(ctx)
+    return requests
+
+
 def run(argv: Optional[List[str]] = None) -> int:
-    args = build_parser().parse_args(argv)
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    _validate_benchmarks(parser, args.benchmarks, "--benchmarks")
+    _validate_benchmarks(parser, [args.ucache_benchmark], "--ucache-benchmark")
+    if args.jobs is not None and args.jobs < 1:
+        parser.error(f"--jobs must be >= 1, got {args.jobs}")
     if args.all:
         benchmarks = BENCHMARK_ORDER
         selected = list(EXPERIMENTS)
@@ -48,8 +108,12 @@ def run(argv: Optional[List[str]] = None) -> int:
         benchmarks = args.benchmarks or FAST_SUBSET
         selected = args.experiments
 
-    ctx = experiments.EvalContext(benchmarks, engine=args.engine)
+    cache = None if args.no_cache else RunCache.default(args.cache_dir)
+    scheduler = RunScheduler(jobs=args.jobs, cache=cache)
+    ctx = experiments.EvalContext(benchmarks, engine=args.engine,
+                                  scheduler=scheduler)
     start = time.time()
+    ctx.prefetch(_prefetch_requests(ctx, selected, args.ucache_benchmark))
 
     if "table2" in selected:
         rows = experiments.table2_hw_cost((2, 4, 8, 16))
@@ -76,12 +140,14 @@ def run(argv: Optional[List[str]] = None) -> int:
         print(report.render_code_size(experiments.code_size_overhead(ctx)))
         print()
     if "ucache" in selected:
-        rows = experiments.ucode_cache_ablation("LU", engine=args.engine)
-        print(report.render_ablation(rows, "entries",
-                                     "Microcode cache entries sweep (LU)"))
+        rows = experiments.ucode_cache_ablation(args.ucache_benchmark,
+                                                ctx=ctx)
+        print(report.render_ablation(
+            rows, "entries",
+            f"Microcode cache entries sweep ({args.ucache_benchmark})"))
         print()
     if "jit" in selected:
-        rows = experiments.software_translation_comparison(engine=args.engine)
+        rows = experiments.software_translation_comparison(ctx=ctx)
         print(f"{'Benchmark':<14}{'HW cycles':>12}{'JIT cycles':>12}"
               f"{'JIT cost':>10}")
         for row in rows:
@@ -90,12 +156,17 @@ def run(argv: Optional[List[str]] = None) -> int:
                   f"{row['jit_cost_pct']:>9.2f}%")
         print()
     if "latency" in selected:
-        rows = experiments.translation_latency_ablation(
-            "171.swim", engine=args.engine)
+        rows = experiments.translation_latency_ablation("171.swim", ctx=ctx)
         print(report.render_ablation(
             rows, "cycles_per_instruction",
             "Translation latency sweep (171.swim)"))
         print()
 
-    print(f"[{time.time() - start:.1f}s, benchmarks: {', '.join(benchmarks)}]")
+    stats = scheduler.stats
+    cache_note = ""
+    if cache is not None:
+        cache_note = (f", cache: {stats.cache_hits} hits / "
+                      f"{stats.executed} simulated")
+    print(f"[{time.time() - start:.1f}s, jobs: {scheduler.jobs}"
+          f"{cache_note}, benchmarks: {', '.join(benchmarks)}]")
     return 0

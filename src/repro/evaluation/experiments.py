@@ -6,6 +6,15 @@ in an :class:`EvalContext` because several experiments share the same
 underlying simulations (e.g. Figure 6 and Table 6 both need the width-8
 Liquid runs).
 
+All simulation flows through the context's
+:class:`~repro.evaluation.runner.RunScheduler`, which deduplicates
+requests, consults the persistent run cache, and can fan work out
+across worker processes.  Each driver has a matching ``*_requests``
+declaration function returning the exact :class:`RunRequest`\\ s it will
+need, so a caller (the CLI's prefetch phase, the benchmark harness) can
+execute the deduplicated union in parallel up front and the driver then
+reads memoized results; see docs/evaluation-runner.md.
+
 Experiment index (see DESIGN.md section 4):
 
 ========  =========================================================
@@ -31,11 +40,14 @@ from repro.core.scalarize import (
     build_liquid_program,
 )
 from repro.core.translate.hw_model import TranslatorHardwareModel
+from repro.evaluation.runner import RunRequest, RunScheduler
 from repro.isa.encoding import encoded_size
 from repro.isa.program import Program
 from repro.kernels.suite import BENCHMARK_ORDER, build_kernel
+from repro.memory.cache import CacheConfig
+from repro.pipeline.core import PipelineConfig
 from repro.simd.accelerator import config_for_width
-from repro.system.machine import Machine, MachineConfig
+from repro.system.machine import MachineConfig
 from repro.system.metrics import RunResult, outlined_function_sizes
 
 DEFAULT_WIDTHS: Tuple[int, ...] = (2, 4, 8, 16)
@@ -47,14 +59,25 @@ class EvalContext:
     ``engine`` selects the execution engine for every machine run made
     through this context (see docs/execution-engines.md); results are
     bit-identical either way, only wall-clock time differs.
+
+    Every run goes through *scheduler* (default: in-process, no
+    persistent cache — bit-identical to simulating directly).  Pass a
+    :class:`~repro.evaluation.runner.RunScheduler` with ``jobs > 1``
+    and/or a :class:`~repro.evaluation.runcache.RunCache` to parallelize
+    and persist, and call :meth:`prefetch` with the declared requests of
+    the experiments about to run so the scheduler executes their
+    deduplicated union in one batch.
     """
 
     def __init__(self, benchmarks: Optional[Sequence[str]] = None,
-                 engine: str = "fast") -> None:
+                 engine: str = "fast",
+                 scheduler: Optional[RunScheduler] = None) -> None:
         self.benchmarks = list(benchmarks or BENCHMARK_ORDER)
         self.engine = engine
+        self.scheduler = scheduler if scheduler is not None \
+            else RunScheduler(jobs=1)
         self._programs: Dict[Tuple[str, str], Program] = {}
-        self._runs: Dict[Tuple[str, str], RunResult] = {}
+        self._runs: Dict[RunRequest, RunResult] = {}
 
     # -- program construction -------------------------------------------------
 
@@ -72,31 +95,59 @@ class EvalContext:
             self._programs[key] = build_liquid_program(kernel, DEFAULT_MVL)
         return self._programs[key]
 
+    # -- request construction ----------------------------------------------------
+
+    def baseline_request(self, benchmark: str) -> RunRequest:
+        return RunRequest(benchmark, "baseline",
+                          MachineConfig(engine=self.engine))
+
+    def liquid_request(self, benchmark: str, width: int, *,
+                       pretranslate: bool = False,
+                       factor: int = 1, **config_kwargs) -> RunRequest:
+        config = MachineConfig(accelerator=config_for_width(width),
+                               pretranslate=pretranslate,
+                               engine=self.engine, **config_kwargs)
+        return RunRequest(benchmark, "liquid", config, repeat_factor=factor)
+
     # -- machine runs ------------------------------------------------------------
 
-    def run(self, benchmark: str, config: MachineConfig,
-            tag: str) -> RunResult:
-        key = (benchmark, tag)
-        if key not in self._runs:
-            program = (self.baseline_program(benchmark) if tag == "baseline"
-                       else self.liquid_program(benchmark))
-            self._runs[key] = Machine(config).run(program)
-        return self._runs[key]
+    def run_request(self, request: RunRequest) -> RunResult:
+        """Answer one request (memo -> scheduler -> cache -> simulate)."""
+        result = self._runs.get(request)
+        if result is None:
+            result = self.scheduler.run(request)
+            self._runs[request] = result
+        return result
+
+    def prefetch(self, requests: Iterable[RunRequest]) -> int:
+        """Execute the deduplicated union of *requests* in one batch.
+
+        With a multi-job scheduler this is where the fan-out happens;
+        subsequent per-experiment code then reads memoized results.
+        Returns the number of requests that were not already memoized.
+        """
+        todo = [r for r in dict.fromkeys(requests) if r not in self._runs]
+        if todo:
+            self._runs.update(self.scheduler.run_many(todo))
+        return len(todo)
 
     def baseline_run(self, benchmark: str) -> RunResult:
-        return self.run(benchmark, MachineConfig(engine=self.engine),
-                        "baseline")
+        return self.run_request(self.baseline_request(benchmark))
 
     def liquid_run(self, benchmark: str, width: int) -> RunResult:
-        config = MachineConfig(accelerator=config_for_width(width),
-                               engine=self.engine)
-        return self.run(benchmark, config, f"liquid-w{width}")
+        return self.run_request(self.liquid_request(benchmark, width))
 
     def pretranslated_run(self, benchmark: str, width: int) -> RunResult:
         """The paper's 'built-in ISA support' point: microcode from call 1."""
-        config = MachineConfig(accelerator=config_for_width(width),
-                               pretranslate=True, engine=self.engine)
-        return self.run(benchmark, config, f"native-w{width}")
+        return self.run_request(
+            self.liquid_request(benchmark, width, pretranslate=True))
+
+    def scaled_run(self, benchmark: str, width: int, factor: int,
+                   pretranslate: bool = False) -> RunResult:
+        """A Liquid run whose schedule repeats *factor* x longer."""
+        return self.run_request(
+            self.liquid_request(benchmark, width, pretranslate=pretranslate,
+                                factor=factor))
 
 
 # --------------------------------------------------------------------------
@@ -141,6 +192,11 @@ def table5_outlined_sizes(ctx: Optional[EvalContext] = None) -> List[dict]:
 # --------------------------------------------------------------------------
 
 
+def table6_requests(ctx: EvalContext, width: int = 8) -> List[RunRequest]:
+    """Runs :func:`table6_call_distances` will need."""
+    return [ctx.liquid_request(b, width) for b in ctx.benchmarks]
+
+
 def table6_call_distances(ctx: Optional[EvalContext] = None,
                           width: int = 8) -> List[dict]:
     """Cycles between the first two calls of each outlined hot loop.
@@ -173,6 +229,18 @@ def table6_call_distances(ctx: Optional[EvalContext] = None,
 # --------------------------------------------------------------------------
 
 
+def figure6_requests(ctx: EvalContext,
+                     widths: Iterable[int] = DEFAULT_WIDTHS
+                     ) -> List[RunRequest]:
+    """Runs :func:`figure6_speedups` will need."""
+    requests = []
+    for benchmark in ctx.benchmarks:
+        requests.append(ctx.baseline_request(benchmark))
+        requests.extend(ctx.liquid_request(benchmark, width)
+                        for width in widths)
+    return requests
+
+
 def figure6_speedups(ctx: Optional[EvalContext] = None,
                      widths: Iterable[int] = DEFAULT_WIDTHS) -> List[dict]:
     """Speedup of the Liquid binary over the no-SIMD scalar baseline."""
@@ -192,6 +260,20 @@ def figure6_speedups(ctx: Optional[EvalContext] = None,
 # --------------------------------------------------------------------------
 # E5 — Figure 6 callout (native vs Liquid overhead)
 # --------------------------------------------------------------------------
+
+
+def native_overhead_requests(ctx: EvalContext,
+                             width: int = 16) -> List[RunRequest]:
+    """Runs :func:`native_overhead` will need (incl. the 2x schedules)."""
+    requests = []
+    for benchmark in ctx.benchmarks:
+        requests.append(ctx.baseline_request(benchmark))
+        for pretranslate in (False, True):
+            for factor in (1, 2):
+                requests.append(ctx.liquid_request(
+                    benchmark, width, pretranslate=pretranslate,
+                    factor=factor))
+    return requests
 
 
 def native_overhead(ctx: Optional[EvalContext] = None,
@@ -223,10 +305,10 @@ def native_overhead(ctx: Optional[EvalContext] = None,
         base = ctx.baseline_run(benchmark)
         liquid = ctx.liquid_run(benchmark, width)
         native = ctx.pretranslated_run(benchmark, width)
-        liquid2 = _scaled_run(benchmark, width, factor=2, pretranslate=False,
-                              engine=ctx.engine)
-        native2 = _scaled_run(benchmark, width, factor=2, pretranslate=True,
-                              engine=ctx.engine)
+        liquid2 = ctx.scaled_run(benchmark, width, factor=2,
+                                 pretranslate=False)
+        native2 = ctx.scaled_run(benchmark, width, factor=2,
+                                 pretranslate=True)
         liquid_slope = liquid2.cycles - liquid.cycles
         native_slope = native2.cycles - native.cycles
         s_liquid = liquid.speedup_over(base)
@@ -242,17 +324,6 @@ def native_overhead(ctx: Optional[EvalContext] = None,
             if native_slope else 0.0,
         })
     return rows
-
-
-def _scaled_run(benchmark: str, width: int, factor: int,
-                pretranslate: bool, engine: str = "fast") -> RunResult:
-    """Run a Liquid binary whose schedule repeats *factor*x longer."""
-    kernel = build_kernel(benchmark)
-    kernel.repeats *= factor
-    program = build_liquid_program(kernel, DEFAULT_MVL)
-    config = MachineConfig(accelerator=config_for_width(width),
-                           pretranslate=pretranslate, engine=engine)
-    return Machine(config).run(program)
 
 
 # --------------------------------------------------------------------------
@@ -287,21 +358,36 @@ def code_size_overhead(ctx: Optional[EvalContext] = None,
 # --------------------------------------------------------------------------
 
 
+def ucode_cache_ablation_requests(ctx: EvalContext, benchmark: str = "FFT",
+                                  width: int = 8,
+                                  entry_counts: Iterable[int] =
+                                  (1, 2, 4, 8, 16)) -> List[RunRequest]:
+    """Runs :func:`ucode_cache_ablation` will need."""
+    return [ctx.liquid_request(benchmark, width, ucode_cache_entries=entries)
+            for entries in entry_counts]
+
+
 def ucode_cache_ablation(benchmark: str = "FFT", width: int = 8,
                          entry_counts: Iterable[int] = (1, 2, 4, 8, 16),
-                         engine: str = "fast") -> List[dict]:
+                         engine: str = "fast",
+                         ctx: Optional[EvalContext] = None) -> List[dict]:
     """Sweep microcode cache entries; 8 should capture every working set.
 
     Reports SIMD-run fraction and cycles per geometry.  The paper found
     "eight or more SIMD code sequences ... is sufficient to capture the
     working set in all of the benchmarks".
+
+    Default benchmarks differ by entry point on purpose: this driver
+    defaults to FFT (two hot loops — shows the 1-entry thrash cleanly),
+    while the CLI's ``--ucache-benchmark`` defaults to LU, whose four
+    elimination loops are the largest working set in the suite and the
+    sharpest demonstration of the paper's 8-entry sufficiency claim.
     """
-    program = build_liquid_program(build_kernel(benchmark), DEFAULT_MVL)
+    ctx = ctx or EvalContext(engine=engine)
     rows = []
     for entries in entry_counts:
-        config = MachineConfig(accelerator=config_for_width(width),
-                               ucode_cache_entries=entries, engine=engine)
-        run = Machine(config).run(program)
+        run = ctx.run_request(ctx.liquid_request(
+            benchmark, width, ucode_cache_entries=entries))
         calls = sum(s.calls for s in run.functions.values())
         simd = sum(s.simd_runs for s in run.functions.values())
         rows.append({
@@ -319,10 +405,30 @@ def ucode_cache_ablation(benchmark: str = "FFT", width: int = 8,
 # --------------------------------------------------------------------------
 
 
+def software_translation_requests(ctx: EvalContext,
+                                  benchmarks: Optional[Sequence[str]] = None,
+                                  width: int = 8,
+                                  software_cpi: int = 30
+                                  ) -> List[RunRequest]:
+    """Runs :func:`software_translation_comparison` will need."""
+    requests = []
+    for benchmark in benchmarks or _JIT_DEFAULT_BENCHMARKS:
+        requests.append(ctx.liquid_request(benchmark, width))
+        requests.append(ctx.liquid_request(
+            benchmark, width, translation_mode="software",
+            software_cycles_per_instruction=software_cpi))
+    return requests
+
+
+_JIT_DEFAULT_BENCHMARKS = ("MPEG2 Dec.", "GSM Enc.", "LU", "FIR")
+
+
 def software_translation_comparison(benchmarks: Optional[Sequence[str]] = None,
                                     width: int = 8,
                                     software_cpi: int = 30,
-                                    engine: str = "fast") -> List[dict]:
+                                    engine: str = "fast",
+                                    ctx: Optional[EvalContext] = None
+                                    ) -> List[dict]:
     """Extension E9: hardware vs. software (JIT) dynamic translation.
 
     The paper chooses hardware translation but notes "nothing about our
@@ -333,16 +439,13 @@ def software_translation_comparison(benchmarks: Optional[Sequence[str]] = None,
     Both are one-time costs, so both amortize to zero — the measured
     difference is the (small) constant the paper's hardware buys.
     """
+    ctx = ctx or EvalContext(engine=engine)
     rows = []
-    for benchmark in benchmarks or ("MPEG2 Dec.", "GSM Enc.", "LU", "FIR"):
-        program = build_liquid_program(build_kernel(benchmark), DEFAULT_MVL)
-        hw = Machine(MachineConfig(
-            accelerator=config_for_width(width), engine=engine)).run(program)
-        sw = Machine(MachineConfig(
-            accelerator=config_for_width(width),
-            translation_mode="software",
-            software_cycles_per_instruction=software_cpi,
-            engine=engine)).run(program)
+    for benchmark in benchmarks or _JIT_DEFAULT_BENCHMARKS:
+        hw = ctx.run_request(ctx.liquid_request(benchmark, width))
+        sw = ctx.run_request(ctx.liquid_request(
+            benchmark, width, translation_mode="software",
+            software_cycles_per_instruction=software_cpi))
         rows.append({
             "benchmark": benchmark,
             "hardware_cycles": hw.cycles,
@@ -355,10 +458,36 @@ def software_translation_comparison(benchmarks: Optional[Sequence[str]] = None,
     return rows
 
 
+def _memory_pipeline(penalty: int) -> PipelineConfig:
+    return PipelineConfig(
+        icache=CacheConfig(miss_penalty=penalty),
+        dcache=CacheConfig(miss_penalty=penalty),
+    )
+
+
+def memory_sensitivity_requests(ctx: EvalContext,
+                                benchmarks: Optional[Sequence[str]] = None,
+                                width: int = 8,
+                                miss_penalties: Iterable[int] = (0, 30, 100)
+                                ) -> List[RunRequest]:
+    """Runs :func:`memory_sensitivity` will need."""
+    requests = []
+    for benchmark in benchmarks or ("179.art", "FIR"):
+        for penalty in miss_penalties:
+            pipe = _memory_pipeline(penalty)
+            requests.append(RunRequest(
+                benchmark, "baseline",
+                MachineConfig(pipeline=pipe, engine=ctx.engine)))
+            requests.append(ctx.liquid_request(benchmark, width,
+                                               pipeline=pipe))
+    return requests
+
+
 def memory_sensitivity(benchmarks: Optional[Sequence[str]] = None,
                        width: int = 8,
                        miss_penalties: Iterable[int] = (0, 30, 100),
-                       engine: str = "fast") -> List[dict]:
+                       engine: str = "fast",
+                       ctx: Optional[EvalContext] = None) -> List[dict]:
     """Extension E11: how much of each speedup the memory system gates.
 
     The paper attributes 179.art's poor speedup to "many cache misses in
@@ -367,33 +496,42 @@ def memory_sensitivity(benchmarks: Optional[Sequence[str]] = None,
     causal: on an ideal memory system art's SIMD speedup should open up,
     while FIR's should barely move.
     """
-    from repro.memory.cache import CacheConfig
-    from repro.pipeline.core import PipelineConfig
+    ctx = ctx or EvalContext(engine=engine)
     rows = []
     for benchmark in benchmarks or ("179.art", "FIR"):
-        kernel = build_kernel(benchmark)
-        baseline_prog = build_baseline_program(kernel, DEFAULT_MVL)
-        liquid_prog = build_liquid_program(build_kernel(benchmark),
-                                           DEFAULT_MVL)
         speedups = {}
         for penalty in miss_penalties:
-            pipe = PipelineConfig(
-                icache=CacheConfig(miss_penalty=penalty),
-                dcache=CacheConfig(miss_penalty=penalty),
-            )
-            base = Machine(MachineConfig(pipeline=pipe,
-                                         engine=engine)).run(baseline_prog)
-            liquid = Machine(MachineConfig(
-                accelerator=config_for_width(width),
-                pipeline=pipe, engine=engine)).run(liquid_prog)
+            pipe = _memory_pipeline(penalty)
+            base = ctx.run_request(RunRequest(
+                benchmark, "baseline",
+                MachineConfig(pipeline=pipe, engine=ctx.engine)))
+            liquid = ctx.run_request(ctx.liquid_request(benchmark, width,
+                                                        pipeline=pipe))
             speedups[penalty] = round(liquid.speedup_over(base), 3)
         rows.append({"benchmark": benchmark, "speedups": speedups})
     return rows
 
 
+def observation_point_requests(ctx: EvalContext,
+                               benchmarks: Optional[Sequence[str]] = None,
+                               width: int = 8) -> List[RunRequest]:
+    """Runs :func:`observation_point_comparison` will need."""
+    requests = []
+    for benchmark in benchmarks or _OBSERVATION_DEFAULT_BENCHMARKS:
+        requests.append(ctx.liquid_request(benchmark, width))
+        requests.append(ctx.liquid_request(benchmark, width,
+                                           observation_point="decode"))
+    return requests
+
+
+_OBSERVATION_DEFAULT_BENCHMARKS = ("FFT", "FIR", "093.nasa7", "MPEG2 Dec.")
+
+
 def observation_point_comparison(benchmarks: Optional[Sequence[str]] = None,
                                  width: int = 8,
-                                 engine: str = "fast") -> List[dict]:
+                                 engine: str = "fast",
+                                 ctx: Optional[EvalContext] = None
+                                 ) -> List[dict]:
     """Extension E10: decode-time vs. post-retirement translation.
 
     Section 4 weighs the two hardware tap points.  Decode-time
@@ -403,14 +541,12 @@ def observation_point_comparison(benchmarks: Optional[Sequence[str]] = None,
     Post-retirement (the paper's choice) sees everything and its latency
     is hidden by Table 6's call distances.
     """
+    ctx = ctx or EvalContext(engine=engine)
     rows = []
-    for benchmark in benchmarks or ("FFT", "FIR", "093.nasa7", "MPEG2 Dec."):
-        program = build_liquid_program(build_kernel(benchmark), DEFAULT_MVL)
-        retire = Machine(MachineConfig(
-            accelerator=config_for_width(width), engine=engine)).run(program)
-        decode = Machine(MachineConfig(
-            accelerator=config_for_width(width),
-            observation_point="decode", engine=engine)).run(program)
+    for benchmark in benchmarks or _OBSERVATION_DEFAULT_BENCHMARKS:
+        retire = ctx.run_request(ctx.liquid_request(benchmark, width))
+        decode = ctx.run_request(ctx.liquid_request(
+            benchmark, width, observation_point="decode"))
         rows.append({
             "benchmark": benchmark,
             "retirement_cycles": retire.cycles,
@@ -423,24 +559,35 @@ def observation_point_comparison(benchmarks: Optional[Sequence[str]] = None,
     return rows
 
 
+def translation_latency_requests(ctx: EvalContext,
+                                 benchmark: str = "171.swim", width: int = 8,
+                                 cycles_per_instruction: Iterable[int] =
+                                 (1, 10, 50, 100, 500, 5000)
+                                 ) -> List[RunRequest]:
+    """Runs :func:`translation_latency_ablation` will need."""
+    return [ctx.liquid_request(benchmark, width,
+                               translation_cycles_per_instruction=cpi)
+            for cpi in cycles_per_instruction]
+
+
 def translation_latency_ablation(benchmark: str = "171.swim", width: int = 8,
                                  cycles_per_instruction: Iterable[int] =
                                  (1, 10, 50, 100, 500, 5000),
-                                 engine: str = "fast") -> List[dict]:
+                                 engine: str = "fast",
+                                 ctx: Optional[EvalContext] = None
+                                 ) -> List[dict]:
     """Sweep translator speed; performance should degrade only slowly.
 
     The paper argues post-retirement translation "could have taken tens
     of cycles per scalar instruction without affecting performance"
     because outlined calls are >300 cycles apart (Table 6).
     """
-    program = build_liquid_program(build_kernel(benchmark), DEFAULT_MVL)
+    ctx = ctx or EvalContext(engine=engine)
     rows = []
     baseline_cycles = None
     for cpi in cycles_per_instruction:
-        config = MachineConfig(accelerator=config_for_width(width),
-                               translation_cycles_per_instruction=cpi,
-                               engine=engine)
-        run = Machine(config).run(program)
+        run = ctx.run_request(ctx.liquid_request(
+            benchmark, width, translation_cycles_per_instruction=cpi))
         if baseline_cycles is None:
             baseline_cycles = run.cycles
         rows.append({

@@ -1,0 +1,238 @@
+"""Persistent content-addressed cache of machine runs.
+
+Simulations are pure functions of (program, machine configuration), so
+their results can be cached across processes: a second ``evaluate``
+invocation — or the benchmarks/ suite after an ``evaluate --all`` —
+skips simulation entirely on hits.  Entries are addressed by the
+SHA-256 of
+
+* the canonical program bytes (:func:`repro.isa.encoding.encode_program`,
+  a fully reversible serialization, so two structurally identical
+  programs share a key no matter how they were built),
+* a canonical JSON rendering of every result-relevant
+  :class:`~repro.system.machine.MachineConfig` field
+  (:func:`config_fingerprint`),
+* the execution engine, and
+* :data:`CACHE_FORMAT_VERSION`.
+
+Invalidation therefore never needs timestamps: change the program or
+any config knob and the key changes; change what a simulation *means*
+(timing model, translator semantics, serialization layout) and
+``CACHE_FORMAT_VERSION`` must be bumped, which orphans every old entry.
+Orphaned and corrupted entries are simply misses — the scheduler falls
+back to re-simulation and overwrites them.
+
+The cache lives under ``~/.cache/repro-liquid-simd/`` by default,
+overridable with ``--cache-dir`` or the ``REPRO_CACHE_DIR`` environment
+variable, and ``python -m repro cache clear`` empties it.  See
+``docs/evaluation-runner.md``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Optional, Union
+
+from repro.isa.encoding import encode_program
+from repro.isa.program import Program
+from repro.system.machine import MachineConfig
+from repro.system.metrics import RunResult
+
+#: Bump whenever simulation semantics or the RunResult wire format
+#: change in a way that makes old cached results wrong or unreadable.
+CACHE_FORMAT_VERSION = 1
+
+#: Environment variable overriding the default cache location.
+CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+
+_DEFAULT_SUBDIR = Path(".cache") / "repro-liquid-simd"
+
+
+def default_cache_dir() -> Path:
+    """Resolution order: ``REPRO_CACHE_DIR`` env var, then ``~/.cache``."""
+    env = os.environ.get(CACHE_DIR_ENV)
+    if env:
+        return Path(env)
+    return Path.home() / _DEFAULT_SUBDIR
+
+
+def config_fingerprint(config: MachineConfig) -> dict:
+    """Canonical JSON-safe dict of every result-relevant config field.
+
+    Display-only fields (``AcceleratorConfig.name``) are excluded so a
+    renamed generation still hits; everything that can change a
+    simulation outcome — widths, repertoires, latencies, cache
+    geometries, translator knobs — is included.
+    """
+    accel = None
+    if config.accelerator is not None:
+        a = config.accelerator
+        accel = {
+            "width": a.width,
+            "permutations": [p.name for p in a.permutations],
+            "vector_ops": sorted(a.vector_ops),
+            "supports_saturation": a.supports_saturation,
+        }
+
+    def cache_cfg(c) -> dict:
+        return {
+            "size_bytes": c.size_bytes,
+            "assoc": c.assoc,
+            "line_bytes": c.line_bytes,
+            "hit_latency": c.hit_latency,
+            "miss_penalty": c.miss_penalty,
+        }
+
+    pipe = config.pipeline
+    return {
+        "accelerator": accel,
+        "pipeline": {
+            "icache": cache_cfg(pipe.icache),
+            "dcache": cache_cfg(pipe.dcache),
+            "mispredict_penalty": pipe.mispredict_penalty,
+            "call_redirect_penalty": pipe.call_redirect_penalty,
+            "pipeline_depth": pipe.pipeline_depth,
+            "code_base": pipe.code_base,
+        },
+        "translation_enabled": config.translation_enabled,
+        "ucode_cache_entries": config.ucode_cache_entries,
+        "max_ucode_instructions": config.max_ucode_instructions,
+        "translation_cycles_per_instruction":
+            config.translation_cycles_per_instruction,
+        "collapse_offset_loads": config.collapse_offset_loads,
+        "const_immediates": config.const_immediates,
+        "attempt_plain_bl": config.attempt_plain_bl,
+        "pretranslate": config.pretranslate,
+        "interrupt_interval": config.interrupt_interval,
+        "translation_mode": config.translation_mode,
+        "software_cycles_per_instruction":
+            config.software_cycles_per_instruction,
+        "observation_point": config.observation_point,
+        "verify_translations": config.verify_translations,
+        "engine": config.engine,
+        "mvl": config.mvl,
+        "max_steps": config.max_steps,
+    }
+
+
+def run_key(program: Program, config: MachineConfig,
+            format_version: int = CACHE_FORMAT_VERSION) -> str:
+    """Content address of one simulation: SHA-256 hex digest."""
+    header = json.dumps(
+        {
+            "format_version": format_version,
+            "engine": config.engine,
+            "config": config_fingerprint(config),
+        },
+        sort_keys=True, separators=(",", ":"),
+    ).encode("utf-8")
+    h = hashlib.sha256()
+    h.update(header)
+    h.update(b"\x00")
+    h.update(encode_program(program))
+    return h.hexdigest()
+
+
+@dataclass
+class RunCacheStats:
+    """Hit/miss accounting for one :class:`RunCache` instance."""
+
+    hits: int = 0
+    misses: int = 0
+    stores: int = 0
+    errors: int = 0  # corrupted or unreadable entries encountered
+
+
+class RunCache:
+    """On-disk store of serialized :class:`RunResult`\\ s, keyed by content.
+
+    Entries are two-level sharded JSON files
+    (``<root>/<key[:2]>/<key>.json``) written atomically (temp file +
+    rename), so concurrent writers — the parallel scheduler's workers
+    all report through one parent, but several ``evaluate`` processes
+    may share a cache dir — never expose partial entries.
+    """
+
+    def __init__(self, root: Union[str, Path]) -> None:
+        self.root = Path(root)
+        self.stats = RunCacheStats()
+
+    @classmethod
+    def default(cls, cache_dir: Optional[Union[str, Path]] = None
+                ) -> "RunCache":
+        """Cache at *cache_dir*, ``$REPRO_CACHE_DIR``, or ``~/.cache``."""
+        return cls(Path(cache_dir) if cache_dir else default_cache_dir())
+
+    def path_for(self, key: str) -> Path:
+        return self.root / key[:2] / f"{key}.json"
+
+    def load(self, key: str) -> Optional[RunResult]:
+        """The cached result for *key*, or None (miss / corrupt entry).
+
+        A corrupted entry — truncated write from a killed process,
+        hand-edited JSON, wrong format version — is deleted best-effort
+        and reported as a miss so the scheduler re-simulates.
+        """
+        path = self.path_for(key)
+        try:
+            payload = json.loads(path.read_text(encoding="utf-8"))
+            if payload.get("format_version") != CACHE_FORMAT_VERSION:
+                raise ValueError("format version mismatch")
+            result = RunResult.from_dict(payload["result"])
+        except FileNotFoundError:
+            self.stats.misses += 1
+            return None
+        except (OSError, ValueError, KeyError, TypeError):
+            self.stats.errors += 1
+            self.stats.misses += 1
+            try:
+                path.unlink()
+            except OSError:
+                pass
+            return None
+        self.stats.hits += 1
+        return result
+
+    def store(self, key: str, result: RunResult) -> None:
+        """Atomically persist *result* under *key*."""
+        path = self.path_for(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        payload = json.dumps(
+            {"format_version": CACHE_FORMAT_VERSION, "key": key,
+             "result": result.to_dict()},
+            separators=(",", ":"),
+        )
+        tmp = path.with_suffix(f".tmp.{os.getpid()}")
+        tmp.write_text(payload, encoding="utf-8")
+        os.replace(tmp, path)
+        self.stats.stores += 1
+
+    # -- maintenance (the ``repro cache`` subcommand) -------------------------
+
+    def entry_paths(self):
+        if not self.root.is_dir():
+            return
+        for shard in sorted(self.root.iterdir()):
+            if shard.is_dir():
+                yield from sorted(shard.glob("*.json"))
+
+    def entry_count(self) -> int:
+        return sum(1 for _ in self.entry_paths())
+
+    def size_bytes(self) -> int:
+        return sum(p.stat().st_size for p in self.entry_paths())
+
+    def clear(self) -> int:
+        """Delete every entry; returns how many were removed."""
+        removed = 0
+        for path in list(self.entry_paths()):
+            try:
+                path.unlink()
+                removed += 1
+            except OSError:
+                pass
+        return removed

@@ -41,6 +41,26 @@ class CacheStats:
     write_misses: int = 0
     writebacks: int = 0
 
+    def to_dict(self) -> dict:
+        """JSON-safe representation (inverse of :meth:`from_dict`)."""
+        return {
+            "reads": self.reads,
+            "writes": self.writes,
+            "read_misses": self.read_misses,
+            "write_misses": self.write_misses,
+            "writebacks": self.writebacks,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "CacheStats":
+        return cls(
+            reads=data["reads"],
+            writes=data["writes"],
+            read_misses=data["read_misses"],
+            write_misses=data["write_misses"],
+            writebacks=data["writebacks"],
+        )
+
     @property
     def accesses(self) -> int:
         return self.reads + self.writes

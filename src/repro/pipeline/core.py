@@ -66,6 +66,26 @@ class PipelineStats:
     branches: int = 0
     mispredicts: int = 0
 
+    def to_dict(self) -> dict:
+        """JSON-safe representation (inverse of :meth:`from_dict`)."""
+        return {
+            "instructions": self.instructions,
+            "simd_instructions": self.simd_instructions,
+            "data_stall_cycles": self.data_stall_cycles,
+            "fetch_stall_cycles": self.fetch_stall_cycles,
+            "load_miss_cycles": self.load_miss_cycles,
+            "branch_penalty_cycles": self.branch_penalty_cycles,
+            "branches": self.branches,
+            "mispredicts": self.mispredicts,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "PipelineStats":
+        return cls(**{name: data[name] for name in (
+            "instructions", "simd_instructions", "data_stall_cycles",
+            "fetch_stall_cycles", "load_miss_cycles",
+            "branch_penalty_cycles", "branches", "mispredicts")})
+
 
 class PipelineModel:
     """Assigns cycles to a retire-event stream."""

@@ -37,6 +37,30 @@ class FunctionStats:
             return None
         return self.call_cycles[1] - self.call_cycles[0]
 
+    def to_dict(self) -> dict:
+        """JSON-safe representation (inverse of :meth:`from_dict`)."""
+        return {
+            "name": self.name,
+            "calls": self.calls,
+            "scalar_runs": self.scalar_runs,
+            "simd_runs": self.simd_runs,
+            "call_cycles": list(self.call_cycles),
+            "translation": (self.translation.to_dict()
+                            if self.translation is not None else None),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "FunctionStats":
+        return cls(
+            name=data["name"],
+            calls=data["calls"],
+            scalar_runs=data["scalar_runs"],
+            simd_runs=data["simd_runs"],
+            call_cycles=list(data["call_cycles"]),
+            translation=(TranslationResult.from_dict(data["translation"])
+                         if data["translation"] is not None else None),
+        )
+
 
 @dataclass
 class RunResult:
@@ -57,6 +81,52 @@ class RunResult:
     def speedup_over(self, baseline: "RunResult") -> float:
         """Baseline cycles / this run's cycles."""
         return baseline.cycles / self.cycles if self.cycles else float("inf")
+
+    def to_dict(self) -> dict:
+        """JSON-safe representation (inverse of :meth:`from_dict`).
+
+        This is the wire format of the persistent run cache
+        (:mod:`repro.evaluation.runcache`) and of process-pool transport
+        in :mod:`repro.evaluation.runner`, so it must round-trip every
+        field bit-exactly — including microcode fragments and final
+        array contents (floats survive JSON via repr round-tripping).
+        """
+        return {
+            "program": self.program,
+            "config": self.config,
+            "cycles": self.cycles,
+            "instructions": self.instructions,
+            "pipeline": self.pipeline.to_dict(),
+            "icache": self.icache.to_dict(),
+            "dcache": self.dcache.to_dict(),
+            "functions": {name: stats.to_dict()
+                          for name, stats in self.functions.items()},
+            "ucode_cache": (self.ucode_cache.to_dict()
+                            if self.ucode_cache is not None else None),
+            "arrays": {name: list(values)
+                       for name, values in self.arrays.items()},
+            "translations": [t.to_dict() for t in self.translations],
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "RunResult":
+        return cls(
+            program=data["program"],
+            config=data["config"],
+            cycles=data["cycles"],
+            instructions=data["instructions"],
+            pipeline=PipelineStats.from_dict(data["pipeline"]),
+            icache=CacheStats.from_dict(data["icache"]),
+            dcache=CacheStats.from_dict(data["dcache"]),
+            functions={name: FunctionStats.from_dict(stats)
+                       for name, stats in data["functions"].items()},
+            ucode_cache=(MicrocodeCacheStats.from_dict(data["ucode_cache"])
+                         if data["ucode_cache"] is not None else None),
+            arrays={name: list(values)
+                    for name, values in data["arrays"].items()},
+            translations=[TranslationResult.from_dict(t)
+                          for t in data["translations"]],
+        )
 
     @property
     def abort_counts(self) -> Dict[AbortReason, int]:

@@ -17,6 +17,18 @@ from repro.system.machine import Machine, MachineConfig
 from repro.system.metrics import RunResult
 
 
+@pytest.fixture(autouse=True)
+def _isolated_run_cache(monkeypatch, tmp_path_factory):
+    """Point the persistent run cache at a tmp dir for every test.
+
+    The evaluation CLI caches simulation results under ``~/.cache`` by
+    default; tests must never read stale entries from (or write into)
+    the developer's real cache.
+    """
+    monkeypatch.setenv("REPRO_CACHE_DIR",
+                       str(tmp_path_factory.mktemp("runcache")))
+
+
 def run_program(program: Program, width=None, **config_kwargs) -> RunResult:
     """Run *program* on a machine with an optional accelerator width."""
     accelerator = config_for_width(width) if width else None

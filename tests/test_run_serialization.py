@@ -1,0 +1,145 @@
+"""Round-trip serialization of RunResult and every nested stats type.
+
+The ``to_dict``/``from_dict`` pair is the wire format of the persistent
+run cache and of process-pool transport (docs/evaluation-runner.md), so
+it must survive ``to_dict -> json.dumps -> json.loads -> from_dict``
+bit-exactly: cycle counts, per-function call traces, translation
+outcomes including microcode fragments, abort reasons, and final array
+contents (floats included).
+"""
+
+import json
+
+import pytest
+
+from conftest import perm_kernel, run_program, sat_kernel, simple_kernel
+
+from repro.core.scalarize import build_liquid_program
+from repro.core.translate.translator import AbortReason, TranslationResult
+from repro.core.translate.ucode_cache import MicrocodeCacheStats
+from repro.isa.encoding import encode_program
+from repro.memory.cache import CacheStats
+from repro.pipeline.core import PipelineStats
+from repro.system.metrics import FunctionStats, RunResult, arrays_equal
+
+
+def roundtrip(obj):
+    """to_dict -> JSON text -> from_dict, through the real wire format."""
+    data = json.loads(json.dumps(obj.to_dict()))
+    return type(obj).from_dict(data)
+
+
+@pytest.fixture(scope="module")
+def liquid_result() -> RunResult:
+    """A rich run: translations, permutations, reductions, f32 arrays."""
+    program = build_liquid_program(perm_kernel(calls=4))
+    return run_program(program, width=8)
+
+
+@pytest.fixture(scope="module")
+def scalar_result() -> RunResult:
+    """A run with no accelerator: ucode_cache is None, no translations."""
+    program = build_liquid_program(simple_kernel(calls=3))
+    return run_program(program)
+
+
+class TestLeafStats:
+    def test_cache_stats(self):
+        stats = CacheStats(reads=10, writes=4, read_misses=2,
+                           write_misses=1, writebacks=3)
+        assert roundtrip(stats) == stats
+
+    def test_pipeline_stats(self):
+        stats = PipelineStats(instructions=100, simd_instructions=20,
+                              data_stall_cycles=5, fetch_stall_cycles=7,
+                              load_miss_cycles=30, branch_penalty_cycles=4,
+                              branches=12, mispredicts=2)
+        assert roundtrip(stats) == stats
+
+    def test_ucode_cache_stats(self):
+        stats = MicrocodeCacheStats(lookups=9, hits=6, not_ready=1,
+                                    evictions=2)
+        assert roundtrip(stats) == stats
+        assert roundtrip(stats).misses == stats.misses
+
+    def test_function_stats_without_translation(self):
+        stats = FunctionStats("hot", calls=3, scalar_runs=1, simd_runs=2,
+                              call_cycles=[10, 180, 900])
+        back = roundtrip(stats)
+        assert back == stats
+        assert back.first_two_call_distance == 170
+
+    def test_translation_result_abort(self):
+        result = TranslationResult("hot", ok=False,
+                                   reason=AbortReason.BUFFER_OVERFLOW,
+                                   observed_static=70, detail="too big")
+        back = roundtrip(result)
+        assert back == result
+        assert back.reason is AbortReason.BUFFER_OVERFLOW
+
+
+class TestMicrocodeEntry:
+    def test_fragment_round_trips_bit_exactly(self, liquid_result):
+        entries = [t.entry for t in liquid_result.translations
+                   if t.ok and t.entry is not None]
+        assert entries, "expected at least one successful translation"
+        for entry in entries:
+            back = roundtrip(entry)
+            assert back.function == entry.function
+            assert back.width == entry.width
+            assert back.ready_cycle == entry.ready_cycle
+            assert back.static_instructions == entry.static_instructions
+            # Canonical bytes are the identity of a program; comments
+            # (display-only, not encoded) may differ.
+            assert encode_program(back.fragment) == \
+                encode_program(entry.fragment)
+            assert back.fragment.labels == entry.fragment.labels
+
+
+class TestRunResult:
+    def test_dict_is_json_stable(self, liquid_result):
+        data = liquid_result.to_dict()
+        assert json.loads(json.dumps(data)) == data
+
+    def test_full_round_trip(self, liquid_result):
+        back = roundtrip(liquid_result)
+        assert back.program == liquid_result.program
+        assert back.config == liquid_result.config
+        assert back.cycles == liquid_result.cycles
+        assert back.instructions == liquid_result.instructions
+        assert back.pipeline == liquid_result.pipeline
+        assert back.icache == liquid_result.icache
+        assert back.dcache == liquid_result.dcache
+        assert back.ucode_cache == liquid_result.ucode_cache
+        assert set(back.functions) == set(liquid_result.functions)
+        for name, stats in liquid_result.functions.items():
+            assert back.functions[name].calls == stats.calls
+            assert back.functions[name].call_cycles == stats.call_cycles
+        assert arrays_equal(back, liquid_result)
+        assert back.arrays == liquid_result.arrays
+
+    def test_round_trip_twice_is_identity(self, liquid_result):
+        once = liquid_result.to_dict()
+        twice = roundtrip(liquid_result).to_dict()
+        assert once == twice
+
+    def test_derived_metrics_survive(self, liquid_result):
+        back = roundtrip(liquid_result)
+        assert back.cpi == liquid_result.cpi
+        assert back.successful_translations == \
+            liquid_result.successful_translations
+        assert back.abort_counts == liquid_result.abort_counts
+
+    def test_scalar_run_with_none_fields(self, scalar_result):
+        assert scalar_result.ucode_cache is None
+        back = roundtrip(scalar_result)
+        assert back.ucode_cache is None
+        assert back.translations == []
+        assert back.cycles == scalar_result.cycles
+        assert back.arrays == scalar_result.arrays
+
+    def test_saturating_kernel_arrays_round_trip(self):
+        result = run_program(build_liquid_program(sat_kernel()), width=8)
+        back = roundtrip(result)
+        assert back.arrays == result.arrays
+        assert back.pipeline == result.pipeline
