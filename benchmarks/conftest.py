@@ -9,15 +9,24 @@ rides a :class:`RunScheduler` backed by the persistent run cache
 simulations entirely; set ``REPRO_CACHE_DIR`` to relocate the cache or
 ``REPRO_JOBS`` to bound worker processes.
 
-The ``engine_bench_records`` / ``parallel_bench_records`` fixtures
-collect timing records (filled in by ``test_engine_speedup.py`` and
-``test_parallel_speedup.py``) and write them to ``BENCH_engine.json`` /
-``BENCH_parallel.json`` at session teardown, so successive runs leave a
-machine-readable record of the measured speedups.
+The ``engine_bench_records`` / ``parallel_bench_records`` /
+``turbo_bench_records`` fixtures collect timing records (filled in by
+``test_engine_speedup.py``, ``test_parallel_speedup.py`` and
+``test_turbo_speedup.py``) and write them through one shared
+:func:`write_bench_json` at session teardown, so successive runs leave
+machine-readable ``BENCH_*.json`` records with a common schema::
+
+    {
+      "machine":  {platform, python, cpu_count, processor},
+      "records":  {<record name>: {...timings...}, ...},
+      "speedups": {<record name>: <derived speedup>, ...}
+    }
 """
 
 import json
 import os
+import platform
+import sys
 from pathlib import Path
 
 import pytest
@@ -26,13 +35,39 @@ from repro.evaluation.experiments import EvalContext
 from repro.evaluation.runcache import RunCache
 from repro.evaluation.runner import RunScheduler
 
-ENGINE_BENCH_PATH = Path(__file__).resolve().parent / "BENCH_engine.json"
-PARALLEL_BENCH_PATH = Path(__file__).resolve().parent / "BENCH_parallel.json"
+_BENCH_DIR = Path(__file__).resolve().parent
+ENGINE_BENCH_PATH = _BENCH_DIR / "BENCH_engine.json"
+PARALLEL_BENCH_PATH = _BENCH_DIR / "BENCH_parallel.json"
+TURBO_BENCH_PATH = _BENCH_DIR / "BENCH_turbo.json"
 
 
 def _bench_jobs():
     env = os.environ.get("REPRO_JOBS")
     return int(env) if env else None  # None -> os.cpu_count()
+
+
+def machine_info() -> dict:
+    """Hardware/software context a timing record is meaningless without."""
+    return {
+        "platform": platform.platform(),
+        "python": sys.version.split()[0],
+        "cpu_count": os.cpu_count(),
+        "processor": platform.processor() or platform.machine(),
+    }
+
+
+def write_bench_json(path: Path, records: dict) -> None:
+    """Write one BENCH_*.json: machine info, timings, derived speedups."""
+    payload = {
+        "machine": machine_info(),
+        "records": records,
+        "speedups": {
+            name: record["speedup"]
+            for name, record in records.items()
+            if isinstance(record, dict) and "speedup" in record
+        },
+    }
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
 
 
 @pytest.fixture(scope="session")
@@ -46,7 +81,7 @@ def _records_fixture(path: Path):
     records = {}
     yield records
     if records:
-        path.write_text(json.dumps(records, indent=2, sort_keys=True) + "\n")
+        write_bench_json(path, records)
 
 
 @pytest.fixture(scope="session")
@@ -59,3 +94,9 @@ def engine_bench_records():
 def parallel_bench_records():
     """Scheduler/cache timing records, dumped as BENCH_parallel.json."""
     yield from _records_fixture(PARALLEL_BENCH_PATH)
+
+
+@pytest.fixture(scope="session")
+def turbo_bench_records():
+    """Turbo-engine timing records, dumped as BENCH_turbo.json."""
+    yield from _records_fixture(TURBO_BENCH_PATH)

@@ -1,0 +1,137 @@
+"""Turbo micro-benchmark: superblock-fused engine vs. fast engine.
+
+Runs the Figure 6 sweep (the full fifteen-kernel liquid suite at
+hardware width 8) under both engines, asserts the turbo engine's >= 2x
+*geomean* wall-clock speedup (the ISSUE 3 acceptance criterion), and
+records per-kernel timings in ``benchmarks/BENCH_turbo.json`` via the
+shared writer in conftest.
+
+The three-way differential suite (``tests/test_engine_differential.py``)
+already proves the engines bit-identical, so the timing half of this
+file only measures; it still cross-checks cycle counts as a cheap
+sanity net.  The second test pins the other ISSUE 3 cache property:
+run-cache keys are engine-invariant, so entries written under one
+engine are byte-identical to — and directly answer — the same requests
+under another.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+
+from repro.core.scalarize import build_liquid_program
+from repro.evaluation.experiments import EvalContext
+from repro.evaluation.runcache import RunCache, run_key
+from repro.evaluation.runner import RunScheduler, build_request_program
+from repro.kernels.suite import BENCHMARK_ORDER, build_kernel
+from repro.simd.accelerator import config_for_width
+from repro.system.machine import Machine, MachineConfig
+
+WIDTH = 8
+MIN_GEOMEAN_SPEEDUP = 2.0
+MEASURED_PASSES = 2
+
+
+def _time_kernel(program, engine, accel):
+    """(best wall-clock seconds, simulated cycles) for one kernel."""
+    best = math.inf
+    cycles = None
+    for _ in range(MEASURED_PASSES):
+        config = MachineConfig(accelerator=accel, engine=engine)
+        start = time.perf_counter()
+        result = Machine(config).run(program)
+        best = min(best, time.perf_counter() - start)
+        cycles = result.cycles
+    return best, cycles
+
+
+def test_turbo_geomean_speedup(turbo_bench_records):
+    accel = config_for_width(WIDTH)
+    programs = {name: build_liquid_program(build_kernel(name))
+                for name in BENCHMARK_ORDER}
+
+    # Warmup: decode tables, superblock compilation, allocator state.
+    for program in programs.values():
+        for engine in ("fast", "turbo"):
+            Machine(MachineConfig(accelerator=accel,
+                                  engine=engine)).run(program)
+
+    kernels = {}
+    ratios = []
+    fast_total = turbo_total = 0.0
+    for name, program in programs.items():
+        fast_s, fast_cycles = _time_kernel(program, "fast", accel)
+        turbo_s, turbo_cycles = _time_kernel(program, "turbo", accel)
+        assert fast_cycles == turbo_cycles, \
+            f"{name}: engines disagree on cycles; run the differential suite"
+        ratio = fast_s / turbo_s
+        ratios.append(ratio)
+        fast_total += fast_s
+        turbo_total += turbo_s
+        kernels[name] = {
+            "fast_seconds": round(fast_s, 4),
+            "turbo_seconds": round(turbo_s, 4),
+            "speedup": round(ratio, 2),
+        }
+
+    geomean = math.exp(sum(map(math.log, ratios)) / len(ratios))
+    turbo_bench_records["turbo_speedup"] = {
+        "kernels": kernels,
+        "width": WIDTH,
+        "fast_seconds": round(fast_total, 3),
+        "turbo_seconds": round(turbo_total, 3),
+        "speedup": round(geomean, 2),
+        "aggregate_speedup": round(fast_total / turbo_total, 2),
+    }
+    print(f"\nfast {fast_total:.2f}s  turbo {turbo_total:.2f}s  "
+          f"geomean {geomean:.2f}x  "
+          f"aggregate {fast_total / turbo_total:.2f}x")
+    assert geomean >= MIN_GEOMEAN_SPEEDUP, \
+        f"turbo engine only {geomean:.2f}x geomean over fast " \
+        f"(required: {MIN_GEOMEAN_SPEEDUP}x)"
+
+
+def _prefetch_suite(engine, cache_dir):
+    scheduler = RunScheduler(jobs=1, cache=RunCache(cache_dir))
+    ctx = EvalContext(engine=engine, scheduler=scheduler)
+    requests = [ctx.liquid_request(name, WIDTH) for name in BENCHMARK_ORDER]
+    ctx.prefetch(requests)
+    return ctx, requests, scheduler
+
+
+def test_run_cache_engine_invariant(tmp_path, monkeypatch):
+    """Cache entries are shared — and byte-identical — across engines."""
+    fast_dir = tmp_path / "fast"
+    turbo_dir = tmp_path / "turbo"
+    _, fast_requests, _ = _prefetch_suite("fast", fast_dir)
+    _, turbo_requests, _ = _prefetch_suite("turbo", turbo_dir)
+
+    fast_cache = RunCache(fast_dir)
+    turbo_cache = RunCache(turbo_dir)
+    for fast_req, turbo_req in zip(fast_requests, turbo_requests):
+        fast_key = run_key(build_request_program(fast_req), fast_req.config)
+        turbo_key = run_key(build_request_program(turbo_req),
+                            turbo_req.config)
+        assert fast_key == turbo_key, "run keys must be engine-invariant"
+        assert fast_cache.path_for(fast_key).read_bytes() == \
+            turbo_cache.path_for(turbo_key).read_bytes(), \
+            f"{fast_req.benchmark}: cached bytes differ across engines"
+
+    # A turbo context over the cache the *fast* engine populated answers
+    # everything from disk: zero simulations.
+    machine_runs = []
+    real_run = Machine.run
+    monkeypatch.setattr(
+        Machine, "run",
+        lambda self, program: machine_runs.append(program.name)
+        or real_run(self, program))
+    warm_ctx, warm_requests, warm_scheduler = _prefetch_suite(
+        "turbo", fast_dir)
+    assert machine_runs == [], \
+        f"turbo re-simulated despite fast-engine cache: {machine_runs}"
+    assert warm_scheduler.stats.cache_hits == len(BENCHMARK_ORDER)
+    assert warm_scheduler.stats.executed == 0
+    warm_cycles = {r.benchmark: warm_ctx.run_request(r).cycles
+                   for r in warm_requests}
+    assert set(warm_cycles) == set(BENCHMARK_ORDER)

@@ -20,6 +20,7 @@ from typing import List, Optional
 from repro.evaluation import experiments, report
 from repro.evaluation.runcache import RunCache
 from repro.evaluation.runner import RunScheduler
+from repro.interp.executor import ENGINES
 from repro.kernels.suite import BENCHMARK_ORDER
 
 FAST_SUBSET = ["MPEG2 Dec.", "GSM Enc.", "LU", "FFT", "FIR"]
@@ -42,10 +43,11 @@ def build_parser() -> argparse.ArgumentParser:
                         help=f"which experiments to run {EXPERIMENTS}")
     parser.add_argument("--all", action="store_true",
                         help="all experiments over all fifteen benchmarks")
-    parser.add_argument("--engine", choices=("fast", "reference"),
+    parser.add_argument("--engine", choices=ENGINES,
                         default="fast",
                         help="execution engine (results are bit-identical; "
-                             "'reference' is the slow canonical interpreter)")
+                             "'turbo' fuses superblocks, 'reference' is the "
+                             "slow canonical interpreter)")
     parser.add_argument("--jobs", type=int, default=None, metavar="N",
                         help="worker processes for simulations (default: "
                              "os.cpu_count(); 1 = in-process/sequential)")

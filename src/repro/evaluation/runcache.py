@@ -12,8 +12,12 @@ SHA-256 of
 * a canonical JSON rendering of every result-relevant
   :class:`~repro.system.machine.MachineConfig` field
   (:func:`config_fingerprint`),
-* the execution engine, and
 * :data:`CACHE_FORMAT_VERSION`.
+
+The execution engine is deliberately **not** part of the key: the
+engines are bit-identical by contract (the differential conformance
+suite enforces it), so a result simulated under any engine is valid for
+all of them and cache entries are shared across engines.
 
 Invalidation therefore never needs timestamps: change the program or
 any config knob and the key changes; change what a simulation *means*
@@ -44,7 +48,8 @@ from repro.system.metrics import RunResult
 
 #: Bump whenever simulation semantics or the RunResult wire format
 #: change in a way that makes old cached results wrong or unreadable.
-CACHE_FORMAT_VERSION = 1
+#: 2: keys became engine-invariant (entries shared across engines).
+CACHE_FORMAT_VERSION = 2
 
 #: Environment variable overriding the default cache location.
 CACHE_DIR_ENV = "REPRO_CACHE_DIR"
@@ -113,7 +118,8 @@ def config_fingerprint(config: MachineConfig) -> dict:
             config.software_cycles_per_instruction,
         "observation_point": config.observation_point,
         "verify_translations": config.verify_translations,
-        "engine": config.engine,
+        # config.engine is intentionally omitted: engines are
+        # bit-identical, so results are engine-invariant.
         "mvl": config.mvl,
         "max_steps": config.max_steps,
     }
@@ -125,7 +131,6 @@ def run_key(program: Program, config: MachineConfig,
     header = json.dumps(
         {
             "format_version": format_version,
-            "engine": config.engine,
             "config": config_fingerprint(config),
         },
         sort_keys=True, separators=(",", ":"),

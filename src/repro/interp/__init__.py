@@ -6,6 +6,7 @@ from repro.interp.executor import (
     ExecutionError,
     Executor,
     FastExecutor,
+    TurboExecutor,
     make_executor,
 )
 from repro.interp.state import MachineState, SymbolTable
@@ -16,6 +17,7 @@ __all__ = [
     "ExecutionError",
     "Executor",
     "FastExecutor",
+    "TurboExecutor",
     "make_executor",
     "MachineState",
     "SymbolTable",

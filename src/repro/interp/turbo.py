@@ -1,0 +1,1327 @@
+"""Superblock-fused execution for the ``turbo`` engine.
+
+The fast engine (:mod:`repro.isa.decoded`) already pre-decodes every
+instruction into a handler closure, but still pays three per-instruction
+costs on every retirement: a frozen-dataclass
+:class:`~repro.interp.events.RetireEvent` allocation, a Python-level
+:meth:`~repro.pipeline.core.PipelineModel.account` call, and the
+machine's dispatch loop itself.  This module removes all three at
+*superblock* granularity, the classic region-specialization move of
+interpreter JITs (and of Revec-style region vectorizers): specialize a
+straight-line run once, execute it many times.
+
+On top of a :class:`~repro.isa.decoded.DecodedProgram`, a
+:class:`SuperblockTable` lazily discovers straight-line handler runs —
+basic blocks ending at branches, calls, returns, or ``halt`` (in this
+repo, chiefly the bodies of the outlined scalar loops) — and compiles
+each into one *fused* closure:
+
+* **One dispatch per block.**  The generated function chains the
+  block's "quiet" handlers (event-free twins of the fast engine's
+  handlers, defined here) and additionally inlines the dominant
+  instruction shapes — integer ALU/compare/move, binary32
+  add/sub/mul on float registers, and the block-closing branch — as
+  straight Python operating on hoisted register-bank dicts, threading
+  register and flag state locally instead of through per-instruction
+  accessor round-trips.
+* **Zero-allocation retirement.**  No ``RetireEvent`` is built.  Memory
+  operations append their effective address to a per-block list (reused
+  across executions), branches return their taken flag, and the
+  pipeline consumes the pre-extracted per-block
+  :class:`~repro.pipeline.core.BlockTiming` via one
+  :meth:`~repro.pipeline.core.PipelineModel.account_block` call.
+  Observers that genuinely need event objects — the dynamic translator
+  while observing an outlined function, or a
+  :class:`~repro.system.trace.TraceRecorder` — force the machine onto
+  the fast engine's per-instruction path, whose events are eager and
+  bit-identical by construction (see ``docs/execution-engines.md``).
+
+Error fidelity is preserved exactly: a fused closure that faults
+restores ``state.pc`` to the faulting instruction and
+``instructions_retired`` to the completed prefix before re-raising, so
+diagnostics match the per-instruction engines; decode-time failures are
+deferred into raising handlers just like :func:`repro.isa.decoded.predecode`.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import OrderedDict
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro import arith
+from repro.interp.errors import ExecutionError
+from repro.isa.decoded import (
+    COND_CODES,
+    FLOAT_BITWISE_OPS,
+    FLOAT_UNARY_OPS,
+    VEC_BINARY_OPS,
+    VEC_PERM_OPS,
+    VEC_RED_OPS,
+    VEC_UNARY_OPS,
+    DecodedProgram,
+    _addr_getter,
+    _FLOAT_ALU_FAST,
+    _INT_ALU_FAST,
+    _no_accel_error,
+    _PY_FLOAT_OPS,
+    _resolve_target,
+    _scalar_writer,
+    _value_getter,
+    _vector_getter,
+    mask_bits,
+    predecode,
+)
+from repro.isa.encoding import encode_program
+from repro.isa.instructions import Imm, Instruction, Reg
+from repro.isa.opcodes import ELEM_SIZES, LOAD_ELEM, OPCODES, STORE_ELEM, InstrClass
+from repro.isa.registers import LINK_REGISTER, is_float_reg, is_int_reg
+from repro.memory.alignment import vector_alignment_ok
+from repro.pipeline.core import _FLAGS, _INSTR_BYTES, BlockTiming
+from repro.simd import vector_ops
+from repro.simd.permutations import PermPattern
+
+#: Upper bound on fused block length (defensive; real blocks are short).
+_MAX_BLOCK = 200
+
+#: Condition suffix -> Python expression over the hoisted ``flags`` dict,
+#: mirroring :data:`repro.isa.decoded.COND_CODES` predicate for predicate.
+_COND_EXPRS = {
+    "eq": 'flags["eq"]',
+    "ne": 'not flags["eq"]',
+    "lt": 'flags["lt"]',
+    "le": 'flags["lt"] or flags["eq"]',
+    "gt": 'flags["gt"]',
+    "ge": 'flags["gt"] or flags["eq"]',
+}
+
+
+# ---------------------------------------------------------------------------
+# Quiet handlers
+#
+# Event-free twins of the repro.isa.decoded handlers: identical side
+# effects, identical checks in identical order, but no RetireEvent, no
+# state.pc bookkeeping (control flow excepted) and no retired counter —
+# the fused block does those in bulk.  Memory handlers return the
+# effective address; branches return the taken flag.
+# ---------------------------------------------------------------------------
+
+
+def _q_raiser(exc: BaseException):
+    def handler(state):
+        raise exc
+    return handler
+
+
+def _q_sys(pc: int, instr: Instruction):
+    if instr.opcode == "halt":
+        next_pc = pc + 1
+
+        def halt(state):
+            state.halted = True
+            state.pc = next_pc
+        return halt
+
+    def nop(state):
+        return None
+    return nop
+
+
+def _q_move(pc: int, instr: Instruction):
+    opcode = instr.opcode
+    base = "fmov" if opcode.startswith("fmov") else "mov"
+    cond = opcode[len(base):]
+    cond_fn = None
+    if cond:
+        cond_fn = COND_CODES.get(cond)
+        if cond_fn is None:
+            raise ExecutionError(
+                f"unknown condition suffix {cond!r} in opcode {opcode!r}"
+            )
+    body_error: Optional[ExecutionError] = None
+    body = None
+    if len(instr.srcs) != 1:
+        body_error = ExecutionError(f"{opcode} expects one source")
+    elif instr.dst is None:
+        body_error = ExecutionError(f"{opcode} needs a destination")
+    else:
+        get_src = _value_getter(instr.srcs[0])
+        dname = instr.dst.name
+        write = _scalar_writer(dname)
+        if is_int_reg(dname):
+            def body(state, _get=get_src, _write=write):
+                _write(state, arith.wrap_int(int(_get(state))))
+        else:
+            def body(state, _get=get_src, _write=write):
+                _write(state, arith.f32(float(_get(state))))
+    if cond_fn is None and body_error is None:
+        return body
+
+    def handler(state):
+        if cond_fn is not None and not cond_fn(state.regs.flags):
+            return None
+        if body_error is not None:
+            raise body_error
+        return body(state)
+    return handler
+
+
+def _q_int_alu(pc: int, instr: Instruction):
+    opcode = instr.opcode
+    if len(instr.srcs) != 2:
+        raise ExecutionError(f"{opcode} expects two sources")
+    get_a = _value_getter(instr.srcs[0])
+    get_b = _value_getter(instr.srcs[1])
+    if instr.dst is None:
+        raise ExecutionError(f"{opcode} needs a destination")
+    dname = instr.dst.name
+    write = _scalar_writer(dname)
+
+    if is_float_reg(dname):
+        if opcode == "and":
+            def handler(state):
+                a = get_a(state)
+                b = get_b(state)
+                write(state, arith.float_bitwise("fand", float(a),
+                                                 mask_bits(b)))
+            return handler
+        if opcode == "orr":
+            def handler(state):
+                a = get_a(state)
+                b = get_b(state)
+                if isinstance(b, float):
+                    value = arith.float_or_floats(float(a), b)
+                else:
+                    value = arith.float_bitwise("forr", float(a),
+                                                mask_bits(b))
+                write(state, value)
+            return handler
+        raise ExecutionError(
+            f"integer op {opcode!r} cannot target float register"
+        )
+
+    fast = _INT_ALU_FAST.get(opcode)
+    if fast is not None:
+        a_op, b_op = instr.srcs
+        a_name = (a_op.name if isinstance(a_op, Reg)
+                  and is_int_reg(a_op.name) else None)
+        if a_name is not None and is_int_reg(dname):
+            if isinstance(b_op, Reg) and is_int_reg(b_op.name):
+                b_name = b_op.name
+
+                def handler(state):
+                    ints = state.regs.ints
+                    ints[dname] = fast(ints[a_name], ints[b_name])
+                return handler
+            if isinstance(b_op, Imm):
+                b_const = int(b_op.value)
+
+                def handler(state):
+                    ints = state.regs.ints
+                    ints[dname] = fast(ints[a_name], b_const)
+                return handler
+
+        def handler(state):
+            write(state, fast(int(get_a(state)), int(get_b(state))))
+        return handler
+
+    int_op = arith.int_op
+
+    def handler(state):
+        write(state, int_op(opcode, int(get_a(state)), int(get_b(state)),
+                            "i32"))
+    return handler
+
+
+def _q_float_alu(pc: int, instr: Instruction):
+    opcode = instr.opcode
+    if instr.dst is None:
+        raise ExecutionError(f"{opcode} needs a destination")
+    dname = instr.dst.name
+    write = _scalar_writer(dname)
+    float_op = arith.float_op
+    if not is_float_reg(dname):
+        def write(state, value, _n=dname):  # noqa: F811 - intentional
+            state.regs.write(_n, value)
+
+    if opcode in FLOAT_UNARY_OPS:
+        if len(instr.srcs) != 1:
+            raise ExecutionError(f"{opcode} expects one source")
+        get_a = _value_getter(instr.srcs[0])
+
+        def handler(state):
+            write(state, float_op(opcode, float(get_a(state))))
+        return handler
+
+    if opcode in FLOAT_BITWISE_OPS:
+        get_a = _value_getter(instr.srcs[0]) if instr.srcs else None
+        get_b = _value_getter(instr.srcs[1]) if len(instr.srcs) > 1 else None
+        if get_a is None or get_b is None:
+            return _q_raiser(IndexError("tuple index out of range"))
+        is_and = opcode == "fand"
+
+        def handler(state):
+            a = float(get_a(state))
+            b = get_b(state)
+            if isinstance(b, float):
+                value = (arith.float_and_floats(a, b) if is_and
+                         else arith.float_or_floats(a, b))
+            else:
+                value = arith.float_bitwise(opcode, a, int(b))
+            write(state, value)
+        return handler
+
+    if len(instr.srcs) != 2:
+        raise ExecutionError(f"{opcode} expects two sources")
+    get_a = _value_getter(instr.srcs[0])
+    get_b = _value_getter(instr.srcs[1])
+
+    np_op = _FLOAT_ALU_FAST.get(opcode)
+    if np_op is not None:
+        f32t = np.float32
+        py_op = _PY_FLOAT_OPS.get(opcode)
+        a_src, b_src = instr.srcs
+        a_name = (a_src.name if isinstance(a_src, Reg)
+                  and is_float_reg(a_src.name) else None)
+        if py_op is not None and a_name is not None and is_float_reg(dname):
+            b_name = (b_src.name if isinstance(b_src, Reg)
+                      and is_float_reg(b_src.name) else None)
+            if b_name is not None:
+                def handler(state):
+                    floats = state.regs.floats
+                    floats[dname] = float(
+                        f32t(py_op(floats[a_name], floats[b_name])))
+                return handler
+            if isinstance(b_src, Imm):
+                b_const = float(f32t(float(b_src.value)))
+
+                def handler(state):
+                    floats = state.regs.floats
+                    floats[dname] = float(f32t(py_op(floats[a_name],
+                                                     b_const)))
+                return handler
+
+        def handler(state):
+            write(state, float(np_op(f32t(get_a(state)), f32t(get_b(state)))))
+        return handler
+
+    def handler(state):
+        write(state, float_op(opcode, float(get_a(state)),
+                              float(get_b(state))))
+    return handler
+
+
+def _q_cmp(pc: int, instr: Instruction):
+    if len(instr.srcs) != 2:
+        raise ExecutionError(f"{instr.opcode} expects two operands")
+    a_src, b_src = instr.srcs
+
+    a_name = (a_src.name if isinstance(a_src, Reg)
+              and is_int_reg(a_src.name) else None)
+    if a_name is not None and isinstance(b_src, Imm):
+        b_const = b_src.value
+
+        def handler(state):
+            regs = state.regs
+            a = regs.ints[a_name]
+            flags = regs.flags
+            flags["lt"] = a < b_const
+            flags["eq"] = a == b_const
+            flags["gt"] = a > b_const
+        return handler
+    if a_name is not None and isinstance(b_src, Reg) \
+            and is_int_reg(b_src.name):
+        b_name = b_src.name
+
+        def handler(state):
+            regs = state.regs
+            ints = regs.ints
+            a = ints[a_name]
+            b = ints[b_name]
+            flags = regs.flags
+            flags["lt"] = a < b
+            flags["eq"] = a == b
+            flags["gt"] = a > b
+        return handler
+
+    get_a = _value_getter(a_src)
+    get_b = _value_getter(b_src)
+
+    def handler(state):
+        state.regs.set_flags(get_a(state), get_b(state))
+    return handler
+
+
+def _q_load(pc: int, instr: Instruction):
+    elem, signed = LOAD_ELEM[instr.opcode]
+    get_addr = _addr_getter(instr.mem, elem)
+    dname = instr.dst.name
+    bad_float_dst = is_float_reg(dname) and elem != "f32"
+    is_f32 = elem == "f32"
+    if is_f32 and not is_float_reg(dname):
+        def write(state, value, _n=dname):
+            state.regs.write(_n, value)
+    else:
+        write = _scalar_writer(dname)
+
+    def handler(state):
+        addr = get_addr(state)
+        value = state.memory.load(addr, elem, signed=signed)
+        if is_f32:
+            value = arith.f32(value)
+        if bad_float_dst:
+            raise ExecutionError("integer load cannot target a float register")
+        write(state, value)
+        return addr
+    return handler
+
+
+def _q_store(pc: int, instr: Instruction):
+    elem = STORE_ELEM[instr.opcode]
+    get_addr = _addr_getter(instr.mem, elem)
+    get_src = _value_getter(instr.srcs[0])
+
+    def handler(state):
+        addr = get_addr(state)
+        state.memory.store(addr, elem, get_src(state))
+        return addr
+    return handler
+
+
+def _q_branch(pc: int, instr: Instruction, program):
+    opcode = instr.opcode
+    target_index, target_error = _resolve_target(program, instr.target)
+    fall_through = pc + 1
+    if opcode == "b":
+        def handler(state):
+            if target_error is not None:
+                raise target_error
+            state.pc = target_index
+            return True
+        return handler
+
+    cond_fn = COND_CODES.get(opcode[1:])
+    if cond_fn is None:
+        raise ExecutionError(
+            f"unknown branch condition {opcode[1:]!r} in opcode {opcode!r}"
+        )
+
+    def handler(state):
+        taken = cond_fn(state.regs.flags)
+        if taken:
+            if target_error is not None:
+                raise target_error
+            state.pc = target_index
+        else:
+            state.pc = fall_through
+        return taken
+    return handler
+
+
+def _q_call(pc: int, instr: Instruction, program):
+    target_index, target_error = _resolve_target(program, instr.target)
+    return_addr = pc + 1
+
+    def handler(state):
+        # Link register is written before target resolution, like the
+        # reference, so the side effect survives a bad-target failure.
+        state.regs.ints[LINK_REGISTER] = return_addr
+        if target_error is not None:
+            raise target_error
+        state.pc = target_index
+    return handler
+
+
+def _q_ret(pc: int, instr: Instruction):
+    def handler(state):
+        state.pc = int(state.regs.ints[LINK_REGISTER])
+    return handler
+
+
+def _q_vld(pc: int, instr: Instruction):
+    opcode = instr.opcode
+    elem = instr.elem
+    elem_error = None
+    if elem is None:
+        elem_error = ExecutionError("vld requires an element type suffix")
+        get_addr = None
+        elem_size = None
+    else:
+        get_addr = _addr_getter(instr.mem, elem)
+        elem_size = ELEM_SIZES[elem]
+    dname = instr.dst.name
+
+    def handler(state):
+        vregs = state.vregs
+        if vregs is None:
+            raise _no_accel_error(opcode)
+        if elem_error is not None:
+            raise elem_error
+        width = vregs.width
+        addr = get_addr(state)
+        if not vector_alignment_ok(addr, elem_size, width):
+            raise ExecutionError(
+                f"unaligned vector access at {addr:#x} "
+                f"(width {width}, elem {elem})"
+            )
+        lanes = state.memory.load_vector(addr, elem, width)
+        vregs.write(dname, lanes, elem)
+        return addr
+    return handler
+
+
+def _q_vst(pc: int, instr: Instruction):
+    opcode = instr.opcode
+    elem = instr.elem
+    elem_error = None
+    if elem is None:
+        elem_error = ExecutionError("vst requires an element type suffix")
+        get_addr = None
+        elem_size = None
+        get_src = None
+    else:
+        get_addr = _addr_getter(instr.mem, elem)
+        elem_size = ELEM_SIZES[elem]
+        get_src = _vector_getter(instr.srcs[0])
+
+    def handler(state):
+        vregs = state.vregs
+        if vregs is None:
+            raise _no_accel_error(opcode)
+        if elem_error is not None:
+            raise elem_error
+        width = vregs.width
+        addr = get_addr(state)
+        if not vector_alignment_ok(addr, elem_size, width):
+            raise ExecutionError(
+                f"unaligned vector access at {addr:#x} "
+                f"(width {width}, elem {elem})"
+            )
+        state.memory.store_vector(addr, elem, get_src(state, width))
+        return addr
+    return handler
+
+
+def _q_vec_binary(pc: int, instr: Instruction):
+    opcode = instr.opcode
+    elem = instr.elem
+    get_a = _vector_getter(instr.srcs[0])
+    b_operand = instr.srcs[1]
+    if isinstance(b_operand, Imm):
+        b_const = b_operand.value
+        get_b = None
+    else:
+        b_const = None
+        get_b = _vector_getter(b_operand)
+    lower = vector_ops.binary_fast_fn(opcode, elem or "i32")
+    dname = instr.dst.name
+
+    def handler(state):
+        vregs = state.vregs
+        if vregs is None:
+            raise _no_accel_error(opcode)
+        width = vregs.width
+        a = get_a(state, width)
+        b = b_const if get_b is None else get_b(state, width)
+        vregs.write(dname, lower(a, b), elem)
+    return handler
+
+
+def _q_vec_unary(pc: int, instr: Instruction):
+    opcode = instr.opcode
+    elem = instr.elem
+    get_a = _vector_getter(instr.srcs[0])
+    lower = vector_ops.unary_fast_fn(opcode, elem or "i32")
+    dname = instr.dst.name
+
+    def handler(state):
+        vregs = state.vregs
+        if vregs is None:
+            raise _no_accel_error(opcode)
+        width = vregs.width
+        vregs.write(dname, lower(get_a(state, width)), elem)
+    return handler
+
+
+def _q_vec_perm(pc: int, instr: Instruction):
+    opcode = instr.opcode
+    elem = instr.elem
+    get_src = _vector_getter(instr.srcs[0])
+    dname = instr.dst.name
+
+    def build_pattern(width: int) -> PermPattern:
+        period_operand = instr.srcs[1] if len(instr.srcs) > 1 else Imm(width)
+        if not isinstance(period_operand, Imm):
+            raise ExecutionError(f"{opcode} period must be an immediate")
+        period = int(period_operand.value)
+        if opcode == "vbfly":
+            return PermPattern("bfly", period)
+        if opcode == "vrev":
+            return PermPattern("rev", period)
+        if len(instr.srcs) < 3 or not isinstance(instr.srcs[2], Imm):
+            raise ExecutionError("vrot expects #period, #amount")
+        return PermPattern("rot", period, int(instr.srcs[2].value))
+
+    maps: Dict[int, list] = {}
+
+    def handler(state):
+        vregs = state.vregs
+        if vregs is None:
+            raise _no_accel_error(opcode)
+        width = vregs.width
+        src = get_src(state, width)
+        cached = maps.get(width)
+        if cached is None:
+            pattern = build_pattern(width)
+            if width % pattern.period != 0:
+                raise ExecutionError(
+                    f"{pattern.name} does not tile hardware width {width}"
+                )
+            cached = pattern.lane_map(width)
+            maps[width] = cached
+        vregs.write(dname, [src[i] for i in cached], elem)
+    return handler
+
+
+def _q_vec_reduce(pc: int, instr: Instruction):
+    opcode = instr.opcode
+    elem = instr.elem
+    get_acc = _value_getter(instr.srcs[0])
+    get_lanes = _vector_getter(instr.srcs[1])
+    lower = vector_ops.reduce_fast_fn(opcode, elem or "i32")
+    dname = instr.dst.name
+
+    def handler(state):
+        vregs = state.vregs
+        if vregs is None:
+            raise _no_accel_error(opcode)
+        width = vregs.width
+        value = lower(get_acc(state), get_lanes(state, width))
+        state.regs.write(dname, value)
+    return handler
+
+
+def _quiet_one(pc: int, instr: Instruction, program):
+    """Quiet twin of :func:`repro.isa.decoded._decode_one`."""
+    opcode = instr.opcode
+    spec = OPCODES.get(opcode)
+    if spec is None:
+        raise ExecutionError(f"unknown opcode {opcode!r} at pc={pc}")
+    cls = spec.cls
+    if cls is InstrClass.SYS:
+        return _q_sys(pc, instr)
+    if cls is InstrClass.MOVE:
+        return _q_move(pc, instr)
+    if cls in (InstrClass.ALU, InstrClass.MUL):
+        return _q_int_alu(pc, instr)
+    if cls in (InstrClass.FALU, InstrClass.FMUL, InstrClass.FDIV):
+        return _q_float_alu(pc, instr)
+    if cls is InstrClass.CMP:
+        return _q_cmp(pc, instr)
+    if cls is InstrClass.LOAD and not spec.is_vector:
+        return _q_load(pc, instr)
+    if cls is InstrClass.STORE and not spec.is_vector:
+        return _q_store(pc, instr)
+    if cls is InstrClass.BRANCH:
+        return _q_branch(pc, instr, program)
+    if cls is InstrClass.CALL:
+        return _q_call(pc, instr, program)
+    if cls is InstrClass.RET:
+        return _q_ret(pc, instr)
+    if opcode == "vld":
+        return _q_vld(pc, instr)
+    if opcode == "vst":
+        return _q_vst(pc, instr)
+    if opcode in VEC_BINARY_OPS:
+        return _q_vec_binary(pc, instr)
+    if opcode in VEC_UNARY_OPS:
+        return _q_vec_unary(pc, instr)
+    if opcode in VEC_PERM_OPS:
+        return _q_vec_perm(pc, instr)
+    if opcode in VEC_RED_OPS:
+        return _q_vec_reduce(pc, instr)
+    raise ExecutionError(f"unhandled opcode {opcode!r}")
+
+
+# ---------------------------------------------------------------------------
+# Inline specialization
+#
+# The dominant scalar shapes are emitted as source lines into the fused
+# block instead of closure calls, operating on register banks hoisted
+# into locals once per block.  Each form is only used under exactly the
+# conditions for which the corresponding decoded.py handler specializes,
+# and computes the same value by the same (documented) identities.
+# ---------------------------------------------------------------------------
+
+
+def _literal(value) -> Optional[str]:
+    """An exact source literal for *value*, or None if there isn't one."""
+    if value is True or value is False:
+        return repr(value)
+    if isinstance(value, int):
+        return repr(value)
+    if isinstance(value, float) and math.isfinite(value):
+        return repr(value)  # repr round-trips binary64 exactly
+    return None
+
+
+def _inline_lines(pc: int, instr: Instruction, ns: dict):
+    """(source lines, hoisted banks) for one instruction, or None.
+
+    Lines assume ``ints`` / ``floats`` / ``flags`` locals bound to the
+    live register banks (dict identity is stable for the whole run:
+    :class:`~repro.isa.registers.RegisterFile` mutates its banks in
+    place, never rebinding them).
+    """
+    spec = OPCODES.get(instr.opcode)
+    if spec is None:
+        return None
+    cls = spec.cls
+    opcode = instr.opcode
+
+    if cls in (InstrClass.ALU, InstrClass.MUL):
+        fast = _INT_ALU_FAST.get(opcode)
+        if (fast is None or len(instr.srcs) != 2 or instr.dst is None
+                or not is_int_reg(instr.dst.name)):
+            return None
+        a_op, b_op = instr.srcs
+        if not (isinstance(a_op, Reg) and is_int_reg(a_op.name)):
+            return None
+        d, a = instr.dst.name, a_op.name
+        fn = f"f{pc}"
+        if isinstance(b_op, Reg) and is_int_reg(b_op.name):
+            ns[fn] = fast
+            return ([f"ints[{d!r}] = {fn}(ints[{a!r}], ints[{b_op.name!r}])"],
+                    {"ints"})
+        if isinstance(b_op, Imm):
+            try:
+                b_const = int(b_op.value)
+            except (TypeError, ValueError):
+                return None
+            ns[fn] = fast
+            return ([f"ints[{d!r}] = {fn}(ints[{a!r}], {b_const})"], {"ints"})
+        return None
+
+    if cls is InstrClass.CMP:
+        if len(instr.srcs) != 2:
+            return None
+        a_op, b_op = instr.srcs
+        if not (isinstance(a_op, Reg) and is_int_reg(a_op.name)):
+            return None
+        a = a_op.name
+        if isinstance(b_op, Imm):
+            lit = _literal(b_op.value)
+            if lit is None:
+                return None
+            return ([f"a = ints[{a!r}]",
+                     f'flags["lt"] = a < {lit}',
+                     f'flags["eq"] = a == {lit}',
+                     f'flags["gt"] = a > {lit}'], {"ints", "flags"})
+        if isinstance(b_op, Reg) and is_int_reg(b_op.name):
+            return ([f"a = ints[{a!r}]",
+                     f"b = ints[{b_op.name!r}]",
+                     'flags["lt"] = a < b',
+                     'flags["eq"] = a == b',
+                     'flags["gt"] = a > b'], {"ints", "flags"})
+        return None
+
+    if cls is InstrClass.MOVE:
+        if len(instr.srcs) != 1 or instr.dst is None:
+            return None
+        src = instr.srcs[0]
+        d = instr.dst.name
+        if opcode == "mov" and is_int_reg(d):
+            if isinstance(src, Imm):
+                try:
+                    value = arith.wrap_int(int(src.value))
+                except (TypeError, ValueError):
+                    return None
+                return ([f"ints[{d!r}] = {value}"], {"ints"})
+            if isinstance(src, Reg) and is_int_reg(src.name):
+                # The integer bank invariantly holds wrapped ints, so
+                # wrap_int(int(x)) is the identity here.
+                return ([f"ints[{d!r}] = ints[{src.name!r}]"], {"ints"})
+        if opcode == "fmov" and is_float_reg(d):
+            if isinstance(src, Imm):
+                try:
+                    value = arith.f32(float(src.value))
+                except (TypeError, ValueError):
+                    return None
+                lit = _literal(value)
+                if lit is None:
+                    return None
+                return ([f"floats[{d!r}] = {lit}"], {"floats"})
+            if isinstance(src, Reg) and is_float_reg(src.name):
+                # Float registers invariantly hold exact binary32 values,
+                # so f32(float(x)) is the identity here.
+                return ([f"floats[{d!r}] = floats[{src.name!r}]"], {"floats"})
+        return None
+
+    if cls in (InstrClass.FALU, InstrClass.FMUL):
+        py_sym = {"fadd": "+", "fsub": "-", "fmul": "*"}.get(opcode)
+        if (py_sym is None or len(instr.srcs) != 2 or instr.dst is None
+                or not is_float_reg(instr.dst.name)):
+            return None
+        a_op, b_op = instr.srcs
+        if not (isinstance(a_op, Reg) and is_float_reg(a_op.name)):
+            return None
+        d, a = instr.dst.name, a_op.name
+        # binary64 +/-/* of binary32 operands followed by one rounding
+        # to binary32 is correctly rounded (2p+2 <= 53): identical to
+        # the reference's float32 arithmetic (see decoded.py).
+        if isinstance(b_op, Reg) and is_float_reg(b_op.name):
+            return ([f"floats[{d!r}] = float(_f32("
+                     f"floats[{a!r}] {py_sym} floats[{b_op.name!r}]))"],
+                    {"floats"})
+        if isinstance(b_op, Imm):
+            try:
+                b_const = float(np.float32(float(b_op.value)))
+            except (TypeError, ValueError):
+                return None
+            lit = _literal(b_const)
+            if lit is None:
+                return None
+            return ([f"floats[{d!r}] = float(_f32("
+                     f"floats[{a!r}] {py_sym} {lit}))"], {"floats"})
+        return None
+
+    return None
+
+
+# ---------------------------------------------------------------------------
+# Superblock discovery + fusion
+# ---------------------------------------------------------------------------
+
+
+class FusedBlock:
+    """One compiled superblock: run it, then account its timing.
+
+    ``run(state)`` executes every instruction in the block (raising from
+    the faulting pc exactly like the per-instruction engines) and
+    returns the terminating branch's taken flag (None for other
+    terminators).  ``mem`` then holds the block's effective addresses in
+    execution order, ready for
+    :meth:`~repro.pipeline.core.PipelineModel.account_block` together
+    with ``timing``.
+    """
+
+    __slots__ = ("run", "mem", "timing", "count")
+
+    def __init__(self, run, mem: List[int], timing: BlockTiming) -> None:
+        self.run = run
+        self.mem = mem
+        self.timing = timing
+        self.count = timing.count
+
+
+class SuperblockTable:
+    """Lazily fuses a :class:`~repro.isa.decoded.DecodedProgram` into
+    superblocks, keyed by entry pc.
+
+    ``marked`` (per-pc bools) stops blocks *before* marked calls so the
+    machine's microcode-injection path keeps control of them; fragments
+    pass ``pc_offset``/``in_vector_unit`` so their
+    :class:`~repro.pipeline.core.BlockTiming` rows carry the offset PCs
+    and skip instruction fetch, exactly like the per-event fragment path.
+    """
+
+    def __init__(self, table: DecodedProgram, pipeline,
+                 marked: Optional[List[bool]] = None,
+                 vector_width: Optional[int] = None,
+                 pc_offset: int = 0,
+                 in_vector_unit: bool = False) -> None:
+        self.program = table.program
+        self.instructions = table.program.instructions
+        self.metas = table.metas
+        self.marked = marked
+        self.vector_width = vector_width
+        self.pc_offset = pc_offset
+        self.in_vector_unit = in_vector_unit
+        direct, code_base, line_bytes = pipeline.fetch_profile()
+        self._fetch_mode = 0 if in_vector_unit else (1 if direct else 2)
+        self._code_base = code_base
+        self._iline_bytes = line_bytes
+        # Timing-model constants baked into the compiled timing closures
+        # (config-derived, so tables memoized per PipelineConfig — see
+        # superblock_table_for — never see them change).
+        pconfig = pipeline.config
+        self._icache_hit = pconfig.icache.hit_latency
+        self._dcache_hit = pconfig.dcache.hit_latency
+        self._mispredict_penalty = pconfig.mispredict_penalty
+        self._call_redirect_penalty = pconfig.call_redirect_penalty
+        n = len(self.instructions)
+        self._quiet_cache: List[Optional[tuple]] = [None] * n
+        self._blocks: Dict[int, FusedBlock] = {}
+
+    def block_at(self, pc: int) -> FusedBlock:
+        block = self._blocks.get(pc)
+        if block is None:
+            block = self._blocks[pc] = self._build(pc)
+        return block
+
+    # -- internals ----------------------------------------------------------
+
+    def _quiet(self, pc: int):
+        """(handler, decoded_ok) for one pc, cached."""
+        cached = self._quiet_cache[pc]
+        if cached is None:
+            instr = self.instructions[pc]
+            try:
+                cached = (_quiet_one(pc, instr, self.program), True)
+            except Exception as exc:
+                cached = (_q_raiser(exc), False)
+            self._quiet_cache[pc] = cached
+        return cached
+
+    def _row(self, pc: int, meta) -> tuple:
+        if self._fetch_mode == 1:
+            fetch_key = (self._code_base
+                         + pc * _INSTR_BYTES) // self._iline_bytes
+        elif self._fetch_mode == 2:
+            fetch_key = self._code_base + pc * _INSTR_BYTES
+        else:
+            fetch_key = 0
+        cls = meta.cls
+        if meta.is_load:
+            mem_kind = 1
+        elif cls is InstrClass.STORE or cls is InstrClass.VSTORE:
+            mem_kind = 2
+        else:
+            mem_kind = 0
+        nbytes = meta.elem_bytes
+        if meta.is_vector and self.vector_width:
+            nbytes *= self.vector_width
+        return (fetch_key, meta.reads, meta.reads_flags, meta.writes,
+                meta.sets_flags, meta.latency, mem_kind, nbytes)
+
+    def _compile_timing(self, entry: int, rows, term: int,
+                        branch_pc: int, branch_target: int,
+                        blen: int, simd: int):
+        """Compile :meth:`PipelineModel.account_block`'s loop for *rows*.
+
+        Emits the generic loop's arithmetic with this block's constants
+        baked in — fetch line numbers, register names, latencies,
+        penalties — so accounting a block is straight-line Python with
+        no tuple unpacking or per-row branching.  Two deliberate
+        strength reductions, both stats-identical to the generic loop:
+
+        * Consecutive instructions fetched from the *same* I-cache line
+          are guaranteed hits after the first (nothing else touches the
+          icache mid-block), so the first fetch goes through the cache
+          and the rest are batched into one O(1)
+          :meth:`~repro.memory.cache.Cache.repeat_hits` call.  Each
+          batched access still advances the generation counter and
+          re-stamps the line, so recency ordering — and every future
+          hit/miss/writeback decision — is unchanged.
+        * Config latencies/penalties are literals; the memo key of
+          :func:`superblock_table_for` includes the
+          :class:`~repro.pipeline.core.PipelineConfig`, so a compiled
+          closure never outlives its constants.
+
+        Pipeline *instance* state (caches, predictor, hazard map, stats)
+        is bound from the ``pipe`` argument at call time, so one
+        compiled block serves every pipeline sharing the config.
+        """
+        if not rows:
+            return None  # entry-raiser block: never accounted
+        mode = self._fetch_mode
+        ihit = self._icache_hit
+        dhit = self._dcache_hit
+        body: List[str] = []
+        emit = body.append
+        has_load = has_store = need_repeat = False
+        mem_index = 0
+        prev_line = None
+        rep_count = 0
+
+        def flush_repeats():
+            nonlocal rep_count, need_repeat
+            if rep_count:
+                need_repeat = True
+                emit(f"irh({prev_line}, {rep_count})")
+                rep_count = 0
+
+        for (fetch_key, reads, reads_flags, writes, sets_flags,
+             latency, mem_kind, nbytes) in rows:
+            if mode == 1:
+                if fetch_key == prev_line:
+                    rep_count += 1
+                    if ihit > 1:
+                        emit(f"fetch_stall += {ihit - 1}")
+                        emit(f"ready = fetch_ready + {ihit - 1}")
+                    else:
+                        emit("ready = fetch_ready")
+                else:
+                    flush_repeats()
+                    prev_line = fetch_key
+                    emit(f"fc = ifl({fetch_key}, False)")
+                    emit("if fc > 1:")
+                    emit("    fetch_stall += fc - 1")
+                    emit("ready = fetch_ready + fc - 1")
+            elif mode == 2:
+                emit(f"fc = ia({fetch_key}, {_INSTR_BYTES}, False)")
+                emit("if fc > 1:")
+                emit("    fetch_stall += fc - 1")
+                emit("ready = fetch_ready + fc - 1")
+            else:
+                emit("ready = fetch_ready")
+            for reg in reads:
+                emit(f"t = get({reg!r}, 0)")
+                emit("if t > ready: ready = t")
+            if reads_flags:
+                emit(f"t = get({_FLAGS!r}, 0)")
+                emit("if t > ready: ready = t")
+            emit("issue = last_issue + 1")
+            emit("if ready > issue:")
+            emit("    data_stall += ready - issue")
+            emit("    issue = ready")
+            if mem_kind == 1:
+                has_load = True
+                emit(f"a = da(mem[{mem_index}], {nbytes}, False)")
+                emit("completion = issue + a")
+                emit(f"if a > {dhit}:")
+                emit(f"    load_miss += a - {dhit}")
+                mem_index += 1
+            elif mem_kind == 2:
+                has_store = True
+                emit(f"completion = issue + {latency}")
+                emit(f"da(mem[{mem_index}], {nbytes}, True)")
+                mem_index += 1
+            else:
+                emit(f"completion = issue + {latency}")
+            for reg in writes:
+                emit(f"reg_ready[{reg!r}] = completion")
+            if sets_flags:
+                emit(f"reg_ready[{_FLAGS!r}] = completion")
+            emit("last_issue = issue")
+            emit("fetch_ready = issue")
+            emit("if completion > last_completion: "
+                 "last_completion = completion")
+        if mode == 1:
+            flush_repeats()
+        if term == 1:
+            penalty = self._mispredict_penalty
+            emit("stats.branches += 1")
+            emit("pred = pipe.predictor")
+            emit(f"predicted = pred.predict({branch_pc}, "
+                 f"{branch_target} if taken else {branch_pc})")
+            emit(f"pred.update({branch_pc}, taken)")
+            emit("if predicted != taken:")
+            emit("    stats.mispredicts += 1")
+            emit(f"    fetch_ready = issue + 1 + {penalty}")
+            emit(f"    stats.branch_penalty_cycles += {penalty}")
+        elif term == 2:
+            penalty = self._call_redirect_penalty
+            emit(f"fetch_ready = issue + 1 + {penalty}")
+            emit(f"stats.branch_penalty_cycles += {penalty}")
+        emit("pipe._last_issue = last_issue")
+        emit("pipe._fetch_ready = fetch_ready")
+        emit("pipe._last_completion = last_completion")
+        emit(f"stats.instructions += {blen}")
+        if simd:
+            emit(f"stats.simd_instructions += {simd}")
+        emit("stats.data_stall_cycles += data_stall")
+        if mode:
+            emit("stats.fetch_stall_cycles += fetch_stall")
+        if has_load:
+            emit("stats.load_miss_cycles += load_miss")
+
+        prologue = [
+            "reg_ready = pipe._reg_ready",
+            "get = reg_ready.get",
+            "stats = pipe.stats",
+            "fetch_ready = pipe._fetch_ready",
+            "last_issue = pipe._last_issue",
+            "last_completion = pipe._last_completion",
+            "data_stall = 0",
+        ]
+        if mode:
+            prologue.append("fetch_stall = 0")
+        if mode == 1:
+            prologue.append("ifl = pipe._ifetch_line")
+        elif mode == 2:
+            prologue.append("ia = pipe.icache.access")
+        if need_repeat:
+            prologue.append("irh = pipe.icache.repeat_hits")
+        if has_load or has_store:
+            prologue.append("da = pipe.dcache.access")
+        if has_load:
+            prologue.append("load_miss = 0")
+        src = ["def _timing(pipe, mem, taken):"]
+        src.extend("    " + line for line in prologue)
+        src.extend("    " + line for line in body)
+        tns: dict = {}
+        exec(compile("\n".join(src), f"<sbtiming@{entry}>", "exec"), tns)
+        return tns["_timing"]
+
+    def _build(self, entry: int) -> FusedBlock:
+        instructions = self.instructions
+        metas = self.metas
+        marked = self.marked
+        n = len(instructions)
+        limit = min(n, entry + _MAX_BLOCK)
+
+        # -- discovery: scan the straight-line run from `entry` ------------
+        pcs: List[int] = []
+        term = 0          # 0 none, 1 branch, 2 call/ret, 3 halt
+        i = entry
+        exit_pc = entry
+        while True:
+            if i >= limit:
+                exit_pc = i
+                break
+            if i > entry and marked is not None and marked[i]:
+                exit_pc = i
+                break
+            meta = metas[i]
+            if meta is None:
+                # Unknown opcode: executable only as the entry, where its
+                # deferred decode error must fire (rows stay unused).
+                if i == entry:
+                    pcs.append(i)
+                exit_pc = i
+                break
+            cls = meta.cls
+            pcs.append(i)
+            if cls is InstrClass.BRANCH:
+                term = 1
+                break
+            if cls is InstrClass.CALL or cls is InstrClass.RET:
+                term = 2
+                break
+            if instructions[i].opcode == "halt":
+                term = 3
+                break
+            i += 1
+            exit_pc = i
+
+        blen = len(pcs)
+        off = self.pc_offset
+
+        # -- timing rows ---------------------------------------------------
+        rows = []
+        simd = 0
+        for pc in pcs:
+            meta = metas[pc]
+            if meta is None:
+                continue
+            rows.append(self._row(pc, meta))
+            simd += meta.is_vector
+        branch_pc = branch_target = 0
+        if term == 1:
+            tpc = pcs[-1]
+            branch_pc = tpc + off
+            target, _err = _resolve_target(self.program,
+                                           instructions[tpc].target)
+            branch_target = (target + off) if target is not None \
+                else branch_pc
+        timing_term = 1 if term == 1 else (2 if term == 2 else 0)
+        timing = BlockTiming(tuple(rows), blen, simd, self._fetch_mode,
+                             timing_term, branch_pc, branch_target,
+                             self._compile_timing(entry, rows, timing_term,
+                                                  branch_pc, branch_target,
+                                                  blen, simd))
+
+        # -- codegen -------------------------------------------------------
+        mem: List[int] = []
+        ns = {"_m": mem.append, "_c": mem.clear, "_f32": np.float32}
+        body: List[str] = []
+        hoists = set()
+        has_mem = False
+
+        def emit_closure(pc: int, handler, mem_kind: int) -> None:
+            nonlocal has_mem
+            name = f"q{pc}"
+            ns[name] = handler
+            if mem_kind:
+                has_mem = True
+                body.append(f"p = {pc}")
+                body.append(f"_m({name}(state))")
+            else:
+                body.append(f"p = {pc}")
+                body.append(f"{name}(state)")
+
+        straight = pcs[:-1] if term else pcs
+        for pc in straight:
+            meta = metas[pc]
+            mem_kind = 0
+            if meta is not None:
+                if meta.is_load:
+                    mem_kind = 1
+                elif meta.cls is InstrClass.STORE \
+                        or meta.cls is InstrClass.VSTORE:
+                    mem_kind = 2
+            handler, ok = self._quiet(pc)
+            inline = _inline_lines(pc, instructions[pc], ns) if ok else None
+            if inline is not None:
+                lines, needs = inline
+                hoists |= needs
+                body.append(f"p = {pc}")
+                body.extend(lines)
+            else:
+                emit_closure(pc, handler, mem_kind)
+
+        retired = f"state.instructions_retired += {blen}"
+        if term == 1:
+            tpc = pcs[-1]
+            instr = instructions[tpc]
+            handler, ok = self._quiet(tpc)
+            target, terr = _resolve_target(self.program, instr.target)
+            cond_expr = (_COND_EXPRS.get(instr.opcode[1:])
+                         if instr.opcode != "b" else None)
+            if ok and terr is None and instr.opcode == "b":
+                body += [f"p = {tpc}", f"state.pc = {target}", retired,
+                         "return True"]
+            elif ok and terr is None and cond_expr is not None:
+                hoists.add("flags")
+                body += [f"p = {tpc}",
+                         f"if {cond_expr}:",
+                         f"    state.pc = {target}",
+                         f"    {retired}",
+                         "    return True",
+                         f"state.pc = {tpc + 1}",
+                         retired,
+                         "return False"]
+            else:
+                name = f"q{tpc}"
+                ns[name] = handler
+                body += [f"p = {tpc}", f"r = {name}(state)", retired,
+                         "return r"]
+        elif term == 2:
+            tpc = pcs[-1]
+            instr = instructions[tpc]
+            handler, ok = self._quiet(tpc)
+            cls = metas[tpc].cls
+            if ok and cls is InstrClass.RET:
+                hoists.add("ints")
+                body += [f"p = {tpc}",
+                         f"state.pc = ints[{LINK_REGISTER!r}]",
+                         retired, "return None"]
+            elif ok and cls is InstrClass.CALL:
+                target, terr = _resolve_target(self.program, instr.target)
+                if terr is None:
+                    hoists.add("ints")
+                    body += [f"p = {tpc}",
+                             f"ints[{LINK_REGISTER!r}] = {tpc + 1}",
+                             f"state.pc = {target}",
+                             retired, "return None"]
+                else:
+                    emit_closure(tpc, handler, 0)
+                    body += [retired, "return None"]
+            else:
+                emit_closure(tpc, handler, 0)
+                body += [retired, "return None"]
+        elif term == 3:
+            tpc = pcs[-1]
+            body += [f"p = {tpc}",
+                     "state.halted = True",
+                     f"state.pc = {tpc + 1}",
+                     retired, "return None"]
+        else:
+            body += [f"state.pc = {exit_pc}", retired, "return None"]
+
+        src = ["def _fused(state):"]
+        if has_mem:
+            src.append("    _c()")
+        src.append(f"    p = {entry}")
+        src.append("    try:")
+        for bank in ("ints", "floats", "flags"):
+            if bank in hoists:
+                src.append(f"        {bank} = state.regs.{bank}")
+        for line in body:
+            src.append("        " + line)
+        src += ["    except BaseException:",
+                "        state.pc = p",
+                f"        state.instructions_retired += p - {entry}",
+                "        raise"]
+        exec(compile("\n".join(src), f"<superblock@{entry}>", "exec"), ns)
+        return FusedBlock(ns["_fused"], mem, timing)
+
+
+# ---------------------------------------------------------------------------
+# Cross-run memoization
+#
+# Every turbo artifact is a pure function of the program object and a
+# hashable config slice: the decode table depends on the program alone,
+# and a SuperblockTable additionally on the PipelineConfig (fetch
+# addressing and the latencies baked into its compiled timing closures),
+# the marked-call map, and the hardware vector width.  Re-running the
+# same program therefore reuses the fused blocks instead of re-deriving
+# them — the per-run decode+fuse cost that would otherwise swamp short
+# kernels.  Compiled closures take ``state`` / ``pipe`` as arguments, so
+# nothing run-specific is captured.  A small strong-reference LRU bounds
+# memory; entries also pin their program, so ``id()`` keys cannot be
+# recycled while an entry is live.
+# ---------------------------------------------------------------------------
+
+_MEMO_CAP = 32
+_decode_memo: "OrderedDict[int, DecodedProgram]" = OrderedDict()
+_table_memo: "OrderedDict[tuple, Tuple[DecodedProgram, SuperblockTable]]" \
+    = OrderedDict()
+
+
+def decoded_table_for(program) -> DecodedProgram:
+    """The memoized :func:`repro.isa.decoded.predecode` of *program*."""
+    key = id(program)
+    table = _decode_memo.get(key)
+    if table is not None and table.program is program:
+        _decode_memo.move_to_end(key)
+        return table
+    table = predecode(program)
+    _decode_memo[key] = table
+    if len(_decode_memo) > _MEMO_CAP:
+        _decode_memo.popitem(last=False)
+    return table
+
+
+def superblock_table_for(table: DecodedProgram, pipeline,
+                         marked: Optional[List[bool]],
+                         vector_width: Optional[int]) -> SuperblockTable:
+    """The memoized main-program :class:`SuperblockTable` for *table*.
+
+    Fragment tables (``pc_offset`` / ``in_vector_unit``) are per-run
+    objects and stay in the machine's per-run dict instead.
+    """
+    key = (id(table), pipeline.config, vector_width,
+           None if marked is None else tuple(marked))
+    entry = _table_memo.get(key)
+    if entry is not None and entry[0] is table:
+        _table_memo.move_to_end(key)
+        return entry[1]
+    blocks = SuperblockTable(table, pipeline, marked, vector_width)
+    _table_memo[key] = (table, blocks)
+    if len(_table_memo) > _MEMO_CAP:
+        _table_memo.popitem(last=False)
+    return blocks
+
+
+_fragment_memo: "OrderedDict[tuple, tuple]" = OrderedDict()
+
+
+def fragment_tables_for(fragment, pipeline, width: int, offset: int):
+    """(program, decode table, SuperblockTable) for a microcode fragment.
+
+    The dynamic translator rebuilds its fragments on every run, so they
+    cannot be memoized by object identity; but for a given source
+    program and configuration the translation is deterministic, so the
+    *bytes* recur — the key is :func:`~repro.isa.encoding.encode_program`
+    (which covers labels and data, i.e. everything decode consumes) plus
+    the width/offset/config facets baked into the fused blocks.  A hit
+    returns the previously fused fragment *program* too: the caller runs
+    that canonical object so the decode table's program-identity check
+    and the fused closures' resolved targets stay coherent.
+    """
+    key = (encode_program(fragment), width, offset, pipeline.config)
+    entry = _fragment_memo.get(key)
+    if entry is not None:
+        _fragment_memo.move_to_end(key)
+        return entry
+    table = predecode(fragment)
+    blocks = SuperblockTable(table, pipeline, None, width, offset, True)
+    entry = (fragment, table, blocks)
+    _fragment_memo[key] = entry
+    if len(_fragment_memo) > _MEMO_CAP:
+        _fragment_memo.popitem(last=False)
+    return entry

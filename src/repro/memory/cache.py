@@ -5,12 +5,24 @@ associative, with true-LRU replacement, write-allocate and write-back
 policy.  The cache is a pure *timing* structure — data always lives in
 the flat :class:`~repro.memory.memory.Memory`; the cache only decides how
 many cycles an access costs and keeps hit/miss/writeback statistics.
+
+Replacement is implemented as **generation-stamp LRU**: every access
+bumps a monotonic counter and stamps the touched line with it, and an
+eviction removes the minimum-stamp line.  Because stamps are strictly
+increasing, the minimum stamp is exactly the least-recently-used line,
+so the victim sequence — and therefore every hit/miss/writeback
+counter — is identical to a textbook recency-list implementation (the
+property suite in ``tests/test_cache_lru_property.py`` checks this
+against an independent list-based model).  The win over list-based true
+LRU is the hit path: one dict store instead of a recency-list splice,
+with the O(assoc) ``min`` scan paid only on evictions (misses on a full
+set), which are rare by construction for a cache worth modelling.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List
+from typing import Dict, List, Set, Tuple
 
 
 @dataclass(frozen=True)
@@ -74,15 +86,6 @@ class CacheStats:
         return self.misses / self.accesses if self.accesses else 0.0
 
 
-class _Line:
-    __slots__ = ("tag", "dirty", "lru")
-
-    def __init__(self, tag: int, lru: int) -> None:
-        self.tag = tag
-        self.dirty = False
-        self.lru = lru
-
-
 class Cache:
     """One level of set-associative cache (timing only)."""
 
@@ -97,13 +100,19 @@ class Cache:
         self._assoc = config.assoc
         self._hit_latency = config.hit_latency
         self._miss_latency = config.hit_latency + config.miss_penalty
-        self._sets: List[Dict[int, _Line]] = [dict() for _ in range(config.num_sets)]
+        #: per set: tag -> generation stamp of its most recent access.
+        self._stamps: List[Dict[int, int]] = [
+            dict() for _ in range(config.num_sets)
+        ]
+        #: per set: tags whose resident line is dirty (write-back state).
+        self._dirty: List[Set[int]] = [set() for _ in range(config.num_sets)]
         self._tick = 0
 
     def reset(self) -> None:
         """Flush all lines and zero the statistics."""
         self.stats = CacheStats()
-        self._sets = [dict() for _ in range(self.config.num_sets)]
+        self._stamps = [dict() for _ in range(self.config.num_sets)]
+        self._dirty = [set() for _ in range(self.config.num_sets)]
         self._tick = 0
 
     def _locate(self, addr: int):
@@ -132,42 +141,62 @@ class Cache:
         return self._access_line_number(addr // self._line_bytes, is_write)
 
     def _access_line_number(self, line_number: int, is_write: bool) -> int:
-        # True LRU is kept via dict insertion order (most-recent last):
-        # a hit re-inserts the tag at the end, an eviction pops the
-        # front.  This is order-identical to timestamp-scan LRU but O(1).
         num_sets = self._num_sets
         tag = line_number // num_sets
-        ways = self._sets[line_number % num_sets]
+        set_index = line_number % num_sets
+        ways = self._stamps[set_index]
         stats = self.stats
+        self._tick = tick = self._tick + 1
         if is_write:
             stats.writes += 1
         else:
             stats.reads += 1
-        line = ways.get(tag)
-        if line is not None:
-            if len(ways) > 1:        # re-insert: tag becomes most recent
-                del ways[tag]
-                ways[tag] = line
+        if tag in ways:
+            ways[tag] = tick          # O(1) recency update
             if is_write:
-                line.dirty = True
+                self._dirty[set_index].add(tag)
             return self._hit_latency
-        # Miss: allocate (write-allocate policy), evicting true-LRU victim.
-        self._tick += 1
+        # Miss: allocate (write-allocate policy), evicting the
+        # minimum-stamp — i.e. least-recently-used — resident line.
         if is_write:
             stats.write_misses += 1
         else:
             stats.read_misses += 1
+        dirty = self._dirty[set_index]
         if len(ways) >= self._assoc:
-            victim_tag = next(iter(ways))
-            if ways[victim_tag].dirty:
+            victim = min(ways, key=ways.__getitem__)
+            del ways[victim]
+            if victim in dirty:
+                dirty.remove(victim)
                 stats.writebacks += 1
-            del ways[victim_tag]
-        new_line = _Line(tag, self._tick)
-        new_line.dirty = is_write
-        ways[tag] = new_line
+        ways[tag] = tick
+        if is_write:
+            dirty.add(tag)
         return self._miss_latency
+
+    def repeat_hits(self, line_number: int, count: int) -> None:
+        """Account *count* extra read hits on a just-accessed line.
+
+        Caller contract: the line was accessed immediately before this
+        call and nothing else touched the cache in between, so all
+        *count* accesses are guaranteed hits.  Equivalent to calling the
+        per-access path *count* times — the read counter gains *count*,
+        the tick advances *count* times, and the line's stamp lands on
+        the final tick — but in O(1).  The turbo engine uses this to
+        batch consecutive instruction fetches from one I-cache line
+        (``repro/interp/turbo.py``).
+        """
+        self._tick = tick = self._tick + count
+        num_sets = self._num_sets
+        self._stamps[line_number % num_sets][line_number // num_sets] = tick
+        self.stats.reads += count
 
     def contains(self, addr: int) -> bool:
         """True when the line holding *addr* is resident (no state change)."""
         set_index, tag = self._locate(addr)
-        return tag in self._sets[set_index]
+        return tag in self._stamps[set_index]
+
+    def resident(self, set_index: int) -> Tuple[int, ...]:
+        """Resident tags of one set, LRU first (introspection for tests)."""
+        ways = self._stamps[set_index]
+        return tuple(sorted(ways, key=ways.__getitem__))

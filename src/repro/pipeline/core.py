@@ -41,6 +41,53 @@ _BRANCH = InstrClass.BRANCH
 _CALL_OR_RET = (InstrClass.CALL, InstrClass.RET)
 
 
+class BlockTiming:
+    """Static timing facts of one superblock, pre-extracted for
+    :meth:`PipelineModel.account_block`.
+
+    The turbo engine builds one of these per fused block
+    (:mod:`repro.interp.turbo`): everything :meth:`PipelineModel.account`
+    would have derived per retirement — fetch line numbers, read/write
+    sets, latencies, memory access widths, the terminator kind — is
+    frozen into per-instruction rows, so accounting a block is one tight
+    loop over tuples with no event objects in sight.
+
+    ``rows`` holds one tuple per instruction::
+
+        (fetch_key, reads, reads_flags, writes, sets_flags,
+         latency, mem_kind, nbytes)
+
+    where ``mem_kind`` is 0 (no memory access), 1 (load) or 2 (store),
+    and ``fetch_key`` is an icache line number (``fetch_mode == 1``) or
+    byte address (``fetch_mode == 2``); ``fetch_mode == 0`` means the
+    block is injected from the microcode cache and skips fetch.  The
+    terminator is 0 (none / halt), 1 (branch, with ``branch_pc`` /
+    ``branch_target`` pre-offset for fragments) or 2 (call / return).
+
+    ``compiled``, when set, is a specialization of
+    :meth:`PipelineModel.account_block`'s row loop for exactly these
+    rows — same arithmetic with the constants baked in (the turbo engine
+    generates one per fused block; see :mod:`repro.interp.turbo`).  It
+    is an optimization hook only: ``account_block`` dispatches to it
+    when present and runs the generic loop otherwise, with identical
+    cycle and stats results either way.
+    """
+
+    __slots__ = ("rows", "count", "simd", "fetch_mode", "term",
+                 "branch_pc", "branch_target", "compiled")
+
+    def __init__(self, rows, count, simd, fetch_mode, term,
+                 branch_pc=0, branch_target=0, compiled=None):
+        self.rows = rows
+        self.count = count
+        self.simd = simd
+        self.fetch_mode = fetch_mode
+        self.term = term
+        self.branch_pc = branch_pc
+        self.branch_target = branch_target
+        self.compiled = compiled
+
+
 @dataclass(frozen=True)
 class PipelineConfig:
     """Timing parameters of the modeled core."""
@@ -234,7 +281,121 @@ class PipelineModel:
             stats.simd_instructions += 1
         return issue
 
+    def account_block(self, timing: BlockTiming, mem_addrs, taken) -> None:
+        """Charge one fused superblock (see :class:`BlockTiming`).
+
+        Replays exactly the arithmetic :meth:`account` performs per
+        retirement, over the block's pre-extracted rows: same cache
+        access order, same hazard bookkeeping, same predictor updates —
+        so a run accounted block-wise is cycle- and stats-identical to
+        the same run accounted event-wise (``docs/timing-model.md``;
+        enforced by the three-way differential suite).  ``mem_addrs``
+        supplies the block's effective addresses in execution order;
+        ``taken`` is the terminating branch's outcome (ignored unless
+        the terminator is a branch).
+
+        Blocks built by the turbo engine carry a compiled specialization
+        of this very loop (``timing.compiled``); dispatching to it here
+        keeps the API — and the equivalence contract — in one place.
+        """
+        compiled = timing.compiled
+        if compiled is not None:
+            compiled(self, mem_addrs, taken)
+            return
+        stats = self.stats
+        reg_ready = self._reg_ready
+        reg_get = reg_ready.get
+        fetch_ready = self._fetch_ready
+        last_issue = self._last_issue
+        last_completion = self._last_completion
+        fetch_mode = timing.fetch_mode
+        ifetch_line = self._ifetch_line
+        iaccess = self.icache.access
+        daccess = self.dcache.access
+        dcache_hit = self._dcache_hit
+        data_stall = fetch_stall = load_miss = 0
+        issue = last_issue
+        mem_index = 0
+        for (fetch_key, reads, reads_flags, writes, sets_flags,
+             latency, mem_kind, nbytes) in timing.rows:
+            if fetch_mode:
+                if fetch_mode == 1:
+                    fetch_cycles = ifetch_line(fetch_key, False)
+                else:
+                    fetch_cycles = iaccess(fetch_key, _INSTR_BYTES, False)
+                if fetch_cycles > 1:
+                    fetch_stall += fetch_cycles - 1
+                ready = fetch_ready + fetch_cycles - 1
+            else:
+                ready = fetch_ready  # injected from microcode cache
+            for reg in reads:
+                t = reg_get(reg, 0)
+                if t > ready:
+                    ready = t
+            if reads_flags:
+                t = reg_get(_FLAGS, 0)
+                if t > ready:
+                    ready = t
+            issue = last_issue + 1
+            if ready > issue:
+                data_stall += ready - issue
+                issue = ready
+            completion = issue + latency
+            if mem_kind:
+                addr = mem_addrs[mem_index]
+                mem_index += 1
+                if mem_kind == 1:
+                    access = daccess(addr, nbytes, False)
+                    completion = issue + access
+                    if access > dcache_hit:
+                        load_miss += access - dcache_hit
+                else:
+                    # Stores update cache state; the write buffer hides
+                    # latency (same policy as account()).
+                    daccess(addr, nbytes, True)
+            for reg in writes:
+                reg_ready[reg] = completion
+            if sets_flags:
+                reg_ready[_FLAGS] = completion
+            last_issue = issue
+            fetch_ready = issue
+            if completion > last_completion:
+                last_completion = completion
+        term = timing.term
+        if term == 1:
+            config = self.config
+            stats.branches += 1
+            branch_pc = timing.branch_pc
+            target_pc = timing.branch_target if taken else branch_pc
+            predicted = self.predictor.predict(branch_pc, target_pc)
+            self.predictor.update(branch_pc, taken)
+            if predicted != taken:
+                stats.mispredicts += 1
+                penalty = config.mispredict_penalty
+                fetch_ready = issue + 1 + penalty
+                stats.branch_penalty_cycles += penalty
+        elif term == 2:
+            penalty = self.config.call_redirect_penalty
+            fetch_ready = issue + 1 + penalty
+            stats.branch_penalty_cycles += penalty
+        self._last_issue = last_issue
+        self._fetch_ready = fetch_ready
+        self._last_completion = last_completion
+        stats.instructions += timing.count
+        stats.simd_instructions += timing.simd
+        stats.data_stall_cycles += data_stall
+        stats.fetch_stall_cycles += fetch_stall
+        stats.load_miss_cycles += load_miss
+
     # -- helpers --------------------------------------------------------------------------
+
+    def fetch_profile(self):
+        """(direct, code_base, line_bytes): how PCs map to icache fetches.
+
+        The turbo decode pass uses this to pre-compute each row's
+        ``fetch_key`` with the same addressing :meth:`account` applies.
+        """
+        return self._ifetch_direct, self._code_base, self._iline_bytes
 
     def _access_bytes(self, event: RetireEvent) -> int:
         instr = event.instr

@@ -35,6 +35,10 @@ from repro.core.translate.translator import (
 from repro.core.translate.ucode_cache import MicrocodeCache, MicrocodeEntry
 from repro.interp.events import RetireEvent
 from repro.interp.executor import ENGINES, ExecutionError, make_executor
+from repro.interp.turbo import (
+    fragment_tables_for,
+    superblock_table_for,
+)
 from repro.isa.decoded import DecodedProgram, predecode
 from repro.memory.memory import MemoryError_
 from repro.interp.state import MachineState
@@ -102,8 +106,10 @@ class MachineConfig:
     #: false-positive scenario).
     verify_translations: bool = False
     #: Execution engine: "fast" (pre-decoded handler tables + numpy
-    #: vector lowerings — the production default) or "reference" (the
-    #: canonical per-step interpreter).  The two are bit-identical; see
+    #: vector lowerings — the production default), "turbo" (superblock
+    #: fusion over the fast tables with batched timing and a
+    #: zero-allocation retire path), or "reference" (the canonical
+    #: per-step interpreter).  All three are bit-identical; see
     #: docs/execution-engines.md and tests/test_engine_differential.py.
     engine: str = "fast"
     mvl: int = 16
@@ -191,8 +197,11 @@ class Machine:
         translating: Optional[DynamicTranslator] = None
         fragment_offsets: Dict[str, int] = {}
         #: id(fragment) -> DecodedProgram, so repeated microcode runs
-        #: under the fast engine pay the decode pass once.
+        #: under the fast/turbo engines pay the decode pass once.
         fragment_tables: Dict[int, DecodedProgram] = {}
+        #: id(fragment) -> (program, DecodedProgram, SuperblockTable)
+        #: from repro.interp.turbo.fragment_tables_for (turbo only).
+        fragment_blocks: Dict[int, tuple] = {}
         next_interrupt = (config.interrupt_interval
                           if config.interrupt_interval is not None else 0)
 
@@ -211,7 +220,35 @@ class Machine:
             and ins.target is not None
             for ins in instructions
         ]
+        # Turbo engine: fuse straight-line runs into superblocks executed
+        # with one dispatch and one account_block() call.  A tracer needs
+        # every RetireEvent, so tracing disables fusion wholesale; an
+        # active translation disables it temporarily (checked per
+        # iteration below) — both then take the identical per-instruction
+        # fast path, whose events are eager.
+        superblocks = None
+        if config.engine == "turbo" and tracer is None:
+            superblocks = superblock_table_for(executor.table, pipeline,
+                                               marked_call, hw_width)
+        account_block = pipeline.account_block
         while not state.halted:
+            if superblocks is not None and translating is None:
+                pc = state.pc
+                if 0 <= pc < n_instr and not marked_call[pc]:
+                    block = superblocks.block_at(pc)
+                    # Near max_steps, fall through to the per-instruction
+                    # path so the step-limit error fires at the exact
+                    # instruction it would under the other engines.
+                    if steps + block.count <= max_steps:
+                        steps += block.count
+                        try:
+                            taken = block.run(state)
+                        except (ExecutionError, MemoryError_) as exc:
+                            raise MachineError(
+                                f"{program.name} @pc={state.pc}: {exc}"
+                            ) from exc
+                        account_block(block.timing, block.mem, taken)
+                        continue
             steps += 1
             if steps > max_steps:
                 raise MachineError(
@@ -238,7 +275,8 @@ class Machine:
                         if self.tracer is not None:
                             self.tracer.record(event, source="scalar")
                         self._run_fragment(entry, state, pipeline,
-                                           fragment_offsets, fragment_tables)
+                                           fragment_offsets, fragment_tables,
+                                           fragment_blocks)
                         stats.simd_runs += 1
                         state.pc = pc + 1
                         continue
@@ -384,6 +422,7 @@ class Machine:
                       pipeline: PipelineModel,
                       offsets: Dict[str, int],
                       tables: Optional[Dict[int, DecodedProgram]] = None,
+                      block_tables: Optional[Dict[int, tuple]] = None,
                       ) -> None:
         """Execute one cached translation on the SIMD accelerator."""
         fragment = entry.fragment
@@ -391,21 +430,51 @@ class Machine:
             offsets[entry.function] = (_FRAGMENT_PC_BASE
                                        + len(offsets) * _FRAGMENT_PC_STRIDE)
         offset = offsets[entry.function]
-        frag_state = MachineState(fragment, state.memory, state.symbols,
-                                  vector_width=entry.width)
-        frag_state.regs = state.regs  # architectural scalar state is shared
         table = None
-        if self.config.engine == "fast" and tables is not None:
+        blocks = None
+        # Turbo: fuse the fragment too (same rules as the main loop —
+        # tracing forces the per-instruction path).  Fragment rows skip
+        # instruction fetch and carry offset PCs, exactly like the
+        # per-event path below.  Fragments are rebuilt each run, so the
+        # fused tables are memoized by encoded bytes across runs; a hit
+        # substitutes the canonical (byte-identical) fragment program the
+        # tables were built over.
+        if self.config.engine == "turbo" and self.tracer is None \
+                and tables is not None and block_tables is not None:
+            cached = block_tables.get(id(fragment))
+            if cached is None:
+                cached = fragment_tables_for(fragment, pipeline,
+                                             entry.width, offset)
+                block_tables[id(fragment)] = cached
+            fragment, table, blocks = cached
+        elif self.config.engine in ("fast", "turbo") and tables is not None:
             table = tables.get(id(fragment))
             if table is None:
                 table = predecode(fragment)
                 tables[id(fragment)] = table
+        frag_state = MachineState(fragment, state.memory, state.symbols,
+                                  vector_width=entry.width)
+        frag_state.regs = state.regs  # architectural scalar state is shared
         frag_executor = make_executor(frag_state, self.config.engine, table)
         metas = frag_executor.metas
         handlers = frag_executor.handlers
         count = len(fragment.instructions)
         guard = 0
+        max_steps = self.config.max_steps
+        account_block = pipeline.account_block
         while frag_state.pc < count:
+            if blocks is not None:
+                block = blocks.block_at(frag_state.pc)
+                if guard + block.count <= max_steps:
+                    guard += block.count
+                    try:
+                        taken = block.run(frag_state)
+                    except (ExecutionError, MemoryError_) as exc:
+                        raise MachineError(
+                            f"microcode for {entry.function}: {exc}"
+                        ) from exc
+                    account_block(block.timing, block.mem, taken)
+                    continue
             guard += 1
             if guard > self.config.max_steps:
                 raise MachineError(

@@ -1,6 +1,7 @@
-"""Differential conformance suite: fast engine vs. reference engine.
+"""Differential conformance suite: fast / turbo / reference engines.
 
-The pre-decoded fast engine (``engine="fast"``) must be observationally
+The pre-decoded fast engine (``engine="fast"``) and the superblock-fused
+turbo engine (``engine="turbo"``) must be observationally
 indistinguishable from the reference interpreter — not just "same final
 arrays" but the same *complete* execution record:
 
@@ -8,12 +9,21 @@ arrays" but the same *complete* execution record:
 * an identical retire-event stream (every field of every
   :class:`~repro.interp.events.RetireEvent`, scalar and microcode,
   in order, with the same source tags),
-* identical cycle counts and pipeline statistics.
+* identical cycle counts and pipeline statistics,
+* an identical serialized :class:`~repro.system.metrics.RunResult`
+  (``to_dict()``), including cache, translation and microcode-cache
+  stats.
+
+Turbo needs both halves of the comparison: with a tracer attached it
+must fall back to the fast engine's per-instruction path (eager
+events), and *without* one it runs fused superblocks with batched
+timing — the untraced ``to_dict()`` comparison below is what exercises
+the fused path.
 
 Every kernel of the paper's benchmark suite is swept at hardware widths
 2/4/8 (width 16 rides behind the ``slow`` marker).  This is the
 equivalence contract described in docs/execution-engines.md; any
-optimization to the fast engine must keep this suite green.
+optimization to the fast or turbo engines must keep this suite green.
 """
 
 from __future__ import annotations
@@ -48,9 +58,16 @@ def _run(program, width, engine):
     return result, tracer.events
 
 
+def _run_untraced(program, width, engine) -> dict:
+    config = MachineConfig(accelerator=config_for_width(width),
+                           engine=engine)
+    return Machine(config).run(program).to_dict()
+
+
 def _assert_identical(program, width):
     fast, fast_events = _run(program, width, "fast")
     ref, ref_events = _run(program, width, "reference")
+    turbo, turbo_events = _run(program, width, "turbo")
 
     assert fast.arrays == ref.arrays
     assert fast.cycles == ref.cycles
@@ -60,12 +77,24 @@ def _assert_identical(program, width):
     assert dataclasses.asdict(fast.icache) == dataclasses.asdict(ref.icache)
     assert dataclasses.asdict(fast.dcache) == dataclasses.asdict(ref.dcache)
 
-    assert len(fast_events) == len(ref_events)
-    for i, ((f_src, f_ev), (r_src, r_ev)) in enumerate(
-            zip(fast_events, ref_events)):
-        assert f_src == r_src, f"source diverges at event {i}"
+    # Traced turbo must take the per-instruction path: the full
+    # serialized result and every event must match the other engines.
+    assert turbo.to_dict() == fast.to_dict() == ref.to_dict()
+
+    assert len(fast_events) == len(ref_events) == len(turbo_events)
+    for i, ((f_src, f_ev), (r_src, r_ev), (t_src, t_ev)) in enumerate(
+            zip(fast_events, ref_events, turbo_events)):
+        assert f_src == r_src == t_src, f"source diverges at event {i}"
         assert f_ev == r_ev, f"retire event diverges at event {i}: " \
                              f"{f_ev} != {r_ev}"
+        assert t_ev == r_ev, f"turbo retire event diverges at event {i}: " \
+                             f"{t_ev} != {r_ev}"
+
+    # Untraced runs exercise turbo's fused superblock path (batched
+    # account_block timing, zero-allocation retirement): the complete
+    # serialized RunResult must still be bit-identical.
+    assert _run_untraced(program, width, "turbo") == \
+        _run_untraced(program, width, "fast") == ref.to_dict()
 
 
 @pytest.mark.parametrize("width", WIDTHS)
@@ -87,6 +116,26 @@ def test_scalar_machine_engines_identical():
     program = build_liquid_program(build_kernel("FIR"))
     fast = Machine(MachineConfig(engine="fast")).run(program)
     ref = Machine(MachineConfig(engine="reference")).run(program)
+    turbo = Machine(MachineConfig(engine="turbo")).run(program)
     assert fast.arrays == ref.arrays
     assert fast.cycles == ref.cycles
     assert fast.instructions == ref.instructions
+    assert turbo.to_dict() == fast.to_dict() == ref.to_dict()
+
+
+@pytest.mark.parametrize("variant", [
+    dict(translation_mode="software"),
+    dict(observation_point="decode"),
+    dict(verify_translations=True),
+    dict(pretranslate=True),
+    dict(interrupt_interval=500),
+])
+def test_turbo_identical_across_translator_configs(variant):
+    """Translator-heavy configs: fused and eager paths must agree."""
+    program = build_liquid_program(build_kernel("FFT"))
+    results = [
+        Machine(MachineConfig(accelerator=config_for_width(4),
+                              engine=engine, **variant)).run(program).to_dict()
+        for engine in ("fast", "turbo")
+    ]
+    assert results[0] == results[1]

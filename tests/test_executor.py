@@ -386,7 +386,19 @@ class TestDispatchErrors:
     def test_make_executor_rejects_unknown_engine(self):
         state = make_raw_state([Instruction("halt")])
         with pytest.raises(ValueError, match="unknown engine"):
-            make_executor(state, "turbo")
+            make_executor(state, "warp")
+
+    def test_unknown_engine_message_lists_engines(self):
+        # The error must enumerate ENGINES dynamically, mirroring the
+        # CLI's --engine choices.
+        from repro.interp.executor import ENGINES
+        state = make_raw_state([Instruction("halt")])
+        with pytest.raises(ValueError) as excinfo:
+            make_executor(state, "warp")
+        message = str(excinfo.value)
+        assert str(ENGINES) in message
+        for engine in ENGINES:
+            assert engine in message
 
     def test_fast_executor_rejects_foreign_table(self):
         state_a = make_raw_state([Instruction("halt")])

@@ -86,12 +86,22 @@ class TestRunKey:
                           translation_cycles_per_instruction=10),
             MachineConfig(accelerator=config_for_width(8),
                           pretranslate=True),
-            MachineConfig(accelerator=config_for_width(8),
-                          engine="reference"),
             MachineConfig(),
         ):
             keys.add(run_key(program, changed))
-        assert len(keys) == 7, "every config variation must change the key"
+        assert len(keys) == 6, "every config variation must change the key"
+
+    def test_key_is_engine_invariant(self):
+        # Engines are bit-identical by contract, so one cached result
+        # serves all of them: the engine must NOT perturb the key.
+        from repro.interp.executor import ENGINES
+        program = build_request_program(liquid_request())
+        keys = {
+            run_key(program, MachineConfig(accelerator=config_for_width(8),
+                                           engine=engine))
+            for engine in ENGINES
+        }
+        assert len(keys) == 1, "cache entries must be shared across engines"
 
     def test_program_change_misses(self):
         config = MachineConfig(accelerator=config_for_width(8))

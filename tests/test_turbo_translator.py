@@ -1,0 +1,141 @@
+"""Translator regression under the turbo engine.
+
+The turbo engine materializes no :class:`RetireEvent` objects inside
+fused superblocks — but the dynamic translator is an *observer*, so
+while a translation is in flight the machine must drop back to the
+per-instruction path and hand the translator exactly the eager event
+stream the fast engine produces.  These tests pin that contract: an
+outlined function whose translation starts and completes mid-run
+observes an identical retire stream, and produces an identical
+:class:`TranslationResult` (byte-identical microcode for successes,
+identical :class:`AbortReason` and blacklist behaviour for failures),
+whether events are materialized eagerly (``fast``) or lazily
+(``turbo``).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro.core.scalarize import build_liquid_program
+from repro.core.translate.translator import AbortReason, DynamicTranslator
+from repro.isa.encoding import encode_program
+from repro.kernels.suite import build_kernel
+from repro.simd.accelerator import config_for_width
+from repro.system.machine import Machine, MachineConfig
+
+
+@pytest.fixture(scope="module")
+def fft_program():
+    return build_liquid_program(build_kernel("FFT"))
+
+
+def _run_recording(monkeypatch, program, engine, **config_kwargs):
+    """Run *program*; also capture what the translator observed.
+
+    Returns ``(result, streams)`` where ``streams`` is a list of
+    ``(function, [observed RetireEvent, ...])`` in begin() order.
+    """
+    streams = []
+
+    class Recording(DynamicTranslator):
+        def begin(self, target):
+            self._observed = []
+            streams.append((target, self._observed))
+            return super().begin(target)
+
+        def observe(self, event):
+            self._observed.append(event)
+            return super().observe(event)
+
+    monkeypatch.setattr("repro.system.machine.DynamicTranslator", Recording)
+    config = MachineConfig(engine=engine, **config_kwargs)
+    result = Machine(config).run(program)
+    return result, streams
+
+
+def _assert_same_translations(fast_result, turbo_result):
+    fast, turbo = fast_result.translations, turbo_result.translations
+    assert len(fast) == len(turbo)
+    for f, t in zip(fast, turbo):
+        assert f.function == t.function
+        assert f.ok == t.ok
+        assert f.reason == t.reason
+        if f.ok:
+            assert t.entry is not None
+            assert f.entry.width == t.entry.width
+            assert encode_program(f.entry.fragment) == \
+                encode_program(t.entry.fragment)
+
+
+def test_observed_stream_identical(monkeypatch, fft_program):
+    """Mid-run translation sees the same events eager or lazy."""
+    fast_result, fast_streams = _run_recording(
+        monkeypatch, fft_program, "fast", accelerator=config_for_width(8))
+    turbo_result, turbo_streams = _run_recording(
+        monkeypatch, fft_program, "turbo", accelerator=config_for_width(8))
+
+    assert [fn for fn, _ in fast_streams] == [fn for fn, _ in turbo_streams]
+    for (fn, fast_events), (_, turbo_events) in zip(fast_streams,
+                                                    turbo_streams):
+        assert len(fast_events) == len(turbo_events), \
+            f"observation count diverges for {fn}"
+        for i, (f_ev, t_ev) in enumerate(zip(fast_events, turbo_events)):
+            assert f_ev == t_ev, \
+                f"{fn}: observed event {i} diverges: {f_ev} != {t_ev}"
+    assert fast_streams, "FFT must trigger at least one translation"
+
+    _assert_same_translations(fast_result, turbo_result)
+    assert fast_result.to_dict() == turbo_result.to_dict()
+    ok = [t for t in fast_result.translations if t.ok]
+    assert ok, "FFT stage must translate successfully"
+
+
+def test_abort_path_identical(monkeypatch, fft_program):
+    """No permutation repertoire: both engines abort identically and the
+    blacklisted function keeps running in scalar form forever."""
+    accel = dataclasses.replace(config_for_width(8), permutations=())
+    fast_result, fast_streams = _run_recording(
+        monkeypatch, fft_program, "fast", accelerator=accel)
+    turbo_result, turbo_streams = _run_recording(
+        monkeypatch, fft_program, "turbo", accelerator=accel)
+
+    aborted = [t for t in fast_result.translations
+               if t.reason is AbortReason.UNSUPPORTED_PATTERN]
+    assert aborted, "removing permutations must abort the FFT stage"
+    _assert_same_translations(fast_result, turbo_result)
+    assert [fn for fn, _ in fast_streams] == [fn for fn, _ in turbo_streams]
+    for (_, fast_events), (_, turbo_events) in zip(fast_streams,
+                                                   turbo_streams):
+        assert fast_events == turbo_events
+
+    # Blacklist behaviour: the aborted function never runs as SIMD, and
+    # it is only attempted once (one observation stream per function).
+    for t in aborted:
+        f_stats = fast_result.functions[t.function]
+        t_stats = turbo_result.functions[t.function]
+        assert t_stats.simd_runs == f_stats.simd_runs == 0
+        assert t_stats.scalar_runs == f_stats.scalar_runs
+        assert t_stats.calls == f_stats.calls
+    attempts = [fn for fn, _ in turbo_streams]
+    assert len(attempts) == len(set(attempts)), \
+        "a blacklisted function must not be re-attempted"
+    assert fast_result.to_dict() == turbo_result.to_dict()
+
+
+def test_buffer_overflow_abort_identical(monkeypatch, fft_program):
+    """A 2-entry microcode buffer overflows identically under turbo."""
+    fast_result, _ = _run_recording(
+        monkeypatch, fft_program, "fast",
+        accelerator=config_for_width(8), max_ucode_instructions=2)
+    turbo_result, _ = _run_recording(
+        monkeypatch, fft_program, "turbo",
+        accelerator=config_for_width(8), max_ucode_instructions=2)
+    assert fast_result.translations
+    assert all(not t.ok for t in fast_result.translations)
+    assert {t.reason for t in fast_result.translations} == \
+        {AbortReason.BUFFER_OVERFLOW}
+    _assert_same_translations(fast_result, turbo_result)
+    assert fast_result.to_dict() == turbo_result.to_dict()
