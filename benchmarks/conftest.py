@@ -10,9 +10,10 @@ simulations entirely; set ``REPRO_CACHE_DIR`` to relocate the cache or
 ``REPRO_JOBS`` to bound worker processes.
 
 The ``engine_bench_records`` / ``parallel_bench_records`` /
-``turbo_bench_records`` fixtures collect timing records (filled in by
-``test_engine_speedup.py``, ``test_parallel_speedup.py`` and
-``test_turbo_speedup.py``) and write them through one shared
+``turbo_bench_records`` / ``macro_bench_records`` fixtures collect
+timing records (filled in by ``test_engine_speedup.py``,
+``test_parallel_speedup.py``, ``test_turbo_speedup.py`` and
+``test_macro_speedup.py``) and write them through one shared
 :func:`write_bench_json` at session teardown, so successive runs leave
 machine-readable ``BENCH_*.json`` records with a common schema::
 
@@ -39,6 +40,7 @@ _BENCH_DIR = Path(__file__).resolve().parent
 ENGINE_BENCH_PATH = _BENCH_DIR / "BENCH_engine.json"
 PARALLEL_BENCH_PATH = _BENCH_DIR / "BENCH_parallel.json"
 TURBO_BENCH_PATH = _BENCH_DIR / "BENCH_turbo.json"
+MACRO_BENCH_PATH = _BENCH_DIR / "BENCH_macro.json"
 
 
 def _bench_jobs():
@@ -100,3 +102,9 @@ def parallel_bench_records():
 def turbo_bench_records():
     """Turbo-engine timing records, dumped as BENCH_turbo.json."""
     yield from _records_fixture(TURBO_BENCH_PATH)
+
+
+@pytest.fixture(scope="session")
+def macro_bench_records():
+    """Macro-kernel timing records, dumped as BENCH_macro.json."""
+    yield from _records_fixture(MACRO_BENCH_PATH)

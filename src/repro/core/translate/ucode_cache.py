@@ -43,6 +43,22 @@ class MicrocodeEntry:
     def simd_instruction_count(self) -> int:
         return len(self.fragment.instructions)
 
+    def encoded_bytes(self) -> bytes:
+        """Canonical bytes of the fragment (memoized).
+
+        The machine keys its per-run fragment tables by
+        ``(function, width, encoded_bytes())`` — a content key that,
+        unlike ``id(fragment)``, cannot alias when Python recycles the
+        address of a collected per-run fragment.  ``dataclasses.replace``
+        builds a fresh instance, so the memo never outlives its entry.
+        """
+        cached = getattr(self, "_encoded", None)
+        if cached is None:
+            from repro.isa.encoding import encode_program
+            cached = encode_program(self.fragment)
+            object.__setattr__(self, "_encoded", cached)
+        return cached
+
     def to_dict(self) -> dict:
         """JSON-safe representation (inverse of :meth:`from_dict`).
 

@@ -14,6 +14,10 @@ are byte-identical whatever the job count or cache state.
 from __future__ import annotations
 
 import argparse
+import cProfile
+import os
+import pstats
+import sys
 import time
 from typing import List, Optional
 
@@ -61,6 +65,16 @@ def build_parser() -> argparse.ArgumentParser:
                         help="benchmark for the microcode-cache sweep "
                              "(default: LU, the suite's largest hot-loop "
                              "working set)")
+    parser.add_argument("--profile", action="store_true",
+                        default=bool(os.environ.get("REPRO_PROFILE")),
+                        help="profile the evaluation with cProfile and dump "
+                             "the top cumulative-time functions (also "
+                             "enabled by REPRO_PROFILE=1); forces --jobs 1 "
+                             "so simulations stay in-process and visible "
+                             "to the profiler")
+    parser.add_argument("--profile-limit", type=int, default=25, metavar="N",
+                        help="rows of cProfile output with --profile "
+                             "(default: 25)")
     return parser
 
 
@@ -103,6 +117,25 @@ def run(argv: Optional[List[str]] = None) -> int:
     _validate_benchmarks(parser, [args.ucache_benchmark], "--ucache-benchmark")
     if args.jobs is not None and args.jobs < 1:
         parser.error(f"--jobs must be >= 1, got {args.jobs}")
+    if args.profile:
+        # Worker processes would hide the simulation frames; profile the
+        # whole evaluation in-process and report where the time goes
+        # (so perf PRs can cite cumulative hotspots per run).
+        args.jobs = 1
+        profiler = cProfile.Profile()
+        profiler.enable()
+        try:
+            return _run_evaluation(args)
+        finally:
+            profiler.disable()
+            stats = pstats.Stats(profiler, stream=sys.stdout)
+            stats.strip_dirs().sort_stats("cumulative")
+            print(f"\n[cProfile: top {args.profile_limit} by cumulative time]")
+            stats.print_stats(args.profile_limit)
+    return _run_evaluation(args)
+
+
+def _run_evaluation(args) -> int:
     if args.all:
         benchmarks = BENCHMARK_ORDER
         selected = list(EXPERIMENTS)

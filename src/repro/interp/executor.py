@@ -454,9 +454,13 @@ class TurboExecutor(FastExecutor):
 
 
 #: engine name -> factory(state, table); tuple order is the doc order.
+#: "macro" shares the turbo executor — it differs only in the machine
+#: loop, which additionally runs recognized translated-fragment loops
+#: through whole-trip-count kernels (repro/interp/macro.py).
 _ENGINE_FACTORIES = {
     "fast": lambda state, table: FastExecutor(state, table),
     "turbo": lambda state, table: TurboExecutor(state, table),
+    "macro": lambda state, table: TurboExecutor(state, table),
     "reference": lambda state, table: Executor(state),
 }
 

@@ -1,0 +1,782 @@
+"""Whole-loop macro-kernel execution of translated SIMD fragments.
+
+The translator emits fragments of one canonical shape (see
+``repro/core/translate/translator.py``): a counted do-while loop whose
+body loads vectors at affine addresses in a single induction variable,
+applies a loop-invariant chain of vector ALU / permutation operations,
+stores results at affine addresses, optionally folds reduction
+registers, and closes with ``add rI, rI, #width`` / ``cmp rI, #trip`` /
+``blt head``.  The turbo engine (PR 3) already fuses each loop body
+into one superblock, but still runs it once per trip.
+
+This module recognizes that shape (:func:`build_fragment_plan` /
+:class:`FragmentLoopShape`) and ``exec()``-compiles the *entire
+remaining trip count* into one numpy kernel over 2-D ``(trips, width)``
+arrays: loads become one :meth:`~repro.memory.memory.Memory.load_array`
+slab each, the ALU body becomes whole-array numpy expressions mirroring
+the ``binary_fast_fn``/``unary_fast_fn``/``reduce_fast_fn`` lowerings
+of :mod:`repro.simd.vector_ops` (translated ``cnst`` vector immediates
+are pre-baked operands, permutations are precomputed index gathers),
+and reductions fold the flattened stream with bit-exact association
+order.  Timing stays bit-identical through two batched APIs: the whole
+loop's d-cache stream is replayed by
+:meth:`~repro.memory.cache.Cache.access_stream` (trip-major, program
+order — the exact sequence the per-block path would have issued), and
+the pipeline hazards, per-trip branch prediction, and statistics are
+folded by :meth:`~repro.pipeline.core.PipelineModel.account_loop`
+(here specialized per loop via an ``exec()``-generated
+``BlockTiming.loop_compiled`` closure).
+
+Fallback contract: anything outside the canonical shape — non-affine
+addresses, a non-``blt`` or data-dependent branch, loop-carried vector
+registers, mixed element sizes on a stored symbol, unsupported
+opcodes — produces no plan entry, and runtime conditions (misaligned or
+out-of-range slabs, read-only overlap, induction state out of range,
+fewer than two remaining trips, step-limit proximity, an attached
+tracer or in-flight translation, which disable fused fragments
+wholesale in ``Machine._run_fragment``) return the loop to the
+per-block path, which raises the identical errors at the identical
+instruction.  The four-way differential suite pins all of this.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro import arith
+from repro.isa.decoded import (
+    VEC_BINARY_OPS,
+    VEC_PERM_OPS,
+    VEC_RED_OPS,
+    VEC_UNARY_OPS,
+)
+from repro.isa.instructions import Imm, Mem, Reg, VImm, Sym
+from repro.isa.opcodes import ELEM_SIZES
+from repro.isa.registers import is_float_reg, is_int_reg, is_vector_reg
+from repro.pipeline.core import _FLAGS
+from repro.simd import vector_ops
+from repro.simd.permutations import PermPattern
+
+#: Values the induction variable may reach without 32-bit wrap concerns.
+_INT31 = 1 << 31
+
+#: Minimum remaining trips worth the whole-array setup cost.  Below it
+#: the per-block path is used; both are bit-identical, so this is a pure
+#: speed knob.
+MIN_MACRO_TRIPS = 2
+
+
+def _kind(elem: Optional[str]) -> str:
+    return "f" if elem == "f32" else "i"
+
+
+def _full(arr: np.ndarray, n: int) -> np.ndarray:
+    """Broadcast a loop-invariant ``(1, width)`` row to ``(n, width)``."""
+    if arr.shape[0] == n:
+        return arr
+    return np.broadcast_to(arr, (n,) + arr.shape[1:])
+
+
+# ---------------------------------------------------------------------------
+# Per-instruction numpy lowerings over (trips, width) arrays.
+#
+# Each builder mirrors the corresponding *_fast_fn in simd/vector_ops.py
+# on 2-D arrays: integer lanes computed in int64 and truncated with
+# astype (== wrap_int), saturation clipped against INT_BOUNDS, float
+# lanes in float32 with one rounding per op, float min/max via np.where
+# (Python tie/NaN order), float bitwise through view(uint32).  Anything
+# the whole-array form cannot reproduce bit-identically returns None and
+# the loop is rejected (per-block fallback).
+# ---------------------------------------------------------------------------
+
+
+def _make_load(elem: str, width: int):
+    def load(memory, base, n, _elem=elem, _w=width):
+        return memory.load_array(base, _elem, n * _w).reshape(n, _w)
+    return load
+
+
+def _make_store(elem: str):
+    def store(memory, base, arr, _elem=elem):
+        memory.store_array(base, _elem, arr)
+    return store
+
+
+def _bake_vector_imm(operand, elem: Optional[str], width: int):
+    """Prepared rhs array for an ``Imm``/``VImm`` operand, or None."""
+    kind = _kind(elem or "i32")
+    if isinstance(operand, Imm):
+        value = operand.value
+        if kind == "f":
+            return np.float32(value)
+        if not isinstance(value, int):
+            return None
+        return np.int64(value)
+    if isinstance(operand, VImm):
+        lanes = list(operand.lanes)
+        if len(lanes) != width:
+            return None  # reference raises; per-block path reproduces it
+        if kind == "f":
+            return np.asarray(lanes, dtype=np.float32).reshape(1, width)
+        if not all(isinstance(v, int) for v in lanes):
+            return None
+        return np.asarray(lanes, dtype=np.int64).reshape(1, width)
+    return None
+
+
+def _bake_mask_imm(operand, width: int):
+    """uint32 mask patterns for a float-bitwise ``Imm``/``VImm`` rhs."""
+    if isinstance(operand, Imm):
+        lanes = [operand.value] * width
+    elif isinstance(operand, VImm):
+        lanes = list(operand.lanes)
+        if len(lanes) != width:
+            return None
+    else:
+        return None
+    try:
+        masks = vector_ops._mask_lanes(lanes)
+    except (TypeError, ValueError, OverflowError):
+        return None
+    return masks.reshape(1, width)
+
+
+def _make_binary(opcode: str, elem: Optional[str], b_operand, width: int):
+    """Whole-array closure for one binary vector op; None when the
+    lowering cannot be bit-identical.  ``b_operand`` is None for a
+    register rhs — the closure then takes ``(a, b)`` — or the
+    ``Imm``/``VImm`` operand to pre-bake, making the closure unary."""
+    elem = elem or "i32"
+    if elem == "f32":
+        if opcode in vector_ops._FLOAT_BITWISE:
+            want_and = opcode in ("vand", "vmask")
+            if b_operand is None:
+                def fn(a, b, _and=want_and):
+                    bits = a.view(np.uint32)
+                    masks = b.view(np.uint32)
+                    out = (bits & masks) if _and else (bits | masks)
+                    return out.view(np.float32)
+                return fn
+            masks = _bake_mask_imm(b_operand, width)
+            if masks is None:
+                return None
+
+            def fn(a, _m=masks, _and=want_and):
+                bits = a.view(np.uint32)
+                out = (bits & _m) if _and else (bits | _m)
+                return out.view(np.float32)
+            return fn
+        if opcode == "vabd":
+            if b_operand is None:
+                return lambda a, b: np.abs(a - b)
+            bb = _bake_vector_imm(b_operand, elem, width)
+            if bb is None:
+                return None
+            return lambda a, _b=bb: np.abs(a - _b)
+        if opcode in ("vmin", "vmax"):
+            want_min = opcode == "vmin"
+            if b_operand is None:
+                def fn(a, b, _min=want_min):
+                    return np.where(b < a, b, a) if _min \
+                        else np.where(b > a, b, a)
+                return fn
+            bb = _bake_vector_imm(b_operand, elem, width)
+            if bb is None:
+                return None
+
+            def fn(a, _b=bb, _min=want_min):
+                return np.where(_b < a, _b, a) if _min \
+                    else np.where(_b > a, _b, a)
+            return fn
+        np_op = vector_ops._NP_FLOAT_BINARY.get(opcode)
+        if np_op is None:
+            return None
+        if b_operand is None:
+            return lambda a, b, _op=np_op: _op(a, b)
+        bb = _bake_vector_imm(b_operand, elem, width)
+        if bb is None:
+            return None
+        return lambda a, _b=bb, _op=np_op: _op(a, _b)
+
+    dtype = vector_ops._NP_INT_DTYPE.get(elem)
+    if dtype is None:
+        return None
+    if opcode in ("vqadd", "vqsub"):
+        lo, hi = arith.INT_BOUNDS[elem]
+        want_add = opcode == "vqadd"
+        if b_operand is None:
+            def fn(a, b, _lo=lo, _hi=hi, _add=want_add, _dtype=dtype):
+                aa = a.astype(np.int64)
+                bb = b.astype(np.int64)
+                raw = aa + bb if _add else aa - bb
+                return np.clip(raw, _lo, _hi).astype(_dtype)
+            return fn
+        bb = _bake_vector_imm(b_operand, elem, width)
+        if bb is None:
+            return None
+
+        def fn(a, _b=bb, _lo=lo, _hi=hi, _add=want_add, _dtype=dtype):
+            aa = a.astype(np.int64)
+            raw = aa + _b if _add else aa - _b
+            return np.clip(raw, _lo, _hi).astype(_dtype)
+        return fn
+    np_op = vector_ops._NP_INT_BINARY.get(opcode)
+    if np_op is None:
+        return None
+    if b_operand is None:
+        def fn(a, b, _op=np_op, _dtype=dtype):
+            return _op(a.astype(np.int64), b.astype(np.int64)).astype(_dtype)
+        return fn
+    bb = _bake_vector_imm(b_operand, elem, width)
+    if bb is None:
+        return None
+
+    def fn(a, _b=bb, _op=np_op, _dtype=dtype):
+        return _op(a.astype(np.int64), _b).astype(_dtype)
+    return fn
+
+
+def _make_unary(opcode: str, elem: Optional[str]):
+    elem = elem or "i32"
+    np_op = {"vabs": np.abs, "vneg": np.negative}.get(opcode)
+    if np_op is None:
+        return None
+    if elem == "f32":
+        return lambda a, _op=np_op: _op(a)
+    dtype = vector_ops._NP_INT_DTYPE.get(elem)
+    if dtype is None:
+        return None
+    return lambda a, _op=np_op, _dtype=dtype: \
+        _op(a.astype(np.int64)).astype(_dtype)
+
+
+def _make_perm(instr, width: int):
+    """Precomputed index gather for one vbfly/vrev/vrot, or None."""
+    try:
+        period_operand = instr.srcs[1] if len(instr.srcs) > 1 else Imm(width)
+        if not isinstance(period_operand, Imm):
+            return None
+        period = int(period_operand.value)
+        if instr.opcode == "vbfly":
+            pattern = PermPattern("bfly", period)
+        elif instr.opcode == "vrev":
+            pattern = PermPattern("rev", period)
+        else:
+            if len(instr.srcs) < 3 or not isinstance(instr.srcs[2], Imm):
+                return None
+            pattern = PermPattern("rot", period, int(instr.srcs[2].value))
+        if width % pattern.period != 0:
+            return None
+        lane_map = np.asarray(pattern.lane_map(width), dtype=np.intp)
+    except (ValueError, TypeError):
+        return None
+    return lambda a, _map=lane_map: a[:, _map]
+
+
+def _make_reduce(opcode: str, elem: Optional[str]):
+    """Whole-stream reduction fold, bit-exact vs. the per-trip chain.
+
+    f32 ``vredsum`` uses ``np.add.accumulate`` — a strictly sequential
+    left fold in float32, i.e. the reference's one-rounding-per-element
+    chain; f32 min/max fold through ``arith.float_op`` for its Python
+    tie/NaN ordering.  Integer sums are computed wide and wrapped once
+    (congruent mod 2**32 to the per-step wrap); integer min/max never
+    leave the 32-bit range, so per-step wraps are the identity.
+    """
+    elem = elem or "i32"
+    if elem == "f32":
+        if opcode == "vredsum":
+            def fn(acc, arr):
+                flat = np.empty(arr.size + 1, dtype=np.float32)
+                flat[0] = acc
+                flat[1:] = arr.reshape(-1)
+                return float(np.add.accumulate(flat)[-1])
+            return fn
+        if opcode in ("vredmin", "vredmax"):
+            op = "fmin" if opcode == "vredmin" else "fmax"
+
+            def fn(acc, arr, _op=op):
+                result = float(acc)
+                for lane in arr.reshape(-1).tolist():
+                    result = arith.float_op(_op, result, lane)
+                return result
+            return fn
+        return None
+    if opcode == "vredsum":
+        def fn(acc, arr):
+            return arith.wrap_int(int(acc) + int(arr.sum(dtype=np.int64)))
+        return fn
+    if opcode in ("vredmin", "vredmax"):
+        want_min = opcode == "vredmin"
+        pick = min if want_min else max
+
+        def fn(acc, arr, _pick=pick, _min=want_min):
+            best = arr.min() if _min else arr.max()
+            return arith.wrap_int(_pick(int(acc), int(best)))
+        return fn
+    return None
+
+
+def _make_invariant(name: str, kind: str):
+    """Reader for a loop-invariant vector register input."""
+    dtype = np.float32 if kind == "f" else np.int64
+
+    def read(vregs, _n=name, _dtype=dtype):
+        return np.asarray(vregs.read(_n), dtype=_dtype).reshape(1, -1)
+    return read
+
+
+# ---------------------------------------------------------------------------
+# Shape analysis
+# ---------------------------------------------------------------------------
+
+
+def _affine_sym(mem: Optional[Mem], induction: str) -> Optional[str]:
+    """Symbol name of a ``[sym + induction]`` operand, else None."""
+    if mem is None or not isinstance(mem.base, Sym):
+        return None
+    index = mem.index
+    if not (isinstance(index, Reg) and index.name == induction):
+        return None
+    return mem.base.name
+
+
+class FragmentLoopShape:
+    """One recognized counted fragment loop, executable whole.
+
+    Instances are built by :func:`build_fragment_plan` per back-branch
+    and keyed by the loop-head pc in the fragment plan.  ``trips``
+    computes the remaining trip count from live register state (None
+    when the macro path must not engage); ``run`` executes and accounts
+    all of them at once, returning False — with no state touched — when
+    a runtime precondition fails and the per-block path must take over.
+    """
+
+    __slots__ = ("head", "branch_pc", "blen", "width", "induction", "trip",
+                 "sites", "kernel", "timing",
+                 "_bases_stride", "_nbytes", "_writes", "_load_cols")
+
+    def __init__(self, head: int, branch_pc: int, width: int,
+                 induction: str, trip: int,
+                 sites: List[Tuple[str, int, bool]], kernel) -> None:
+        self.head = head
+        self.branch_pc = branch_pc
+        self.blen = branch_pc - head + 1
+        self.width = width
+        self.induction = induction
+        self.trip = trip
+        self.sites = tuple(sites)
+        self.kernel = kernel
+        self.timing = None  # attached by build_fragment_plan
+        strides = [esz * width for (_sym, esz, _w) in sites]
+        self._bases_stride = np.asarray(strides, dtype=np.int64)
+        self._nbytes = np.asarray(strides, dtype=np.int64)  # one vector/site
+        self._writes = np.asarray([w for (_s, _e, w) in sites], dtype=bool)
+        self._load_cols = np.asarray(
+            [i for i, (_s, _e, w) in enumerate(sites) if not w],
+            dtype=np.intp)
+
+    def trips(self, state) -> Optional[int]:
+        """Remaining trip count from live state, or None to fall back."""
+        i0 = state.regs.ints[self.induction]
+        trip = self.trip
+        width = self.width
+        if i0 < 0 or trip < 0:
+            return None
+        n = ((trip - i0 + width - 1) // width) if trip > i0 else 1
+        if n < MIN_MACRO_TRIPS or i0 + n * width >= _INT31:
+            return None
+        return n
+
+    def run(self, state, pipeline, trips: int) -> bool:
+        """Execute and account *trips* loop iterations in one shot.
+
+        Returns False — before touching any architectural or timing
+        state — when a slab fails the runtime preconditions (vector
+        alignment, bounds, read-only overlap); the caller then resumes
+        the per-block path, which raises the identical error at the
+        identical instruction if one is actually due.
+        """
+        regs = state.regs
+        memory = state.memory
+        symbols = state.symbols
+        i0 = regs.ints[self.induction]
+        width = self.width
+        span = trips * width
+        bases = []
+        for sym, esz, is_store in self.sites:
+            base = symbols.address_of(sym) + i0 * esz
+            nbytes = span * esz
+            if base % (esz * width) or base < 0 or base + nbytes > memory.size:
+                return False
+            if is_store and memory.overlaps_read_only(base, nbytes):
+                return False
+            bases.append(base)
+
+        self.kernel(memory, state.vregs, regs, bases, trips)
+
+        # Timing: replay the loop's whole d-cache stream (trip-major,
+        # program order — identical to the per-block sequence; fragments
+        # never touch the i-cache), then fold the pipeline hazards and
+        # the taken/.../taken/not-taken branch pattern.
+        n_sites = len(bases)
+        if n_sites:
+            addr_mat = (np.asarray(bases, dtype=np.int64)[None, :]
+                        + np.arange(trips, dtype=np.int64)[:, None]
+                        * self._bases_stride[None, :])
+            lats = pipeline.dcache.access_stream(
+                addr_mat.reshape(-1),
+                np.tile(self._nbytes, trips),
+                np.tile(self._writes, trips))
+            load_lats = lats.reshape(trips, n_sites)[:, self._load_cols] \
+                .reshape(-1).tolist()
+        else:
+            load_lats = []
+        pipeline.account_loop(self.timing, trips, load_lats)
+
+        # Architectural epilogue: final induction value, cmp flags,
+        # fall-through pc, retire count — what the last trip leaves.
+        i_final = i0 + trips * width
+        regs.ints[self.induction] = i_final
+        regs.set_flags(i_final, self.trip)
+        state.pc = self.branch_pc + 1
+        state.instructions_retired += trips * self.blen
+        return True
+
+
+def _analyze_loop(fragment, head: int, branch_pc: int,
+                  width: int) -> Optional[FragmentLoopShape]:
+    """A :class:`FragmentLoopShape` for the loop closed by the ``blt``
+    at *branch_pc* targeting *head*, or None when any instruction falls
+    outside the canonical translated form."""
+    instrs = fragment.instructions
+    if branch_pc - head < 3:
+        return None
+    cmp_i = instrs[branch_pc - 1]
+    add_i = instrs[branch_pc - 2]
+    if (cmp_i.opcode != "cmp" or len(cmp_i.srcs) != 2
+            or add_i.opcode != "add" or add_i.dst is None
+            or len(add_i.srcs) != 2):
+        return None
+    ind_op = add_i.srcs[0]
+    if not (isinstance(ind_op, Reg) and is_int_reg(ind_op.name)
+            and add_i.dst.name == ind_op.name):
+        return None
+    induction = ind_op.name
+    step = add_i.srcs[1]
+    if not (isinstance(step, Imm) and step.value == width):
+        return None
+    if not (isinstance(cmp_i.srcs[0], Reg)
+            and cmp_i.srcs[0].name == induction
+            and isinstance(cmp_i.srcs[1], Imm)
+            and isinstance(cmp_i.srcs[1].value, int)):
+        return None
+    trip = int(cmp_i.srcs[1].value)
+
+    # Vector registers written anywhere in the body: a read before the
+    # body's (re)definition would be loop-carried — unsupported.
+    written = set()
+    for pc in range(head, branch_pc - 2):
+        dst = instrs[pc].dst
+        if dst is not None and is_vector_reg(dst.name):
+            written.add(dst.name)
+
+    ns = {"np": np, "_full": _full}
+    emits: List[str] = []
+    sites: List[Tuple[str, int, bool]] = []
+    defined: Dict[str, str] = {}     # body-defined vreg -> kind
+    invariants: Dict[str, str] = {}  # loop-invariant input vreg -> kind
+    finals: Dict[str, Optional[str]] = {}  # written vreg -> last elem
+    accs: Dict[str, bool] = {}       # reduction accumulator scalars
+
+    def use_vec(operand, kind: str) -> Optional[str]:
+        """Python expression reading a vector register operand."""
+        if not (isinstance(operand, Reg) and is_vector_reg(operand.name)):
+            return None
+        name = operand.name
+        have = defined.get(name)
+        if have is not None:
+            return f"v_{name}" if have == kind else None
+        if name in written:
+            return None  # read of a later definition: loop-carried
+        prior = invariants.get(name)
+        if prior is None:
+            invariants[name] = kind
+        elif prior != kind:
+            return None
+        return f"v_{name}"
+
+    for pc in range(head, branch_pc - 2):
+        ins = instrs[pc]
+        op = ins.opcode
+        elem = ins.elem
+        if op == "vld":
+            if elem is None or ins.dst is None \
+                    or not is_vector_reg(ins.dst.name):
+                return None
+            sym = _affine_sym(ins.mem, induction)
+            if sym is None:
+                return None
+            key = f"ld{pc}"
+            ns[key] = _make_load(elem, width)
+            site = len(sites)
+            sites.append((sym, ELEM_SIZES[elem], False))
+            dname = ins.dst.name
+            emits.append(f"v_{dname} = {key}(memory, bases[{site}], n)")
+            defined[dname] = _kind(elem)
+            finals[dname] = elem
+        elif op == "vst":
+            if elem is None or not ins.srcs:
+                return None
+            src = use_vec(ins.srcs[0], _kind(elem))
+            sym = _affine_sym(ins.mem, induction)
+            if src is None or sym is None:
+                return None
+            key = f"st{pc}"
+            ns[key] = _make_store(elem)
+            site = len(sites)
+            sites.append((sym, ELEM_SIZES[elem], True))
+            emits.append(f"{key}(memory, bases[{site}], _full({src}, n))")
+        elif op in VEC_BINARY_OPS:
+            if ins.dst is None or len(ins.srcs) != 2 \
+                    or not is_vector_reg(ins.dst.name):
+                return None
+            kind = _kind(elem)
+            a = use_vec(ins.srcs[0], kind)
+            if a is None:
+                return None
+            b_operand = ins.srcs[1]
+            key = f"op{pc}"
+            if isinstance(b_operand, Reg):
+                b = use_vec(b_operand, kind)
+                fn = _make_binary(op, elem, None, width)
+                if b is None or fn is None:
+                    return None
+                ns[key] = fn
+                emits.append(f"v_{ins.dst.name} = {key}({a}, {b})")
+            else:
+                fn = _make_binary(op, elem, b_operand, width)
+                if fn is None:
+                    return None
+                ns[key] = fn
+                emits.append(f"v_{ins.dst.name} = {key}({a})")
+            defined[ins.dst.name] = kind
+            finals[ins.dst.name] = elem
+        elif op in VEC_UNARY_OPS:
+            if ins.dst is None or not ins.srcs \
+                    or not is_vector_reg(ins.dst.name):
+                return None
+            kind = _kind(elem)
+            a = use_vec(ins.srcs[0], kind)
+            fn = _make_unary(op, elem)
+            if a is None or fn is None:
+                return None
+            key = f"op{pc}"
+            ns[key] = fn
+            emits.append(f"v_{ins.dst.name} = {key}({a})")
+            defined[ins.dst.name] = kind
+            finals[ins.dst.name] = elem
+        elif op in VEC_PERM_OPS:
+            if ins.dst is None or not ins.srcs \
+                    or not is_vector_reg(ins.dst.name):
+                return None
+            kind = _kind(elem)
+            a = use_vec(ins.srcs[0], kind)
+            fn = _make_perm(ins, width)
+            if a is None or fn is None:
+                return None
+            key = f"op{pc}"
+            ns[key] = fn
+            emits.append(f"v_{ins.dst.name} = {key}({a})")
+            defined[ins.dst.name] = kind
+            finals[ins.dst.name] = elem
+        elif op in VEC_RED_OPS:
+            if ins.dst is None or len(ins.srcs) != 2:
+                return None
+            dname = ins.dst.name
+            acc_op = ins.srcs[0]
+            # Canonical accumulator form only: dst == srcs[0], a scalar
+            # register of the reduction's kind, distinct from the
+            # induction and from every other accumulator.
+            if (is_vector_reg(dname) or dname == induction
+                    or dname in accs
+                    or not (isinstance(acc_op, Reg)
+                            and acc_op.name == dname)):
+                return None
+            kind = _kind(elem)
+            if kind == "f" and not is_float_reg(dname):
+                return None
+            if kind == "i" and not is_int_reg(dname):
+                return None
+            vsrc = use_vec(ins.srcs[1], kind)
+            fn = _make_reduce(op, elem)
+            if vsrc is None or fn is None:
+                return None
+            key = f"red{pc}"
+            ns[key] = fn
+            accs[dname] = True
+            emits.append(
+                f"acc_{dname} = {key}(acc_{dname}, _full({vsrc}, n))")
+        else:
+            return None
+
+    # Memory-ordering precondition for whole-array execution: every
+    # trip's windows are disjoint across trips (stride == width
+    # elements), which holds per symbol only when all its sites share
+    # one element size once a store is involved.
+    store_syms = {sym for (sym, _esz, w) in sites if w}
+    for sym in store_syms:
+        if len({esz for (s, esz, _w) in sites if s == sym}) != 1:
+            return None
+
+    prologue = [f"acc_{name} = regs.read({name!r})" for name in accs]
+    for name, kind in invariants.items():
+        key = f"inv_{name}"
+        ns[key] = _make_invariant(name, kind)
+        prologue.append(f"v_{name} = {key}(vregs)")
+    epilogue = [f"regs.write({name!r}, acc_{name})" for name in accs]
+    for name, last_elem in finals.items():
+        epilogue.append(
+            f"vregs.write({name!r}, v_{name}[-1].tolist(), {last_elem!r})")
+
+    body = prologue + emits + epilogue
+    src = ["def _kernel(memory, vregs, regs, bases, n):"]
+    src += ["    " + line for line in body] or ["    pass"]
+    exec(compile("\n".join(src), f"<macro-kernel@{head}>", "exec"), ns)
+
+    return FragmentLoopShape(head, branch_pc, width, induction, trip,
+                             sites, ns["_kernel"])
+
+
+# ---------------------------------------------------------------------------
+# Compiled whole-loop timing
+# ---------------------------------------------------------------------------
+
+
+def _compile_loop_timing(timing, pipeline):
+    """``exec()``-generated specialization of
+    :meth:`~repro.pipeline.core.PipelineModel.account_loop` for one
+    loop-body block: the generic row loop unrolled with constants baked
+    (same style as the turbo engine's per-block ``compiled`` closures),
+    wrapped in the per-trip loop with its deterministic branch pattern.
+    """
+    dcache_hit = pipeline._dcache_hit
+    penalty = pipeline.config.mispredict_penalty
+    src = [
+        "def _loop(pipe, trips, lats):",
+        "    reg_ready = pipe._reg_ready",
+        "    get = reg_ready.get",
+        "    stats = pipe.stats",
+        "    fetch_ready = pipe._fetch_ready",
+        "    last_issue = pipe._last_issue",
+        "    last_completion = pipe._last_completion",
+        "    predict = pipe.predictor.predict",
+        "    update = pipe.predictor.update",
+        "    data_stall = 0",
+        "    load_miss = 0",
+        "    branch_penalty = 0",
+        "    mispredicts = 0",
+        "    k = 0",
+        "    issue = last_issue",
+        "    last_trip = trips - 1",
+        "    for _t in range(trips):",
+    ]
+    emit = src.append
+    for (_fetch_key, reads, reads_flags, writes, sets_flags,
+         latency, mem_kind, _nbytes) in timing.rows:
+        emit("        ready = fetch_ready")
+        for reg in reads:
+            emit(f"        t = get({reg!r}, 0)")
+            emit("        if t > ready:")
+            emit("            ready = t")
+        if reads_flags:
+            emit(f"        t = get({_FLAGS!r}, 0)")
+            emit("        if t > ready:")
+            emit("            ready = t")
+        emit("        issue = last_issue + 1")
+        emit("        if ready > issue:")
+        emit("            data_stall += ready - issue")
+        emit("            issue = ready")
+        if mem_kind == 1:
+            emit("        a = lats[k]")
+            emit("        k += 1")
+            emit("        completion = issue + a")
+            emit(f"        if a > {dcache_hit}:")
+            emit(f"            load_miss += a - {dcache_hit}")
+        else:
+            # Stores and ALU rows: the d-cache was pre-advanced by
+            # access_stream; the write buffer hides store latency.
+            emit(f"        completion = issue + {latency}")
+        for reg in writes:
+            emit(f"        reg_ready[{reg!r}] = completion")
+        if sets_flags:
+            emit(f"        reg_ready[{_FLAGS!r}] = completion")
+        emit("        last_issue = issue")
+        emit("        fetch_ready = issue")
+        emit("        if completion > last_completion:")
+        emit("            last_completion = completion")
+    branch_pc = timing.branch_pc
+    branch_target = timing.branch_target
+    src += [
+        "        taken = _t != last_trip",
+        f"        predicted = predict({branch_pc}, "
+        f"{branch_target} if taken else {branch_pc})",
+        f"        update({branch_pc}, taken)",
+        "        if predicted != taken:",
+        "            mispredicts += 1",
+        f"            fetch_ready = issue + 1 + {penalty}",
+        f"            branch_penalty += {penalty}",
+        "    pipe._last_issue = last_issue",
+        "    pipe._fetch_ready = fetch_ready",
+        "    pipe._last_completion = last_completion",
+        f"    stats.instructions += {timing.count} * trips",
+        f"    stats.simd_instructions += {timing.simd} * trips",
+        "    stats.branches += trips",
+        "    stats.mispredicts += mispredicts",
+        "    stats.branch_penalty_cycles += branch_penalty",
+        "    stats.data_stall_cycles += data_stall",
+        "    stats.load_miss_cycles += load_miss",
+    ]
+    ns: dict = {}
+    exec(compile("\n".join(src), "<macro-loop-timing>", "exec"), ns)
+    return ns["_loop"]
+
+
+# ---------------------------------------------------------------------------
+# Plan construction
+# ---------------------------------------------------------------------------
+
+
+def build_fragment_plan(fragment, blocks, pipeline,
+                        width: int) -> Dict[int, FragmentLoopShape]:
+    """Map loop-head pc -> :class:`FragmentLoopShape` for every
+    recognizable counted loop in *fragment*.
+
+    *blocks* is the fragment's :class:`~repro.interp.turbo.SuperblockTable`:
+    each recognized loop reuses — and attaches a compiled whole-loop
+    timing to — the superblock discovered at its head, guaranteeing the
+    macro path and the per-block path account the very same rows.
+    """
+    plans: Dict[int, FragmentLoopShape] = {}
+    instrs = fragment.instructions
+    for pc, ins in enumerate(instrs):
+        if ins.opcode != "blt" or ins.target is None:
+            continue
+        head = fragment.labels.get(ins.target)
+        if head is None or not 0 <= head < pc:
+            continue
+        loop = _analyze_loop(fragment, head, pc, width)
+        if loop is None:
+            continue
+        timing = blocks.block_at(head).timing
+        if (timing.fetch_mode != 0 or timing.term != 1
+                or timing.count != loop.blen
+                or len(timing.rows) != loop.blen):
+            continue  # superblock discovery disagreed: stay per-block
+        if timing.loop_compiled is None:
+            timing.loop_compiled = _compile_loop_timing(timing, pipeline)
+        loop.timing = timing
+        plans[head] = loop
+    return plans

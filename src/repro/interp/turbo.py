@@ -74,6 +74,7 @@ from repro.isa.decoded import (
     mask_bits,
     predecode,
 )
+from repro.interp.macro import build_fragment_plan
 from repro.isa.encoding import encode_program
 from repro.isa.instructions import Imm, Instruction, Reg
 from repro.isa.opcodes import ELEM_SIZES, LOAD_ELEM, OPCODES, STORE_ELEM, InstrClass
@@ -1300,8 +1301,10 @@ def superblock_table_for(table: DecodedProgram, pipeline,
 _fragment_memo: "OrderedDict[tuple, tuple]" = OrderedDict()
 
 
-def fragment_tables_for(fragment, pipeline, width: int, offset: int):
-    """(program, decode table, SuperblockTable) for a microcode fragment.
+def fragment_tables_for(fragment, pipeline, width: int, offset: int,
+                        encoded: Optional[bytes] = None,
+                        macro: bool = False):
+    """(program, decode table, SuperblockTable, plan) for a fragment.
 
     The dynamic translator rebuilds its fragments on every run, so they
     cannot be memoized by object identity; but for a given source
@@ -1312,15 +1315,28 @@ def fragment_tables_for(fragment, pipeline, width: int, offset: int):
     returns the previously fused fragment *program* too: the caller runs
     that canonical object so the decode table's program-identity check
     and the fused closures' resolved targets stay coherent.
+
+    *encoded*, when the caller already holds the fragment's canonical
+    bytes (:meth:`~repro.core.translate.ucode_cache.MicrocodeEntry.encoded_bytes`),
+    skips re-encoding.  With ``macro=True`` the entry additionally
+    carries the fragment's whole-loop plan
+    (:func:`repro.interp.macro.build_fragment_plan`), or ``None`` when
+    no loop matched; the macro flag is part of the key so turbo and
+    macro runs never share ``BlockTiming`` objects.
     """
-    key = (encode_program(fragment), width, offset, pipeline.config)
+    if encoded is None:
+        encoded = encode_program(fragment)
+    key = (encoded, width, offset, pipeline.config, macro)
     entry = _fragment_memo.get(key)
     if entry is not None:
         _fragment_memo.move_to_end(key)
         return entry
     table = predecode(fragment)
     blocks = SuperblockTable(table, pipeline, None, width, offset, True)
-    entry = (fragment, table, blocks)
+    plan = None
+    if macro:
+        plan = build_fragment_plan(fragment, blocks, pipeline, width) or None
+    entry = (fragment, table, blocks, plan)
     _fragment_memo[key] = entry
     if len(_fragment_memo) > _MEMO_CAP:
         _fragment_memo.popitem(last=False)

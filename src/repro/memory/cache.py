@@ -24,6 +24,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Set, Tuple
 
+import numpy as np
+
 
 @dataclass(frozen=True)
 class CacheConfig:
@@ -173,6 +175,111 @@ class Cache:
         if is_write:
             dirty.add(tag)
         return self._miss_latency
+
+    def access_stream(self, addrs, nbytes, is_writes) -> np.ndarray:
+        """Batched :meth:`access`: per-access latencies for a whole stream.
+
+        *addrs*, *nbytes* and *is_writes* are equal-length sequences (or
+        numpy arrays) describing one access each; the return value is an
+        int64 array where ``out[i]`` equals what
+        ``self.access(addrs[i], nbytes[i], is_writes[i])`` would have
+        returned when issued sequentially — and the cache ends the call
+        in exactly the state (stamps, dirty bits, tick, statistics) the
+        sequential loop would have left it in.  The property suite in
+        ``tests/test_access_stream_property.py`` pins this equivalence.
+
+        The common case — the whole stream fits its sets without a
+        single eviction, which holds for fragment loops streaming a few
+        arrays through a 64-way cache — is resolved with vectorized
+        numpy probing: hits are "resident at entry OR touched earlier in
+        the stream", final stamps land on each line's last occurrence
+        tick, and the statistics are bulk sums.  Any stream that could
+        evict (per-set occupancy would exceed the associativity) falls
+        back to replaying :meth:`_access_line_number` per line, so the
+        fast path never has to model victim selection.
+        """
+        addrs = np.asarray(addrs, dtype=np.int64)
+        count = int(addrs.shape[0])
+        if count == 0:
+            return np.zeros(0, dtype=np.int64)
+        sizes = np.maximum(np.asarray(nbytes, dtype=np.int64), 1)
+        writes = np.asarray(is_writes, dtype=bool)
+        line_bytes = self._line_bytes
+        first = addrs // line_bytes
+        last = (addrs + sizes - 1) // line_bytes
+        spans = last - first + 1
+        total = int(spans.sum())
+        if total == count:
+            lines = first
+            line_writes = writes
+            starts = None
+        else:
+            # Expand straddling accesses into one entry per line touched.
+            starts = np.cumsum(spans) - spans
+            lines = first.repeat(spans) + (
+                np.arange(total, dtype=np.int64) - starts.repeat(spans))
+            line_writes = writes.repeat(spans)
+
+        line_lat = self._stream_lines(lines, line_writes)
+        if starts is None:
+            return line_lat
+        return np.add.reduceat(line_lat, starts)
+
+    def _stream_lines(self, lines: np.ndarray,
+                      line_writes: np.ndarray) -> np.ndarray:
+        """Per-line latencies for a pre-expanded line-number stream."""
+        num_sets = self._num_sets
+        total = int(lines.shape[0])
+        uniq, first_idx, inverse = np.unique(
+            lines, return_index=True, return_inverse=True)
+
+        # Eviction-freedom precondition: for every set, resident lines
+        # plus distinct new lines must fit the associativity.
+        resident0 = np.empty(len(uniq), dtype=bool)
+        new_per_set: Dict[int, int] = {}
+        for j, line in enumerate(uniq.tolist()):
+            ways = self._stamps[line % num_sets]
+            hit = (line // num_sets) in ways
+            resident0[j] = hit
+            if not hit:
+                set_index = line % num_sets
+                new_per_set[set_index] = new_per_set.get(set_index, 0) + 1
+        fits = all(
+            len(self._stamps[s]) + extra <= self._assoc
+            for s, extra in new_per_set.items())
+        if not fits:
+            access = self._access_line_number
+            lat = np.empty(total, dtype=np.int64)
+            for i in range(total):
+                lat[i] = access(int(lines[i]), bool(line_writes[i]))
+            return lat
+
+        first_occurrence = np.zeros(total, dtype=bool)
+        first_occurrence[first_idx] = True
+        hits = resident0[inverse] | ~first_occurrence
+        misses = ~hits
+        stats = self.stats
+        write_count = int(line_writes.sum())
+        stats.reads += total - write_count
+        stats.writes += write_count
+        stats.read_misses += int((misses & ~line_writes).sum())
+        stats.write_misses += int((misses & line_writes).sum())
+
+        # State update: every line's final stamp is the tick of its last
+        # occurrence; dirty is set iff any occurrence was a write.
+        tick0 = self._tick
+        self._tick = tick0 + total
+        last_idx = np.zeros(len(uniq), dtype=np.int64)
+        np.maximum.at(last_idx, inverse, np.arange(total, dtype=np.int64))
+        written = np.zeros(len(uniq), dtype=bool)
+        np.logical_or.at(written, inverse, line_writes)
+        for j, line in enumerate(uniq.tolist()):
+            set_index = line % num_sets
+            tag = line // num_sets
+            self._stamps[set_index][tag] = tick0 + int(last_idx[j]) + 1
+            if written[j]:
+                self._dirty[set_index].add(tag)
+        return np.where(hits, self._hit_latency, self._miss_latency)
 
     def repeat_hits(self, line_number: int, count: int) -> None:
         """Account *count* extra read hits on a just-accessed line.

@@ -12,7 +12,11 @@ from __future__ import annotations
 import struct
 from typing import List, Tuple, Union
 
+import numpy as np
+
 Number = Union[int, float]
+
+_NP_DTYPE = {"i8": "<i1", "i16": "<i2", "i32": "<i4", "f32": "<f4"}
 
 _FMT = {
     ("i8", True): "<b",
@@ -111,6 +115,42 @@ class Memory:
             fmt = "<" + _FMT[(elem, False)][1] * width
             struct.pack_into(fmt, self._bytes, addr,
                              *[int(v) & mask for v in values])
+
+    def overlaps_read_only(self, addr: int, nbytes: int) -> bool:
+        """True when ``[addr, addr+nbytes)`` intersects a protected range."""
+        end = addr + nbytes
+        for start, stop in self._ro_ranges:
+            if addr < stop and end > start:
+                return True
+        return False
+
+    # -- whole-array access (macro-kernel fragment execution) -----------------
+
+    def load_array(self, addr: int, elem: str, count: int) -> np.ndarray:
+        """Bounds-checked copy of *count* elements at *addr* as a numpy array.
+
+        Element dtypes match the typed scalar accessors bit for bit
+        (little-endian, integers signed), so a ``load_array`` of a region
+        equals the element-wise :meth:`load_vector` of the same region.
+        """
+        nbytes = _SIZE[elem] * count
+        self._check_load(addr, nbytes)
+        return np.frombuffer(self._bytes, dtype=_NP_DTYPE[elem],
+                             count=count, offset=addr).copy()
+
+    def store_array(self, addr: int, elem: str, values: np.ndarray) -> None:
+        """Store a numpy array of *elem* values contiguously at *addr*.
+
+        Protection- and bounds-checked like :meth:`store_vector`;
+        integer narrowing truncates to the element width exactly as the
+        masked ``struct`` pack does.
+        """
+        flat = np.ascontiguousarray(values).reshape(-1)
+        nbytes = _SIZE[elem] * flat.size
+        self._check_store(addr, nbytes)
+        view = np.frombuffer(self._bytes, dtype=_NP_DTYPE[elem],
+                             count=flat.size, offset=addr)
+        view[:] = flat
 
     def clone(self) -> "Memory":
         """An independent copy (used by the translation verifier)."""

@@ -71,13 +71,20 @@ class BlockTiming:
     is an optimization hook only: ``account_block`` dispatches to it
     when present and runs the generic loop otherwise, with identical
     cycle and stats results either way.
+
+    ``loop_compiled`` is the analogous hook for
+    :meth:`PipelineModel.account_loop`: a specialization of the whole
+    *trips*-times-around replay of this block, attached by the
+    macro-kernel layer (:mod:`repro.interp.macro`) to the loop-body
+    blocks of translated fragments.
     """
 
     __slots__ = ("rows", "count", "simd", "fetch_mode", "term",
-                 "branch_pc", "branch_target", "compiled")
+                 "branch_pc", "branch_target", "compiled", "loop_compiled")
 
     def __init__(self, rows, count, simd, fetch_mode, term,
-                 branch_pc=0, branch_target=0, compiled=None):
+                 branch_pc=0, branch_target=0, compiled=None,
+                 loop_compiled=None):
         self.rows = rows
         self.count = count
         self.simd = simd
@@ -86,6 +93,7 @@ class BlockTiming:
         self.branch_pc = branch_pc
         self.branch_target = branch_target
         self.compiled = compiled
+        self.loop_compiled = loop_compiled
 
 
 @dataclass(frozen=True)
@@ -385,6 +393,109 @@ class PipelineModel:
         stats.simd_instructions += timing.simd
         stats.data_stall_cycles += data_stall
         stats.fetch_stall_cycles += fetch_stall
+        stats.load_miss_cycles += load_miss
+
+    def account_loop(self, timing: BlockTiming, trips: int,
+                     load_latencies) -> None:
+        """Charge *trips* back-to-back executions of one fragment loop block.
+
+        Equivalent to calling :meth:`account_block` *trips* times with
+        ``taken=True`` on every trip but the last, **except** that the
+        d-cache has already been advanced for every access of the whole
+        loop (via :meth:`~repro.memory.cache.Cache.access_stream`, in the
+        same trip-major program order ``account_block`` would have used):
+        load rows consume their pre-computed latencies from
+        *load_latencies* in access order, and store rows touch nothing
+        (their latency is hidden by the write buffer either way).  The
+        hazard bookkeeping, the per-trip branch prediction against the
+        real predictor, and every statistic are the sequential replay's
+        — the macro layer (:mod:`repro.interp.macro`) relies on this
+        being cycle- and stats-identical to the per-block path.
+
+        Only injected (``fetch_mode == 0``) blocks with a branch
+        terminator qualify — translated fragments never touch the
+        i-cache, which is what makes pre-advancing the d-cache safe:
+        no other cache access interleaves with the loop's.
+
+        ``timing.loop_compiled``, when set, is a specialization of this
+        very loop (generated by the macro layer) and is dispatched to,
+        mirroring the ``account_block`` / ``compiled`` pairing.
+        """
+        compiled = timing.loop_compiled
+        if compiled is not None:
+            compiled(self, trips, load_latencies)
+            return
+        if timing.fetch_mode != 0 or timing.term != 1:
+            raise ValueError(
+                "account_loop requires an injected block with a "
+                "branch terminator")
+        stats = self.stats
+        reg_ready = self._reg_ready
+        reg_get = reg_ready.get
+        fetch_ready = self._fetch_ready
+        last_issue = self._last_issue
+        last_completion = self._last_completion
+        dcache_hit = self._dcache_hit
+        predictor = self.predictor
+        predict = predictor.predict
+        update = predictor.update
+        rows = timing.rows
+        branch_pc = timing.branch_pc
+        branch_target = timing.branch_target
+        mispredict_penalty = self.config.mispredict_penalty
+        data_stall = load_miss = 0
+        issue = last_issue
+        lat_index = 0
+        last_trip = trips - 1
+        for trip in range(trips):
+            for (_fetch_key, reads, reads_flags, writes, sets_flags,
+                 latency, mem_kind, _nbytes) in rows:
+                ready = fetch_ready  # injected from microcode cache
+                for reg in reads:
+                    t = reg_get(reg, 0)
+                    if t > ready:
+                        ready = t
+                if reads_flags:
+                    t = reg_get(_FLAGS, 0)
+                    if t > ready:
+                        ready = t
+                issue = last_issue + 1
+                if ready > issue:
+                    data_stall += ready - issue
+                    issue = ready
+                if mem_kind == 1:
+                    access = load_latencies[lat_index]
+                    lat_index += 1
+                    completion = issue + access
+                    if access > dcache_hit:
+                        load_miss += access - dcache_hit
+                else:
+                    # Stores and ALU rows: the d-cache state change for
+                    # stores was already applied by access_stream.
+                    completion = issue + latency
+                for reg in writes:
+                    reg_ready[reg] = completion
+                if sets_flags:
+                    reg_ready[_FLAGS] = completion
+                last_issue = issue
+                fetch_ready = issue
+                if completion > last_completion:
+                    last_completion = completion
+            taken = trip != last_trip
+            stats.branches += 1
+            predicted = predict(branch_pc,
+                                branch_target if taken else branch_pc)
+            update(branch_pc, taken)
+            if predicted != taken:
+                stats.mispredicts += 1
+                fetch_ready = issue + 1 + mispredict_penalty
+                stats.branch_penalty_cycles += mispredict_penalty
+        self._last_issue = last_issue
+        self._fetch_ready = fetch_ready
+        self._last_completion = last_completion
+        stats.instructions += timing.count * trips
+        stats.simd_instructions += timing.simd * trips
+        stats.data_stall_cycles += data_stall
         stats.load_miss_cycles += load_miss
 
     # -- helpers --------------------------------------------------------------------------

@@ -108,9 +108,12 @@ class MachineConfig:
     #: Execution engine: "fast" (pre-decoded handler tables + numpy
     #: vector lowerings — the production default), "turbo" (superblock
     #: fusion over the fast tables with batched timing and a
-    #: zero-allocation retire path), or "reference" (the canonical
-    #: per-step interpreter).  All three are bit-identical; see
-    #: docs/execution-engines.md and tests/test_engine_differential.py.
+    #: zero-allocation retire path), "macro" (turbo plus whole-loop
+    #: numpy kernels for translated SIMD fragments with batched d-cache
+    #: and pipeline replay — repro/interp/macro.py), or "reference"
+    #: (the canonical per-step interpreter).  All four are
+    #: bit-identical; see docs/execution-engines.md and
+    #: tests/test_engine_differential.py.
     engine: str = "fast"
     mvl: int = 16
     max_steps: int = 80_000_000
@@ -196,12 +199,15 @@ class Machine:
         blacklist = set()
         translating: Optional[DynamicTranslator] = None
         fragment_offsets: Dict[str, int] = {}
-        #: id(fragment) -> DecodedProgram, so repeated microcode runs
-        #: under the fast/turbo engines pay the decode pass once.
-        fragment_tables: Dict[int, DecodedProgram] = {}
-        #: id(fragment) -> (program, DecodedProgram, SuperblockTable)
-        #: from repro.interp.turbo.fragment_tables_for (turbo only).
-        fragment_blocks: Dict[int, tuple] = {}
+        #: (function, width, encoded bytes) -> (program, DecodedProgram),
+        #: so repeated microcode runs under the fast/turbo/macro engines
+        #: pay the decode pass once.  Content keys, not ``id(fragment)``:
+        #: fragments are per-run objects and a recycled address must not
+        #: resurrect another fragment's tables.
+        fragment_tables: Dict[tuple, tuple] = {}
+        #: same key -> (program, DecodedProgram, SuperblockTable, plan)
+        #: from repro.interp.turbo.fragment_tables_for (turbo/macro).
+        fragment_blocks: Dict[tuple, tuple] = {}
         next_interrupt = (config.interrupt_interval
                           if config.interrupt_interval is not None else 0)
 
@@ -227,7 +233,7 @@ class Machine:
         # iteration below) — both then take the identical per-instruction
         # fast path, whose events are eager.
         superblocks = None
-        if config.engine == "turbo" and tracer is None:
+        if config.engine in ("turbo", "macro") and tracer is None:
             superblocks = superblock_table_for(executor.table, pipeline,
                                                marked_call, hw_width)
         account_block = pipeline.account_block
@@ -421,8 +427,8 @@ class Machine:
     def _run_fragment(self, entry: MicrocodeEntry, state: MachineState,
                       pipeline: PipelineModel,
                       offsets: Dict[str, int],
-                      tables: Optional[Dict[int, DecodedProgram]] = None,
-                      block_tables: Optional[Dict[int, tuple]] = None,
+                      tables: Optional[Dict[tuple, tuple]] = None,
+                      block_tables: Optional[Dict[tuple, tuple]] = None,
                       ) -> None:
         """Execute one cached translation on the SIMD accelerator."""
         fragment = entry.fragment
@@ -430,28 +436,37 @@ class Machine:
             offsets[entry.function] = (_FRAGMENT_PC_BASE
                                        + len(offsets) * _FRAGMENT_PC_STRIDE)
         offset = offsets[entry.function]
+        engine = self.config.engine
         table = None
         blocks = None
-        # Turbo: fuse the fragment too (same rules as the main loop —
-        # tracing forces the per-instruction path).  Fragment rows skip
-        # instruction fetch and carry offset PCs, exactly like the
-        # per-event path below.  Fragments are rebuilt each run, so the
-        # fused tables are memoized by encoded bytes across runs; a hit
-        # substitutes the canonical (byte-identical) fragment program the
-        # tables were built over.
-        if self.config.engine == "turbo" and self.tracer is None \
+        plan = None
+        # Turbo/macro: fuse the fragment too (same rules as the main
+        # loop — tracing forces the per-instruction path).  Fragment
+        # rows skip instruction fetch and carry offset PCs, exactly like
+        # the per-event path below.  Fragments are rebuilt each run, so
+        # the fused tables are memoized by encoded bytes across runs; a
+        # hit substitutes the canonical (byte-identical) fragment
+        # program the tables were built over.  The per-run dicts are
+        # keyed by entry identity (function, width, bytes) for the same
+        # reason — see their declarations in :meth:`run`.
+        if engine in ("turbo", "macro") and self.tracer is None \
                 and tables is not None and block_tables is not None:
-            cached = block_tables.get(id(fragment))
+            key = (entry.function, entry.width, entry.encoded_bytes())
+            cached = block_tables.get(key)
             if cached is None:
                 cached = fragment_tables_for(fragment, pipeline,
-                                             entry.width, offset)
-                block_tables[id(fragment)] = cached
-            fragment, table, blocks = cached
-        elif self.config.engine in ("fast", "turbo") and tables is not None:
-            table = tables.get(id(fragment))
-            if table is None:
-                table = predecode(fragment)
-                tables[id(fragment)] = table
+                                             entry.width, offset,
+                                             encoded=key[2],
+                                             macro=engine == "macro")
+                block_tables[key] = cached
+            fragment, table, blocks, plan = cached
+        elif engine in ("fast", "turbo", "macro") and tables is not None:
+            key = (entry.function, entry.width, entry.encoded_bytes())
+            cached = tables.get(key)
+            if cached is None:
+                cached = (fragment, predecode(fragment))
+                tables[key] = cached
+            fragment, table = cached
         frag_state = MachineState(fragment, state.memory, state.symbols,
                                   vector_width=entry.width)
         frag_state.regs = state.regs  # architectural scalar state is shared
@@ -463,6 +478,23 @@ class Machine:
         max_steps = self.config.max_steps
         account_block = pipeline.account_block
         while frag_state.pc < count:
+            if plan is not None:
+                # Macro engine: a recognized counted loop headed here is
+                # executed whole — all remaining trips as one numpy
+                # kernel plus one batched timing call.  trips()/run()
+                # return None/False for anything the whole-array form
+                # cannot reproduce bit-identically; the per-block path
+                # below then takes over, raising any error that is
+                # actually due at its exact instruction.  The guard uses
+                # the same near-max_steps fallback as the block path.
+                kernel = plan.get(frag_state.pc)
+                if kernel is not None:
+                    trips = kernel.trips(frag_state)
+                    if trips is not None \
+                            and guard + trips * kernel.blen <= max_steps \
+                            and kernel.run(frag_state, pipeline, trips):
+                        guard += trips * kernel.blen
+                        continue
             if blocks is not None:
                 block = blocks.block_at(frag_state.pc)
                 if guard + block.count <= max_steps:

@@ -1,0 +1,131 @@
+"""Property tests: ``Cache.access_stream`` vs. the sequential loop.
+
+``memory/cache.py`` grew a batched entry point for the macro-kernel
+layer: :meth:`Cache.access_stream` must return exactly the latencies the
+per-access :meth:`Cache.access` loop would, and leave the cache in
+exactly the state the loop would — same statistics, same generation
+tick, same LRU-ordered residency per set (which pins future victim
+choices), same dirty bits.  The fast path only handles eviction-free
+streams and falls back to the sequential replay otherwise, so this
+suite drives both a geometry that *forces* the fallback (tiny
+associativity under address pressure) and one where the vectorized path
+always applies (the shipped 64-way geometry over a compact footprint),
+plus directed edge cases: empty streams, line-straddling accesses, and
+warm-cache residency.
+"""
+
+from __future__ import annotations
+
+import random
+
+from hypothesis import given, settings, strategies as st
+
+from repro.memory.cache import Cache, CacheConfig
+
+
+def _drive_pair(config: CacheConfig, warmup, stream) -> None:
+    """Warm two caches identically, then batch vs. loop the stream."""
+    seq = Cache(config)
+    vec = Cache(config)
+    for addr, nbytes, is_write in warmup:
+        assert seq.access(addr, nbytes, is_write) == \
+            vec.access(addr, nbytes, is_write)
+    expected = [seq.access(a, n, w) for a, n, w in stream]
+    got = vec.access_stream([a for a, _, _ in stream],
+                            [n for _, n, _ in stream],
+                            [w for _, _, w in stream])
+    assert got.tolist() == expected
+    assert vec.stats.to_dict() == seq.stats.to_dict()
+    # The generation tick and per-set stamp *ordering* must match too:
+    # they decide every future eviction, so equality here means the two
+    # caches stay interchangeable for the rest of a run.
+    assert vec._tick == seq._tick
+    for set_index in range(config.num_sets):
+        assert vec.resident(set_index) == seq.resident(set_index), \
+            f"set {set_index} residency diverged"
+        assert vec._dirty[set_index] == seq._dirty[set_index], \
+            f"set {set_index} dirty bits diverged"
+
+
+def _random_stream(rng: random.Random, config: CacheConfig, length: int,
+                   span: int):
+    stream = []
+    for _ in range(length):
+        addr = rng.randrange(span)
+        nbytes = rng.choice((1, 2, 4, 8, config.line_bytes,
+                             config.line_bytes * 2))
+        stream.append((addr, nbytes, rng.random() < 0.4))
+    return stream
+
+
+TINY_GEOMETRIES = st.tuples(
+    st.sampled_from((1, 2)),              # assoc: evictions guaranteed
+    st.sampled_from((16, 32)),            # line_bytes
+    st.sampled_from((2, 4, 8)),           # num_sets
+)
+
+
+@given(geometry=TINY_GEOMETRIES, seed=st.integers(0, 2**32 - 1))
+@settings(max_examples=60, deadline=None)
+def test_stream_matches_loop_with_evictions(geometry, seed):
+    """Address pressure on tiny sets: the eviction fallback path."""
+    assoc, line_bytes, num_sets = geometry
+    config = CacheConfig(size_bytes=assoc * line_bytes * num_sets,
+                         assoc=assoc, line_bytes=line_bytes,
+                         hit_latency=1, miss_penalty=30)
+    rng = random.Random(seed)
+    span = config.size_bytes * 3
+    warmup = _random_stream(rng, config, 40, span)
+    stream = _random_stream(rng, config, 120, span)
+    _drive_pair(config, warmup, stream)
+
+
+@given(seed=st.integers(0, 2**32 - 1))
+@settings(max_examples=40, deadline=None)
+def test_stream_matches_loop_eviction_free(seed):
+    """The shipped 64-way geometry over a footprint it can fully hold:
+    per-set occupancy never exceeds the associativity, so the batched
+    call resolves on the vectorized fast path."""
+    config = CacheConfig()  # 16 KB, 64-way, 32 B lines
+    rng = random.Random(seed)
+    span = config.size_bytes // 2  # fits: at most num_sets*assoc lines
+    warmup = _random_stream(rng, config, 60, span)
+    stream = _random_stream(rng, config, 200, span)
+    _drive_pair(config, warmup, stream)
+
+
+def test_empty_stream_is_a_no_op():
+    cache = Cache(CacheConfig())
+    out = cache.access_stream([], [], [])
+    assert out.shape == (0,)
+    assert cache.stats.accesses == 0
+    assert cache._tick == 0
+
+
+def test_straddling_access_charges_per_line():
+    """A 64-byte access over 32-byte lines costs two line accesses, and
+    the batched per-access latency is their sum — same as access()."""
+    config = CacheConfig(size_bytes=4 * 1024, assoc=4, line_bytes=32,
+                         hit_latency=1, miss_penalty=30)
+    _drive_pair(config, [], [(16, 64, False), (16, 64, False),
+                             (40, 8, True)])
+
+
+def test_fast_path_taken_when_eviction_free():
+    """Directed: on a warm eviction-free stream the vectorized path must
+    answer without ever replaying single-line accesses."""
+    config = CacheConfig(size_bytes=1024, assoc=8, line_bytes=32)
+    cache = Cache(config)
+    stream = [(i * 4, 4, i % 3 == 0) for i in range(64)]
+    for addr, nbytes, is_write in stream:
+        cache.access(addr, nbytes, is_write)
+
+    def boom(line_number, is_write):  # pragma: no cover - fails the test
+        raise AssertionError("fast path should not replay per line")
+
+    cache._access_line_number = boom
+    lat = cache.access_stream([a for a, _, _ in stream],
+                              [n for _, n, _ in stream],
+                              [w for _, _, w in stream])
+    # Everything is resident after the warmup loop: all hits.
+    assert lat.tolist() == [config.hit_latency] * len(stream)

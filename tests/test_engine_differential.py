@@ -1,7 +1,9 @@
-"""Differential conformance suite: fast / turbo / reference engines.
+"""Differential conformance suite: fast / turbo / macro / reference.
 
-The pre-decoded fast engine (``engine="fast"``) and the superblock-fused
-turbo engine (``engine="turbo"``) must be observationally
+The pre-decoded fast engine (``engine="fast"``), the superblock-fused
+turbo engine (``engine="turbo"``) and the whole-loop macro engine
+(``engine="macro"``, turbo plus ``repro.interp.macro`` fragment
+kernels) must be observationally
 indistinguishable from the reference interpreter — not just "same final
 arrays" but the same *complete* execution record:
 
@@ -21,7 +23,10 @@ timing — the untraced ``to_dict()`` comparison below is what exercises
 the fused path.
 
 Every kernel of the paper's benchmark suite is swept at hardware widths
-2/4/8 (width 16 rides behind the ``slow`` marker).  This is the
+2/4/8 (width 16 rides behind the ``slow`` marker).  The macro engine's
+untraced comparison is the one that exercises whole-loop fragment
+kernels, batched d-cache streams (``Cache.access_stream``) and folded
+loop timing (``PipelineModel.account_loop``).  This is the
 equivalence contract described in docs/execution-engines.md; any
 optimization to the fast or turbo engines must keep this suite green.
 """
@@ -68,6 +73,7 @@ def _assert_identical(program, width):
     fast, fast_events = _run(program, width, "fast")
     ref, ref_events = _run(program, width, "reference")
     turbo, turbo_events = _run(program, width, "turbo")
+    macro, macro_events = _run(program, width, "macro")
 
     assert fast.arrays == ref.arrays
     assert fast.cycles == ref.cycles
@@ -77,9 +83,11 @@ def _assert_identical(program, width):
     assert dataclasses.asdict(fast.icache) == dataclasses.asdict(ref.icache)
     assert dataclasses.asdict(fast.dcache) == dataclasses.asdict(ref.dcache)
 
-    # Traced turbo must take the per-instruction path: the full
+    # Traced turbo/macro must take the per-instruction path: the full
     # serialized result and every event must match the other engines.
     assert turbo.to_dict() == fast.to_dict() == ref.to_dict()
+    assert macro.to_dict() == ref.to_dict()
+    assert len(macro_events) == len(ref_events)
 
     assert len(fast_events) == len(ref_events) == len(turbo_events)
     for i, ((f_src, f_ev), (r_src, r_ev), (t_src, t_ev)) in enumerate(
@@ -91,10 +99,12 @@ def _assert_identical(program, width):
                              f"{t_ev} != {r_ev}"
 
     # Untraced runs exercise turbo's fused superblock path (batched
-    # account_block timing, zero-allocation retirement): the complete
-    # serialized RunResult must still be bit-identical.
+    # account_block timing, zero-allocation retirement) and the macro
+    # engine's whole-loop fragment kernels: the complete serialized
+    # RunResult must still be bit-identical.
     assert _run_untraced(program, width, "turbo") == \
         _run_untraced(program, width, "fast") == ref.to_dict()
+    assert _run_untraced(program, width, "macro") == ref.to_dict()
 
 
 @pytest.mark.parametrize("width", WIDTHS)
@@ -117,10 +127,12 @@ def test_scalar_machine_engines_identical():
     fast = Machine(MachineConfig(engine="fast")).run(program)
     ref = Machine(MachineConfig(engine="reference")).run(program)
     turbo = Machine(MachineConfig(engine="turbo")).run(program)
+    macro = Machine(MachineConfig(engine="macro")).run(program)
     assert fast.arrays == ref.arrays
     assert fast.cycles == ref.cycles
     assert fast.instructions == ref.instructions
     assert turbo.to_dict() == fast.to_dict() == ref.to_dict()
+    assert macro.to_dict() == ref.to_dict()
 
 
 @pytest.mark.parametrize("variant", [
@@ -136,6 +148,6 @@ def test_turbo_identical_across_translator_configs(variant):
     results = [
         Machine(MachineConfig(accelerator=config_for_width(4),
                               engine=engine, **variant)).run(program).to_dict()
-        for engine in ("fast", "turbo")
+        for engine in ("fast", "turbo", "macro")
     ]
-    assert results[0] == results[1]
+    assert results[0] == results[1] == results[2]

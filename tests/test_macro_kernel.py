@@ -1,0 +1,231 @@
+"""Macro-kernel layer: shape recognition, fallback, cache identity.
+
+Three angles on ``repro/interp/macro.py``:
+
+* **Recognition** — the loops the dynamic translator actually emits
+  (canonical do-while: affine ``vld``/``vst``, vector ALU body, counted
+  back-branch) must produce a whole-loop plan, with the shape's facts
+  (head, body length, induction register, trip count) matching the
+  fragment text.
+
+* **Rejection** — any deviation from the canonical shape must yield
+  *no* plan, never a wrong kernel: the per-block path is the safety
+  net, so the analyzer's only legal failure mode is declining.  Each
+  case here mutates one facet of a real translated fragment.
+
+* **Run-cache identity (ISSUE 4 satellite)** — ``CACHE_FORMAT_VERSION``
+  was deliberately not bumped: macro-engine results are bit-identical,
+  run keys are engine-invariant, and a macro run answers straight from
+  entries a turbo run wrote (zero re-simulations on a warm cache).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro.core.scalarize import build_liquid_program
+from repro.evaluation.experiments import EvalContext
+from repro.evaluation.runcache import RunCache, run_key
+from repro.evaluation.runner import RunScheduler, build_request_program
+from repro.interp.turbo import fragment_tables_for
+from repro.isa.instructions import Imm, Mem, Reg, Sym
+from repro.kernels.suite import build_kernel
+from repro.pipeline.core import PipelineModel
+from repro.simd.accelerator import config_for_width
+from repro.system.machine import Machine, MachineConfig
+
+WIDTH = 8
+OFFSET = 1 << 20  # arbitrary fragment PC offset, as the machine assigns
+
+
+def _translated_entries(kernel_name):
+    """Run *kernel_name* once and return its completed translations."""
+    program = build_liquid_program(build_kernel(kernel_name))
+    config = MachineConfig(accelerator=config_for_width(WIDTH),
+                           engine="turbo")
+    result = Machine(config).run(program)
+    entries = [t.entry for t in result.translations
+               if t.ok and t.entry is not None]
+    assert entries, f"{kernel_name}: no completed translations"
+    return entries
+
+
+def _plan_for(fragment, width=WIDTH, macro=True):
+    _, _, _, plan = fragment_tables_for(
+        fragment, PipelineModel(), width, OFFSET, macro=macro)
+    return plan
+
+
+# -- recognition --------------------------------------------------------------
+
+@pytest.mark.parametrize("kernel_name", ["FIR", "FFT", "LU"])
+def test_translated_loops_are_recognized(kernel_name):
+    """Every loop the translator emits for these kernels matches the
+    canonical shape: the plan covers each backward ``blt``."""
+    for entry in _translated_entries(kernel_name):
+        fragment = entry.fragment
+        plan = _plan_for(fragment, entry.width)
+        assert plan, f"{entry.function}: no whole-loop plan"
+        back_branches = [
+            pc for pc, instr in enumerate(fragment.instructions)
+            if instr.opcode == "blt"
+            and fragment.labels.get(instr.target, pc + 1) <= pc]
+        assert sorted(k.branch_pc for k in plan.values()) == back_branches
+
+
+def test_fir_shape_facts():
+    """The FIR fragment's single loop, checked field by field."""
+    entry, = _translated_entries("FIR")
+    fragment = entry.fragment
+    plan = _plan_for(fragment)
+    head = fragment.labels["u16"]
+    assert set(plan) == {head}
+    shape = plan[head]
+    branch_pc = next(pc for pc, i in enumerate(fragment.instructions)
+                     if i.opcode == "blt")
+    assert shape.branch_pc == branch_pc
+    assert shape.blen == branch_pc - head + 1
+    assert shape.width == entry.width
+    # induction register and trip count from the add/cmp pair
+    cmp_instr = fragment.instructions[branch_pc - 1]
+    assert shape.induction == cmp_instr.srcs[0].name
+    assert shape.trip == cmp_instr.srcs[1].value
+
+
+def test_turbo_gets_no_plan():
+    """Without macro=True the memo entry carries plan=None — the turbo
+    engine must never take the whole-loop path."""
+    entry, = _translated_entries("FIR")
+    assert _plan_for(entry.fragment, macro=False) is None
+
+
+# -- rejection ----------------------------------------------------------------
+
+def _mutate(fragment, pc, **changes):
+    """Copy *fragment* with instruction *pc* replaced field-wise."""
+    clone = dataclasses.replace(fragment.instructions[pc], **changes) \
+        if changes else fragment.instructions[pc]
+    copied = type(fragment)(fragment.name)
+    copied.instructions = list(fragment.instructions)
+    copied.instructions[pc] = clone
+    copied.labels = dict(fragment.labels)
+    copied.data = dict(fragment.data)
+    copied.entry = fragment.entry
+    return copied
+
+
+@pytest.fixture(scope="module")
+def fir_fragment():
+    entry, = _translated_entries("FIR")
+    return entry.fragment
+
+
+def _pc_of(fragment, opcode):
+    return next(pc for pc, i in enumerate(fragment.instructions)
+                if i.opcode == opcode)
+
+
+def test_reject_non_affine_address(fir_fragment):
+    """A load not indexed by the induction register is not streamable."""
+    pc = _pc_of(fir_fragment, "vld")
+    instr = fir_fragment.instructions[pc]
+    bad = _mutate(fir_fragment, pc,
+                  mem=Mem(base=instr.mem.base, index=Imm(0)))
+    assert _plan_for(bad) is None
+
+
+def test_reject_loop_carried_vreg(fir_fragment):
+    """A vector register read before its in-body definition carries a
+    dependence across trips — whole-array evaluation would be wrong."""
+    pc = _pc_of(fir_fragment, "vmul")
+    instr = fir_fragment.instructions[pc]
+    bad = _mutate(fir_fragment, pc, srcs=(instr.dst, instr.srcs[1]))
+    assert _plan_for(bad) is None
+
+
+def test_reject_non_immediate_trip(fir_fragment):
+    """A register-valued loop bound can change mid-loop; the trip count
+    must be a literal."""
+    pc = _pc_of(fir_fragment, "cmp")
+    instr = fir_fragment.instructions[pc]
+    bad = _mutate(fir_fragment, pc, srcs=(instr.srcs[0], Reg("r5")))
+    assert _plan_for(bad) is None
+
+
+def test_reject_step_not_width(fir_fragment):
+    """The induction step must equal the vector width (disjoint per-trip
+    memory windows are what make batched execution order-safe)."""
+    pc = _pc_of(fir_fragment, "add")
+    instr = fir_fragment.instructions[pc]
+    bad = _mutate(fir_fragment, pc, srcs=(instr.srcs[0], Imm(4)))
+    assert _plan_for(bad) is None
+
+
+def test_reject_unsupported_opcode(fir_fragment):
+    """An opcode the kernel builder cannot lower declines the loop
+    (veor is a real ISA opcode, but has no float-elementwise lowering)."""
+    pc = _pc_of(fir_fragment, "vmul")
+    bad = _mutate(fir_fragment, pc, opcode="veor")
+    assert _plan_for(bad) is None
+
+
+def test_reject_accumulator_bank_mismatch(fir_fragment):
+    """A float reduction into an integer scalar register is malformed;
+    the analyzer must decline rather than guess."""
+    pc = _pc_of(fir_fragment, "vredsum")
+    instr = fir_fragment.instructions[pc]
+    bad = _mutate(fir_fragment, pc, dst=Reg("r1"),
+                  srcs=(Reg("r1"), instr.srcs[1]))
+    assert _plan_for(bad) is None
+
+
+# -- run-cache identity (no CACHE_FORMAT_VERSION bump) ------------------------
+
+SUBSET = ["FIR", "LU"]
+
+
+def _prefetch_subset(engine, cache_dir):
+    scheduler = RunScheduler(jobs=1, cache=RunCache(cache_dir))
+    ctx = EvalContext(SUBSET, engine=engine, scheduler=scheduler)
+    requests = [ctx.liquid_request(name, WIDTH) for name in SUBSET]
+    ctx.prefetch(requests)
+    return ctx, requests, scheduler
+
+
+def test_macro_run_cache_byte_identity(tmp_path, monkeypatch):
+    """Macro-engine cache entries are byte-identical to turbo's, and a
+    macro context answers from a turbo-written cache without simulating."""
+    turbo_dir = tmp_path / "turbo"
+    macro_dir = tmp_path / "macro"
+    _, turbo_requests, _ = _prefetch_subset("turbo", turbo_dir)
+    _, macro_requests, _ = _prefetch_subset("macro", macro_dir)
+
+    turbo_cache = RunCache(turbo_dir)
+    macro_cache = RunCache(macro_dir)
+    for turbo_req, macro_req in zip(turbo_requests, macro_requests):
+        turbo_key = run_key(build_request_program(turbo_req),
+                            turbo_req.config)
+        macro_key = run_key(build_request_program(macro_req),
+                            macro_req.config)
+        assert turbo_key == macro_key, "run keys must be engine-invariant"
+        assert turbo_cache.path_for(turbo_key).read_bytes() == \
+            macro_cache.path_for(macro_key).read_bytes(), \
+            f"{turbo_req.benchmark}: cached bytes differ across engines"
+
+    machine_runs = []
+    real_run = Machine.run
+    monkeypatch.setattr(
+        Machine, "run",
+        lambda self, program: machine_runs.append(program.name)
+        or real_run(self, program))
+    warm_ctx, warm_requests, warm_scheduler = _prefetch_subset(
+        "macro", turbo_dir)
+    assert machine_runs == [], \
+        f"macro re-simulated despite turbo-written cache: {machine_runs}"
+    assert warm_scheduler.stats.cache_hits == len(SUBSET)
+    assert warm_scheduler.stats.executed == 0
+    warm_cycles = {r.benchmark: warm_ctx.run_request(r).cycles
+                   for r in warm_requests}
+    assert set(warm_cycles) == set(SUBSET)
