@@ -10,6 +10,12 @@ Subcommands:
   Figure 6 row plus translation outcomes.
 * ``cache``     — inspect (``cache info``) or empty (``cache clear``)
   the persistent run cache (docs/evaluation-runner.md).
+* ``telemetry`` — run one benchmark with the observability registry
+  enabled and dump its counters/histograms/spans
+  (docs/observability.md), as text or ``--json``.
+* ``bench``     — ``bench compare OLD.json NEW.json`` diffs two
+  benchmark payloads (the ``BENCH_*.json`` files benchmarks/ writes)
+  and exits nonzero on speedup regressions beyond ``--tolerance``.
 """
 
 from __future__ import annotations
@@ -72,6 +78,61 @@ def _cmd_cache(args) -> int:
     return 0
 
 
+def _cmd_telemetry(args) -> int:
+    import json
+
+    from repro.observability import telemetry
+
+    kernel = build_kernel(args.benchmark)
+    program = (build_baseline_program(kernel) if args.program == "baseline"
+               else build_liquid_program(kernel))
+    accelerator = (config_for_width(args.width) if args.program == "liquid"
+                   else None)
+    config = MachineConfig(accelerator=accelerator, engine=args.engine)
+    tel = telemetry.enable()
+    try:
+        result = Machine(config).run(program)
+    finally:
+        telemetry.disable()
+    if args.json:
+        payload = tel.to_dict()
+        payload["run"] = {
+            "program": result.program,
+            "config": result.config,
+            "engine": args.engine,
+            "cycles": result.cycles,
+            "telemetry": result.telemetry,
+        }
+        print(json.dumps(payload, indent=2, sort_keys=True))
+    else:
+        print(f"{result.program} on {result.config} ({args.engine}): "
+              f"{result.cycles:,} cycles in "
+              f"{result.telemetry['wall_seconds']:.3f}s")
+        print(tel.render_text())
+    return 0
+
+
+def _cmd_bench_compare(args) -> int:
+    import json
+
+    from repro.observability.benchdiff import (
+        compare_files,
+        render_comparison,
+    )
+
+    try:
+        comparison = compare_files(args.old, args.new,
+                                   tolerance=args.tolerance / 100.0)
+    except (OSError, ValueError) as exc:
+        print(f"bench compare: {exc}", file=sys.stderr)
+        return 2
+    if args.json:
+        print(json.dumps(comparison.to_dict(), indent=2, sort_keys=True))
+    else:
+        print(render_comparison(comparison))
+    return 0 if comparison.ok else 1
+
+
 def main(argv=None) -> int:
     argv = list(sys.argv[1:] if argv is None else argv)
     if argv and argv[0] == "evaluate":
@@ -101,6 +162,37 @@ def main(argv=None) -> int:
                          help="cache directory (default: $REPRO_CACHE_DIR "
                               "or ~/.cache/repro-liquid-simd)")
 
+    tel_p = sub.add_parser(
+        "telemetry",
+        help="run one benchmark with telemetry enabled and dump the "
+             "counter/histogram/span registry")
+    tel_p.add_argument("benchmark", choices=BENCHMARK_ORDER)
+    tel_p.add_argument("--width", type=int, default=8,
+                       help="accelerator width (default: 8)")
+    tel_p.add_argument("--engine", default="macro",
+                       help="execution engine (default: macro)")
+    tel_p.add_argument("--program", choices=("liquid", "baseline"),
+                       default="liquid",
+                       help="program form to run (default: liquid)")
+    tel_p.add_argument("--json", action="store_true",
+                       help="emit the registry as JSON instead of text")
+
+    bench_p = sub.add_parser(
+        "bench", help="benchmark payload utilities (bench compare)")
+    bench_sub = bench_p.add_subparsers(dest="bench_command", required=True)
+    cmp_p = bench_sub.add_parser(
+        "compare",
+        help="diff two BENCH_*.json payloads; exit 1 on speedup "
+             "regressions beyond --tolerance, 2 on unreadable input")
+    cmp_p.add_argument("old", help="baseline payload (BENCH_*.json)")
+    cmp_p.add_argument("new", help="candidate payload (BENCH_*.json)")
+    cmp_p.add_argument("--tolerance", type=float, default=10.0,
+                       metavar="PCT",
+                       help="allowed speedup drop in percent "
+                            "(default: 10)")
+    cmp_p.add_argument("--json", action="store_true",
+                       help="emit the comparison as JSON instead of text")
+
     args = parser.parse_args(argv)
     if args.command == "list":
         return _cmd_list(args)
@@ -108,6 +200,10 @@ def main(argv=None) -> int:
         return _cmd_run(args)
     if args.command == "cache":
         return _cmd_cache(args)
+    if args.command == "telemetry":
+        return _cmd_telemetry(args)
+    if args.command == "bench":
+        return _cmd_bench_compare(args)
     return 2  # pragma: no cover
 
 

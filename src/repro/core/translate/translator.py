@@ -53,6 +53,7 @@ from repro.isa.opcodes import (
     InstrClass,
 )
 from repro.isa.program import Program
+from repro.observability import telemetry as _telemetry
 from repro.isa.registers import (
     is_float_reg,
     is_int_reg,
@@ -248,6 +249,7 @@ class DynamicTranslator:
 
     def begin(self, function: str) -> None:
         self.function = function
+        _telemetry.get().count("translate.attempts")
 
     def abort_external(self) -> None:
         """Pipeline abort input (context switch / interrupt)."""
@@ -292,12 +294,18 @@ class DynamicTranslator:
                                      reason=self.aborted,
                                      observed_static=observed,
                                      detail=self.abort_detail)
+        tel = _telemetry.get()
+        tel.count("translate.ok")
+        tel.observe("translate.observed_static", observed)
         return TranslationResult(self.function or "?", ok=True, entry=entry,
                                  observed_static=observed)
 
     # -- abort plumbing ----------------------------------------------------------
 
     def _record_abort(self, reason: AbortReason, detail: str = "") -> None:
+        # At most one abort is recorded per attempt (observe() stops
+        # feeding once aborted), so this counts attempts, not events.
+        _telemetry.get().count("translate.abort." + reason.value)
         self.aborted = reason
         self.abort_detail = detail
         self.regs.flush()

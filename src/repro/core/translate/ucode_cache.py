@@ -15,6 +15,7 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional
 
 from repro.isa.program import Program
+from repro.observability import telemetry as _telemetry
 
 
 @dataclass
@@ -140,6 +141,13 @@ class MicrocodeCache:
             self.stats.evictions += 1
         self._entries[entry.function] = entry
         self._lru.append(entry.function)
+        # Inserts are rare (one per completed translation), so occupancy
+        # sampled here traces the cache's fill curve over a run.
+        tel = _telemetry.get()
+        tel.count("ucode_cache.inserts")
+        tel.observe("ucode_cache.occupancy", len(self._entries))
+        if evicted is not None:
+            tel.count("ucode_cache.evictions")
         return evicted
 
     def lookup(self, function: str, now: int) -> Optional[MicrocodeEntry]:

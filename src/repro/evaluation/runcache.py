@@ -43,6 +43,7 @@ from typing import Optional, Union
 
 from repro.isa.encoding import encode_program
 from repro.isa.program import Program
+from repro.observability import telemetry as _telemetry
 from repro.system.machine import MachineConfig
 from repro.system.metrics import RunResult
 
@@ -190,31 +191,43 @@ class RunCache:
             result = RunResult.from_dict(payload["result"])
         except FileNotFoundError:
             self.stats.misses += 1
+            _telemetry.get().count("runcache.misses")
             return None
         except (OSError, ValueError, KeyError, TypeError):
             self.stats.errors += 1
             self.stats.misses += 1
+            tel = _telemetry.get()
+            tel.count("runcache.errors")
+            tel.count("runcache.misses")
             try:
                 path.unlink()
             except OSError:
                 pass
             return None
         self.stats.hits += 1
+        _telemetry.get().count("runcache.hits")
         return result
 
     def store(self, key: str, result: RunResult) -> None:
         """Atomically persist *result* under *key*."""
         path = self.path_for(key)
         path.parent.mkdir(parents=True, exist_ok=True)
+        # Telemetry is observational metadata about *how* a run was
+        # simulated, not part of the (engine-invariant, deterministic)
+        # result — strip it so telemetry-on and telemetry-off runs
+        # persist byte-identical entries under the same key.
+        wire = result.to_dict()
+        wire.pop("telemetry", None)
         payload = json.dumps(
             {"format_version": CACHE_FORMAT_VERSION, "key": key,
-             "result": result.to_dict()},
+             "result": wire},
             separators=(",", ":"),
         )
         tmp = path.with_suffix(f".tmp.{os.getpid()}")
         tmp.write_text(payload, encoding="utf-8")
         os.replace(tmp, path)
         self.stats.stores += 1
+        _telemetry.get().count("runcache.stores")
 
     # -- maintenance (the ``repro cache`` subcommand) -------------------------
 

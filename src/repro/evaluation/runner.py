@@ -30,7 +30,7 @@ from __future__ import annotations
 import os
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Dict, Iterable, List, Optional, Tuple
 
 from repro.core.scalarize import (
     DEFAULT_MVL,
@@ -39,6 +39,7 @@ from repro.core.scalarize import (
 )
 from repro.evaluation.runcache import RunCache, run_key
 from repro.isa.program import Program
+from repro.observability import telemetry as _telemetry
 from repro.kernels.suite import build_kernel
 from repro.system.machine import Machine, MachineConfig
 from repro.system.metrics import RunResult
@@ -154,32 +155,39 @@ class RunScheduler:
         self.stats.requested += len(ordered)
         self.stats.deduplicated += len(ordered) - len(unique)
 
+        # Spans (docs/observability.md): one per batch plus a nested one
+        # around the simulate phase — memo/cache lookups stay untimed so
+        # "scheduler.batch.simulate" isolates actual simulation time.
+        tel = _telemetry.get()
         results: Dict[RunRequest, RunResult] = {}
-        pending: List[Tuple[RunRequest, Optional[str]]] = []
-        for request in unique:
-            memo = self._memo.get(request)
-            if memo is not None:
-                self.stats.memo_hits += 1
-                results[request] = memo
-                continue
-            key = None
-            if self.cache is not None:
-                key = self._key_for(request)
-                hit = self.cache.load(key)
-                if hit is not None:
-                    self.stats.cache_hits += 1
-                    self._memo[request] = hit
-                    results[request] = hit
+        with tel.span("scheduler.batch"):
+            pending: List[Tuple[RunRequest, Optional[str]]] = []
+            for request in unique:
+                memo = self._memo.get(request)
+                if memo is not None:
+                    self.stats.memo_hits += 1
+                    results[request] = memo
                     continue
-            pending.append((request, key))
+                key = None
+                if self.cache is not None:
+                    key = self._key_for(request)
+                    hit = self.cache.load(key)
+                    if hit is not None:
+                        self.stats.cache_hits += 1
+                        self._memo[request] = hit
+                        results[request] = hit
+                        continue
+                pending.append((request, key))
 
-        if len(pending) > 1 and self.jobs > 1:
-            self._execute_parallel(pending, results)
-        else:
-            for request, key in pending:
-                program = self._program_for(request)
-                self._finish(request, key, execute_request(request, program),
-                             results)
+            with tel.span("simulate"):
+                if len(pending) > 1 and self.jobs > 1:
+                    self._execute_parallel(pending, results)
+                else:
+                    for request, key in pending:
+                        program = self._program_for(request)
+                        self._finish(request, key,
+                                     execute_request(request, program),
+                                     results)
         return results
 
     # -- internals ------------------------------------------------------------

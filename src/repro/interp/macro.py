@@ -46,6 +46,7 @@ from typing import Dict, List, Optional, Tuple
 import numpy as np
 
 from repro import arith
+from repro.observability import telemetry as _telemetry
 from repro.isa.decoded import (
     VEC_BINARY_OPS,
     VEC_PERM_OPS,
@@ -70,6 +71,19 @@ MIN_MACRO_TRIPS = 2
 
 def _kind(elem: Optional[str]) -> str:
     return "f" if elem == "f32" else "i"
+
+
+def _reject(reason: str):
+    """Record one recognition rejection and return None.
+
+    Plan construction is memoized per fragment bytes (cold), so the
+    telemetry call — a no-op through the disabled shim — costs nothing
+    on the execution path.  Reasons form the
+    ``macro.plan.rejected.<reason>`` counter family
+    (docs/observability.md).
+    """
+    _telemetry.get().count("macro.plan.rejected." + reason)
+    return None
 
 
 def _full(arr: np.ndarray, n: int) -> np.ndarray:
@@ -453,26 +467,26 @@ def _analyze_loop(fragment, head: int, branch_pc: int,
     outside the canonical translated form."""
     instrs = fragment.instructions
     if branch_pc - head < 3:
-        return None
+        return _reject("loop-too-short")
     cmp_i = instrs[branch_pc - 1]
     add_i = instrs[branch_pc - 2]
     if (cmp_i.opcode != "cmp" or len(cmp_i.srcs) != 2
             or add_i.opcode != "add" or add_i.dst is None
             or len(add_i.srcs) != 2):
-        return None
+        return _reject("bad-header")
     ind_op = add_i.srcs[0]
     if not (isinstance(ind_op, Reg) and is_int_reg(ind_op.name)
             and add_i.dst.name == ind_op.name):
-        return None
+        return _reject("bad-header")
     induction = ind_op.name
     step = add_i.srcs[1]
     if not (isinstance(step, Imm) and step.value == width):
-        return None
+        return _reject("step-not-width")
     if not (isinstance(cmp_i.srcs[0], Reg)
             and cmp_i.srcs[0].name == induction
             and isinstance(cmp_i.srcs[1], Imm)
             and isinstance(cmp_i.srcs[1].value, int)):
-        return None
+        return _reject("bad-header")
     trip = int(cmp_i.srcs[1].value)
 
     # Vector registers written anywhere in the body: a read before the
@@ -515,10 +529,10 @@ def _analyze_loop(fragment, head: int, branch_pc: int,
         if op == "vld":
             if elem is None or ins.dst is None \
                     or not is_vector_reg(ins.dst.name):
-                return None
+                return _reject("bad-operand")
             sym = _affine_sym(ins.mem, induction)
             if sym is None:
-                return None
+                return _reject("non-affine-address")
             key = f"ld{pc}"
             ns[key] = _make_load(elem, width)
             site = len(sites)
@@ -529,11 +543,13 @@ def _analyze_loop(fragment, head: int, branch_pc: int,
             finals[dname] = elem
         elif op == "vst":
             if elem is None or not ins.srcs:
-                return None
+                return _reject("bad-operand")
             src = use_vec(ins.srcs[0], _kind(elem))
             sym = _affine_sym(ins.mem, induction)
-            if src is None or sym is None:
-                return None
+            if sym is None:
+                return _reject("non-affine-address")
+            if src is None:
+                return _reject("vector-dataflow")
             key = f"st{pc}"
             ns[key] = _make_store(elem)
             site = len(sites)
@@ -542,24 +558,26 @@ def _analyze_loop(fragment, head: int, branch_pc: int,
         elif op in VEC_BINARY_OPS:
             if ins.dst is None or len(ins.srcs) != 2 \
                     or not is_vector_reg(ins.dst.name):
-                return None
+                return _reject("bad-operand")
             kind = _kind(elem)
             a = use_vec(ins.srcs[0], kind)
             if a is None:
-                return None
+                return _reject("vector-dataflow")
             b_operand = ins.srcs[1]
             key = f"op{pc}"
             if isinstance(b_operand, Reg):
                 b = use_vec(b_operand, kind)
+                if b is None:
+                    return _reject("vector-dataflow")
                 fn = _make_binary(op, elem, None, width)
-                if b is None or fn is None:
-                    return None
+                if fn is None:
+                    return _reject("unsupported-lowering")
                 ns[key] = fn
                 emits.append(f"v_{ins.dst.name} = {key}({a}, {b})")
             else:
                 fn = _make_binary(op, elem, b_operand, width)
                 if fn is None:
-                    return None
+                    return _reject("unsupported-lowering")
                 ns[key] = fn
                 emits.append(f"v_{ins.dst.name} = {key}({a})")
             defined[ins.dst.name] = kind
@@ -567,12 +585,14 @@ def _analyze_loop(fragment, head: int, branch_pc: int,
         elif op in VEC_UNARY_OPS:
             if ins.dst is None or not ins.srcs \
                     or not is_vector_reg(ins.dst.name):
-                return None
+                return _reject("bad-operand")
             kind = _kind(elem)
             a = use_vec(ins.srcs[0], kind)
+            if a is None:
+                return _reject("vector-dataflow")
             fn = _make_unary(op, elem)
-            if a is None or fn is None:
-                return None
+            if fn is None:
+                return _reject("unsupported-lowering")
             key = f"op{pc}"
             ns[key] = fn
             emits.append(f"v_{ins.dst.name} = {key}({a})")
@@ -581,12 +601,14 @@ def _analyze_loop(fragment, head: int, branch_pc: int,
         elif op in VEC_PERM_OPS:
             if ins.dst is None or not ins.srcs \
                     or not is_vector_reg(ins.dst.name):
-                return None
+                return _reject("bad-operand")
             kind = _kind(elem)
             a = use_vec(ins.srcs[0], kind)
+            if a is None:
+                return _reject("vector-dataflow")
             fn = _make_perm(ins, width)
-            if a is None or fn is None:
-                return None
+            if fn is None:
+                return _reject("unsupported-lowering")
             key = f"op{pc}"
             ns[key] = fn
             emits.append(f"v_{ins.dst.name} = {key}({a})")
@@ -594,7 +616,7 @@ def _analyze_loop(fragment, head: int, branch_pc: int,
             finals[ins.dst.name] = elem
         elif op in VEC_RED_OPS:
             if ins.dst is None or len(ins.srcs) != 2:
-                return None
+                return _reject("bad-operand")
             dname = ins.dst.name
             acc_op = ins.srcs[0]
             # Canonical accumulator form only: dst == srcs[0], a scalar
@@ -604,23 +626,25 @@ def _analyze_loop(fragment, head: int, branch_pc: int,
                     or dname in accs
                     or not (isinstance(acc_op, Reg)
                             and acc_op.name == dname)):
-                return None
+                return _reject("bad-accumulator")
             kind = _kind(elem)
             if kind == "f" and not is_float_reg(dname):
-                return None
+                return _reject("bad-accumulator")
             if kind == "i" and not is_int_reg(dname):
-                return None
+                return _reject("bad-accumulator")
             vsrc = use_vec(ins.srcs[1], kind)
+            if vsrc is None:
+                return _reject("vector-dataflow")
             fn = _make_reduce(op, elem)
-            if vsrc is None or fn is None:
-                return None
+            if fn is None:
+                return _reject("unsupported-lowering")
             key = f"red{pc}"
             ns[key] = fn
             accs[dname] = True
             emits.append(
                 f"acc_{dname} = {key}(acc_{dname}, _full({vsrc}, n))")
         else:
-            return None
+            return _reject("unsupported-op")
 
     # Memory-ordering precondition for whole-array execution: every
     # trip's windows are disjoint across trips (stride == width
@@ -629,7 +653,7 @@ def _analyze_loop(fragment, head: int, branch_pc: int,
     store_syms = {sym for (sym, _esz, w) in sites if w}
     for sym in store_syms:
         if len({esz for (s, esz, _w) in sites if s == sym}) != 1:
-            return None
+            return _reject("mixed-elem-store")
 
     prologue = [f"acc_{name} = regs.read({name!r})" for name in accs]
     for name, kind in invariants.items():
@@ -759,6 +783,7 @@ def build_fragment_plan(fragment, blocks, pipeline,
     timing to — the superblock discovered at its head, guaranteeing the
     macro path and the per-block path account the very same rows.
     """
+    tel = _telemetry.get()
     plans: Dict[int, FragmentLoopShape] = {}
     instrs = fragment.instructions
     for pc, ins in enumerate(instrs):
@@ -769,14 +794,17 @@ def build_fragment_plan(fragment, blocks, pipeline,
             continue
         loop = _analyze_loop(fragment, head, pc, width)
         if loop is None:
-            continue
+            continue  # _analyze_loop counted the per-reason rejection
         timing = blocks.block_at(head).timing
         if (timing.fetch_mode != 0 or timing.term != 1
                 or timing.count != loop.blen
                 or len(timing.rows) != loop.blen):
-            continue  # superblock discovery disagreed: stay per-block
+            # superblock discovery disagreed: stay per-block
+            tel.count("macro.plan.rejected.timing-mismatch")
+            continue
         if timing.loop_compiled is None:
             timing.loop_compiled = _compile_loop_timing(timing, pipeline)
         loop.timing = timing
         plans[head] = loop
+        tel.count("macro.plan.recognized")
     return plans

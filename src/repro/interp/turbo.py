@@ -855,8 +855,29 @@ class SuperblockTable:
         n = len(self.instructions)
         self._quiet_cache: List[Optional[tuple]] = [None] * n
         self._blocks: Dict[int, FusedBlock] = {}
+        #: telemetry counters (docs/observability.md): every ``_build``
+        #: bumps ``compiles``; ``lookups`` advances only through
+        #: :meth:`block_at_counted`, which callers bind in place of
+        #: :meth:`block_at` when telemetry is enabled — the plain hot
+        #: path stays untouched when it is not.
+        self.lookups = 0
+        self.compiles = 0
 
     def block_at(self, pc: int) -> FusedBlock:
+        block = self._blocks.get(pc)
+        if block is None:
+            block = self._blocks[pc] = self._build(pc)
+        return block
+
+    def block_at_counted(self, pc: int) -> FusedBlock:
+        """:meth:`block_at` plus a fusion-table lookup count.
+
+        Tables are memoized across runs, so consumers snapshot
+        ``lookups`` / ``compiles`` around a run and report the deltas
+        (``turbo.superblock.*`` / ``turbo.fragment.*`` counters); a
+        lookup that triggers ``_build`` is the table's "miss".
+        """
+        self.lookups += 1
         block = self._blocks.get(pc)
         if block is None:
             block = self._blocks[pc] = self._build(pc)
@@ -1058,6 +1079,7 @@ class SuperblockTable:
         return tns["_timing"]
 
     def _build(self, entry: int) -> FusedBlock:
+        self.compiles += 1
         instructions = self.instructions
         metas = self.metas
         marked = self.marked

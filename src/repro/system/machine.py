@@ -23,6 +23,7 @@ Execution of one Liquid binary proceeds exactly as the paper describes:
 from __future__ import annotations
 
 import dataclasses
+import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
@@ -39,9 +40,10 @@ from repro.interp.turbo import (
     fragment_tables_for,
     superblock_table_for,
 )
-from repro.isa.decoded import DecodedProgram, predecode
+from repro.isa.decoded import predecode
 from repro.memory.memory import MemoryError_
 from repro.interp.state import MachineState
+from repro.observability import telemetry as _telemetry
 from repro.isa.program import Program
 from repro.pipeline.core import PipelineConfig, PipelineModel
 from repro.simd.accelerator import AcceleratorConfig
@@ -176,6 +178,15 @@ class Machine:
     def run(self, program: Program) -> RunResult:
         """Run *program* to its ``halt``; return the collected metrics."""
         config = self.config
+        # Observability (docs/observability.md): everything below is
+        # gated on ``tel.enabled`` — the disabled shim costs one local
+        # bool per *run*, never anything per instruction or per block.
+        tel = _telemetry.get()
+        tel_on = tel.enabled
+        run_mark = tel.marker() if tel_on else None
+        run_start = time.perf_counter() if tel_on else 0.0
+        if tel_on:
+            tel.count("machine.runs")
         memory, symbols = load_program(program, mvl=config.mvl)
         hw_width = (config.accelerator.width
                     if config.accelerator is not None else None)
@@ -233,15 +244,24 @@ class Machine:
         # iteration below) — both then take the identical per-instruction
         # fast path, whose events are eager.
         superblocks = None
+        block_lookup = None
+        sb_lookups0 = sb_compiles0 = 0
         if config.engine in ("turbo", "macro") and tracer is None:
             superblocks = superblock_table_for(executor.table, pipeline,
                                                marked_call, hw_width)
+            # Telemetry swaps in the counted lookup; the plain hot path
+            # is untouched when disabled.  Tables are memoized across
+            # runs, so per-run attribution needs a snapshot.
+            block_lookup = (superblocks.block_at_counted if tel_on
+                            else superblocks.block_at)
+            sb_lookups0 = superblocks.lookups
+            sb_compiles0 = superblocks.compiles
         account_block = pipeline.account_block
         while not state.halted:
             if superblocks is not None and translating is None:
                 pc = state.pc
                 if 0 <= pc < n_instr and not marked_call[pc]:
-                    block = superblocks.block_at(pc)
+                    block = block_lookup(pc)
                     # Near max_steps, fall through to the per-instruction
                     # path so the step-limit error fires at the exact
                     # instruction it would under the other engines.
@@ -346,6 +366,7 @@ class Machine:
                         result.reason = AbortReason.INCONSISTENT
                         result.detail = "verification replay mismatch"
                         result.entry = None
+                        tel.count("translate.verify-mismatch")
                     if result.ok and ucache is not None:
                         ucache.insert(result.entry)
                     elif result.reason is not AbortReason.EXTERNAL:
@@ -353,6 +374,12 @@ class Machine:
                         # violations are permanent.
                         blacklist.add(target)
                     translating = None
+
+        run_telemetry = None
+        if tel_on:
+            run_telemetry = self._flush_telemetry(
+                tel, run_mark, run_start, pipeline, superblocks,
+                sb_lookups0, sb_compiles0)
 
         return RunResult(
             program=program.name,
@@ -366,7 +393,47 @@ class Machine:
             ucode_cache=ucache.stats if ucache is not None else None,
             arrays=snapshot_arrays(program, memory, symbols),
             translations=translations,
+            telemetry=run_telemetry,
         )
+
+    def _flush_telemetry(self, tel, run_mark, run_start: float,
+                         pipeline: PipelineModel, superblocks,
+                         sb_lookups0: int, sb_compiles0: int) -> dict:
+        """Fold end-of-run totals into the registry; return this run's slice.
+
+        The pipeline and cache models keep their own per-run statistics;
+        mirroring them into the telemetry registry once per run gives
+        the ``repro telemetry`` dump one uniform counter namespace
+        (docs/observability.md) without touching their hot paths.
+        """
+        stats = pipeline.stats
+        tel.count("machine.cycles", pipeline.total_cycles())
+        tel.count("pipeline.instructions", stats.instructions)
+        tel.count("pipeline.simd_instructions", stats.simd_instructions)
+        tel.count("pipeline.data_stall_cycles", stats.data_stall_cycles)
+        tel.count("pipeline.fetch_stall_cycles", stats.fetch_stall_cycles)
+        tel.count("pipeline.load_miss_cycles", stats.load_miss_cycles)
+        tel.count("pipeline.branch_penalty_cycles",
+                  stats.branch_penalty_cycles)
+        tel.count("pipeline.branches", stats.branches)
+        tel.count("pipeline.mispredicts", stats.mispredicts)
+        for prefix, cache in (("icache", pipeline.icache),
+                              ("dcache", pipeline.dcache)):
+            cstats = cache.stats
+            tel.count(f"{prefix}.reads", cstats.reads)
+            tel.count(f"{prefix}.writes", cstats.writes)
+            tel.count(f"{prefix}.read_misses", cstats.read_misses)
+            tel.count(f"{prefix}.write_misses", cstats.write_misses)
+            tel.count(f"{prefix}.writebacks", cstats.writebacks)
+        if superblocks is not None:
+            tel.count("turbo.superblock.lookups",
+                      superblocks.lookups - sb_lookups0)
+            tel.count("turbo.superblock.compiles",
+                      superblocks.compiles - sb_compiles0)
+        elapsed = time.perf_counter() - run_start
+        tel.record_span("machine.run", elapsed)
+        return {"counters": tel.delta_since(run_mark),
+                "wall_seconds": elapsed}
 
     # -- translation verification --------------------------------------------------
 
@@ -477,6 +544,18 @@ class Machine:
         guard = 0
         max_steps = self.config.max_steps
         account_block = pipeline.account_block
+        # Telemetry: counted block lookups plus a snapshot for per-run
+        # attribution (fragment tables are memoized across runs).  One
+        # bool load per fragment invocation when disabled.
+        tel = _telemetry.get()
+        tel_on = tel.enabled
+        block_lookup = None
+        fb_lookups0 = fb_compiles0 = 0
+        if blocks is not None:
+            block_lookup = (blocks.block_at_counted if tel_on
+                            else blocks.block_at)
+            fb_lookups0 = blocks.lookups
+            fb_compiles0 = blocks.compiles
         while frag_state.pc < count:
             if plan is not None:
                 # Macro engine: a recognized counted loop headed here is
@@ -491,12 +570,22 @@ class Machine:
                 if kernel is not None:
                     trips = kernel.trips(frag_state)
                     if trips is not None \
-                            and guard + trips * kernel.blen <= max_steps \
-                            and kernel.run(frag_state, pipeline, trips):
-                        guard += trips * kernel.blen
-                        continue
+                            and guard + trips * kernel.blen <= max_steps:
+                        if kernel.run(frag_state, pipeline, trips):
+                            if tel_on:
+                                tel.count("macro.kernel.invocations")
+                                tel.observe("macro.kernel.trips", trips)
+                            guard += trips * kernel.blen
+                            continue
+                        elif tel_on:
+                            tel.count(
+                                "macro.fallback.runtime-precondition")
+                    elif tel_on:
+                        tel.count("macro.fallback.trips-window"
+                                  if trips is None
+                                  else "macro.fallback.step-limit")
             if blocks is not None:
-                block = blocks.block_at(frag_state.pc)
+                block = block_lookup(frag_state.pc)
                 if guard + block.count <= max_steps:
                     guard += block.count
                     try:
@@ -543,3 +632,8 @@ class Machine:
             )
             if self.tracer is not None:
                 self.tracer.record(event, source="ucode")
+        if tel_on and blocks is not None:
+            tel.count("turbo.fragment.lookups",
+                      blocks.lookups - fb_lookups0)
+            tel.count("turbo.fragment.compiles",
+                      blocks.compiles - fb_compiles0)

@@ -77,6 +77,12 @@ class RunResult:
     ucode_cache: Optional[MicrocodeCacheStats]
     arrays: Dict[str, list]
     translations: List[TranslationResult] = field(default_factory=list)
+    #: Per-run observability data (docs/observability.md), populated
+    #: only while telemetry is enabled: the run's counter deltas plus
+    #: its wall-clock seconds.  Purely additive to the wire format —
+    #: ``to_dict`` omits the key when None, the run cache strips it
+    #: before persisting, and it never affects run-cache keys.
+    telemetry: Optional[dict] = None
 
     def speedup_over(self, baseline: "RunResult") -> float:
         """Baseline cycles / this run's cycles."""
@@ -91,7 +97,7 @@ class RunResult:
         field bit-exactly — including microcode fragments and final
         array contents (floats survive JSON via repr round-tripping).
         """
-        return {
+        data = {
             "program": self.program,
             "config": self.config,
             "cycles": self.cycles,
@@ -107,6 +113,12 @@ class RunResult:
                        for name, values in self.arrays.items()},
             "translations": [t.to_dict() for t in self.translations],
         }
+        # Additive: present only when a telemetry-enabled run populated
+        # it, so payloads (and the run cache, which strips it anyway)
+        # are unchanged for telemetry-off runs.
+        if self.telemetry is not None:
+            data["telemetry"] = self.telemetry
+        return data
 
     @classmethod
     def from_dict(cls, data: dict) -> "RunResult":
@@ -126,6 +138,7 @@ class RunResult:
                     for name, values in data["arrays"].items()},
             translations=[TranslationResult.from_dict(t)
                           for t in data["translations"]],
+            telemetry=data.get("telemetry"),
         )
 
     @property

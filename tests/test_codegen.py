@@ -7,8 +7,8 @@ from repro.core.scalarize import (
     build_liquid_program,
     build_native_program,
 )
-from repro.core.scalarize.loop_ir import Kernel, ScalarBlock
-from repro.isa.instructions import Imm, Instruction, Reg, VImm
+from repro.core.scalarize.loop_ir import Kernel
+from repro.isa.instructions import Imm, VImm
 from repro.isa.program import DataArray
 from repro.kernels.dsl import LoopBuilder
 from repro.kernels.scalarwork import recurrence_block

@@ -3,8 +3,7 @@
 import pytest
 
 from repro.core.scalarize.loop_ir import Kernel
-from repro.isa.instructions import Imm, Reg, VImm
-from repro.isa.program import DataArray
+from repro.isa.instructions import Imm, VImm
 from repro.kernels.dsl import LoopBuilder
 from repro.kernels.scalarwork import (
     app_ballast,

@@ -7,7 +7,7 @@ from repro.interp.executor import (ExecutionError, Executor, FastExecutor,
 from repro.interp.state import MachineState, SymbolInfo, SymbolTable
 from repro.isa.assembler import assemble
 from repro.isa.decoded import predecode
-from repro.isa.instructions import Imm, Instruction, Mem, Reg, Sym, VImm
+from repro.isa.instructions import Imm, Instruction, Reg
 from repro.isa.opcodes import OPCODES
 from repro.isa.program import Program
 from repro.memory.memory import Memory

@@ -30,7 +30,7 @@ from repro.evaluation.experiments import EvalContext
 from repro.evaluation.runcache import RunCache, run_key
 from repro.evaluation.runner import RunScheduler, build_request_program
 from repro.interp.turbo import fragment_tables_for
-from repro.isa.instructions import Imm, Mem, Reg, Sym
+from repro.isa.instructions import Imm, Mem, Reg
 from repro.kernels.suite import build_kernel
 from repro.pipeline.core import PipelineModel
 from repro.simd.accelerator import config_for_width

@@ -1,0 +1,204 @@
+"""Unit and differential tests for the observability registry.
+
+Covers the recording :class:`Telemetry` primitives (counters,
+histograms, nested spans, JSON round-trip, merge, per-run markers), the
+:class:`NullTelemetry` shim's API parity, and — the load-bearing
+property — that enabling telemetry changes *nothing* about simulation
+results: identical cycle counts, identical run-cache keys, and
+byte-identical persisted cache entries.
+"""
+
+import json
+
+import pytest
+
+from repro.core.scalarize import build_liquid_program
+from repro.evaluation.runcache import RunCache, run_key
+from repro.kernels.suite import build_kernel
+from repro.observability import telemetry
+from repro.observability.telemetry import NullTelemetry, Telemetry
+from repro.simd.accelerator import config_for_width
+from repro.system.machine import Machine, MachineConfig
+
+
+@pytest.fixture(autouse=True)
+def _restore_registry():
+    """Every test leaves the process-wide registry disabled."""
+    yield
+    telemetry.disable()
+
+
+class TestCounters:
+    def test_count_accumulates(self):
+        t = Telemetry()
+        t.count("a.b")
+        t.count("a.b", 4)
+        assert t.counters == {"a.b": 5}
+
+    def test_observe_tracks_count_total_min_max(self):
+        t = Telemetry()
+        for v in (3, 1, 7):
+            t.observe("h", v)
+        assert t.histograms["h"] == [3, 11, 1, 7]
+
+    def test_marker_delta(self):
+        t = Telemetry()
+        t.count("x", 2)
+        mark = t.marker()
+        t.count("x", 3)
+        t.count("y")
+        t.count("z", 0)  # created but unchanged: not in the delta
+        assert t.delta_since(mark) == {"x": 3, "y": 1}
+
+
+class TestSpans:
+    def test_nesting_builds_dotted_paths(self):
+        t = Telemetry()
+        with t.span("outer"):
+            with t.span("inner"):
+                pass
+            with t.span("inner"):
+                pass
+        assert set(t.spans) == {"outer", "outer.inner"}
+        assert t.spans["outer.inner"][0] == 2
+        assert t.spans["outer"][0] == 1
+
+    def test_out_of_order_exit_raises(self):
+        t = Telemetry()
+        outer, inner = t.span("outer"), t.span("inner")
+        outer.__enter__()
+        inner.__enter__()
+        with pytest.raises(RuntimeError, match="innermost"):
+            outer.__exit__(None, None, None)
+
+    def test_record_span_accumulates(self):
+        t = Telemetry()
+        t.record_span("phase", 0.5)
+        t.record_span("phase", 0.25)
+        assert t.spans["phase"] == [2, 0.75]
+
+
+class TestSerialization:
+    def _populated(self) -> Telemetry:
+        t = Telemetry()
+        t.count("a", 3)
+        t.count("b.c", 1)
+        t.observe("h", 2.5)
+        t.observe("h", 4.5)
+        with t.span("s"):
+            pass
+        return t
+
+    def test_json_round_trip(self):
+        t = self._populated()
+        wire = json.loads(json.dumps(t.to_dict()))
+        assert Telemetry.from_dict(wire).to_dict() == t.to_dict()
+
+    def test_merge_folds_everything(self):
+        a, b = self._populated(), self._populated()
+        a.merge(b)
+        assert a.counters == {"a": 6, "b.c": 2}
+        assert a.histograms["h"] == [4, 14.0, 2.5, 4.5]
+        assert a.spans["s"][0] == 2
+
+    def test_render_text_lists_counters(self):
+        text = self._populated().render_text()
+        assert "b.c" in text and "histograms" in text and "spans" in text
+
+
+class TestNullShim:
+    """The disabled registry accepts the full API and records nothing."""
+
+    def _drive(self, t):
+        t.count("a")
+        t.count("a", 5)
+        t.observe("h", 1.0)
+        with t.span("outer"):
+            with t.span("inner"):
+                pass
+        t.record_span("p", 0.1)
+        return t.delta_since(t.marker()), t.to_dict()
+
+    def test_parity_with_recording_api(self):
+        delta, dump = self._drive(NullTelemetry())
+        assert delta == {}
+        assert dump == {"counters": {}, "histograms": {}, "spans": {}}
+        # Same drive on the real registry *does* record — the shim's
+        # emptiness is behavioral, not an API gap.
+        delta, dump = self._drive(Telemetry())
+        assert delta == {} and dump["counters"] == {"a": 6}
+
+    def test_enabled_flags(self):
+        assert NullTelemetry.enabled is False
+        assert Telemetry.enabled is True
+
+
+class TestModuleRegistry:
+    def test_disabled_by_default(self):
+        assert telemetry.is_enabled() is False
+        assert isinstance(telemetry.get(), NullTelemetry)
+
+    def test_enable_disable_cycle(self):
+        t = telemetry.enable()
+        assert telemetry.get() is t and telemetry.is_enabled()
+        assert telemetry.enable() is t  # idempotent while enabled
+        telemetry.disable()
+        assert not telemetry.is_enabled()
+
+
+class TestDifferential:
+    """Telemetry must be invisible to simulation results and the cache."""
+
+    def _config(self):
+        return MachineConfig(accelerator=config_for_width(4),
+                             engine="macro")
+
+    def test_results_and_cache_bytes_identical(self, tmp_path):
+        program = build_liquid_program(build_kernel("FIR"))
+        config = self._config()
+        key_before = run_key(program, config)
+
+        off = Machine(config).run(program)
+        telemetry.enable()
+        try:
+            on = Machine(config).run(program)
+        finally:
+            telemetry.disable()
+
+        assert on.cycles == off.cycles
+        assert on.instructions == off.instructions
+        assert off.telemetry is None
+        assert on.telemetry is not None
+        assert on.telemetry["counters"]["machine.runs"] == 1
+
+        # The run key is config+program content only — telemetry state
+        # cannot perturb it.
+        assert run_key(program, config) == key_before
+
+        # Persisted entries are byte-identical: store() strips the
+        # telemetry payload before serializing.
+        cache_off = RunCache(tmp_path / "off")
+        cache_on = RunCache(tmp_path / "on")
+        cache_off.store(key_before, off)
+        cache_on.store(key_before, on)
+        assert (cache_off.path_for(key_before).read_bytes()
+                == cache_on.path_for(key_before).read_bytes())
+
+    def test_run_result_wire_format_additive(self):
+        program = build_liquid_program(build_kernel("FIR"))
+        config = self._config()
+        off = Machine(config).run(program)
+        assert "telemetry" not in off.to_dict()
+
+        telemetry.enable()
+        try:
+            on = Machine(config).run(program)
+        finally:
+            telemetry.disable()
+        wire = on.to_dict()
+        assert wire["telemetry"] == on.telemetry
+        # Round-trips, and old payloads without the key still load.
+        from repro.system.metrics import RunResult
+        assert RunResult.from_dict(wire).telemetry == on.telemetry
+        del wire["telemetry"]
+        assert RunResult.from_dict(wire).telemetry is None

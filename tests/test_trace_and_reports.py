@@ -107,7 +107,7 @@ class TestFigureRendering:
 
     def test_bars_scale_with_value(self):
         text = render_figure6_chart(self.ROWS, (2, 8))
-        fir_lines = [l for l in text.splitlines() if "w=8" in l]
+        fir_lines = [line for line in text.splitlines() if "w=8" in line]
         # FIR's w=8 bar is the longest.
         assert max(fir_lines, key=len).endswith("5.20")
 

@@ -5,14 +5,11 @@ on a bare executor — no Machine — so each rule's effect on the microcode
 buffer is observable in isolation.
 """
 
-import pytest
-
 from repro.core.translate.translator import (
     AbortReason,
     DynamicTranslator,
     TranslatorConfig,
 )
-from repro.isa.assembler import assemble
 from repro.isa.instructions import Imm, Reg, VImm
 from repro.simd.permutations import PermPattern
 
