@@ -10,10 +10,12 @@ simulations entirely; set ``REPRO_CACHE_DIR`` to relocate the cache or
 ``REPRO_JOBS`` to bound worker processes.
 
 The ``engine_bench_records`` / ``parallel_bench_records`` /
-``turbo_bench_records`` / ``macro_bench_records`` fixtures collect
-timing records (filled in by ``test_engine_speedup.py``,
-``test_parallel_speedup.py``, ``test_turbo_speedup.py`` and
-``test_macro_speedup.py``) and write them through one shared
+``turbo_bench_records`` / ``macro_bench_records`` /
+``fragstore_bench_records`` fixtures collect timing records (filled in
+by ``test_engine_speedup.py``, ``test_parallel_speedup.py``,
+``test_turbo_speedup.py``, ``test_macro_speedup.py`` and the
+fragment-store ablation in ``test_ucode_cache_ablation.py``) and write
+them through one shared
 :func:`write_bench_json` at session teardown, so successive runs leave
 machine-readable ``BENCH_*.json`` records with a common schema::
 
@@ -41,6 +43,7 @@ ENGINE_BENCH_PATH = _BENCH_DIR / "BENCH_engine.json"
 PARALLEL_BENCH_PATH = _BENCH_DIR / "BENCH_parallel.json"
 TURBO_BENCH_PATH = _BENCH_DIR / "BENCH_turbo.json"
 MACRO_BENCH_PATH = _BENCH_DIR / "BENCH_macro.json"
+FRAGSTORE_BENCH_PATH = _BENCH_DIR / "BENCH_fragstore.json"
 
 
 def _bench_jobs():
@@ -108,3 +111,9 @@ def turbo_bench_records():
 def macro_bench_records():
     """Macro-kernel timing records, dumped as BENCH_macro.json."""
     yield from _records_fixture(MACRO_BENCH_PATH)
+
+
+@pytest.fixture(scope="session")
+def fragstore_bench_records():
+    """Fragment-store ablation records, dumped as BENCH_fragstore.json."""
+    yield from _records_fixture(FRAGSTORE_BENCH_PATH)

@@ -9,7 +9,11 @@ Subcommands:
 * ``run NAME``  — run one benchmark across the width sweep and print its
   Figure 6 row plus translation outcomes.
 * ``cache``     — inspect (``cache info``) or empty (``cache clear``)
-  the persistent run cache (docs/evaluation-runner.md).
+  the persistent run cache *and* fragment store
+  (docs/evaluation-runner.md, docs/retranslation.md).
+* ``retranslate`` — re-lower one benchmark's translated fragments to
+  another SIMD width and print the cross-width differential verdict
+  (docs/retranslation.md).
 * ``telemetry`` — run one benchmark with the observability registry
   enabled and dump its counters/histograms/spans
   (docs/observability.md), as text or ``--json``.
@@ -63,19 +67,59 @@ def _cmd_run(args) -> int:
 
 
 def _cmd_cache(args) -> int:
+    from repro.core.translate.fragstore import FragmentStore
     from repro.evaluation.runcache import RunCache
     cache = RunCache.default(args.cache_dir)
+    fragments = FragmentStore.default(args.cache_dir)
     if args.action == "clear":
         removed = cache.clear()
+        frag_removed = fragments.clear()
         print(f"cleared {removed} cached run{'s' if removed != 1 else ''} "
+              f"and {frag_removed} "
+              f"fragment{'s' if frag_removed != 1 else ''} "
               f"from {cache.root}")
         return 0
-    entries = cache.entry_count()
-    size = cache.size_bytes()
     print(f"run cache at {cache.root}")
-    print(f"  entries  {entries}")
-    print(f"  size     {size / 1024:.1f} KB")
+    print(f"  entries  {cache.entry_count()}")
+    print(f"  size     {cache.size_bytes() / 1024:.1f} KB")
+    print(f"fragment store at {fragments.root}")
+    print(f"  entries  {fragments.entry_count()}")
+    print(f"  size     {fragments.size_bytes() / 1024:.1f} KB")
     return 0
+
+
+def _cmd_retranslate(args) -> int:
+    import json
+
+    from repro.core.translate.fragstore import FragmentStore
+    from repro.evaluation.crosswidth import crosswidth_differential
+
+    to_width = args.to_width if args.to_width else 2 * args.from_width
+    store = None if args.no_cache else FragmentStore.default(args.cache_dir)
+    report = crosswidth_differential(args.benchmark, args.from_width,
+                                     to_width, store=store)
+    if args.json:
+        print(json.dumps(report, indent=2, sort_keys=True))
+        return 0 if report["ok"] else 1
+    print(f"{args.benchmark}: retranslate w{args.from_width} -> w{to_width}")
+    for function, info in sorted(report["functions"].items()):
+        if not info["source_ok"]:
+            status = f"source abort ({info['source_reason']})"
+        elif info["retranslate_ok"]:
+            status = "retranslated"
+        else:
+            status = f"rejected ({info['retranslate_reason']})"
+        print(f"  {function:<24} {status}")
+    print(f"{'engine':<12}{'fresh cycles':>14}{'retr cycles':>14}"
+          f"{'arrays':>9}{'vs ref':>8}{'ucode':>7}")
+    for engine, row in report["engines"].items():
+        print(f"{engine:<12}{row['cycles_fresh']:>14,}"
+              f"{row['cycles_retranslated']:>14,}"
+              f"{'match' if row['arrays_match_fresh'] else 'DIVERGE':>9}"
+              f"{'match' if row['arrays_match_reference'] else 'DIVERGE':>8}"
+              f"{'ran' if row['microcode_ran'] else 'NO':>7}")
+    print("verdict: " + ("OK" if report["ok"] else "DIVERGED"))
+    return 0 if report["ok"] else 1
 
 
 def _cmd_telemetry(args) -> int:
@@ -162,6 +206,24 @@ def main(argv=None) -> int:
                          help="cache directory (default: $REPRO_CACHE_DIR "
                               "or ~/.cache/repro-liquid-simd)")
 
+    retr_p = sub.add_parser(
+        "retranslate",
+        help="re-lower one benchmark's fragments to another width and "
+             "print the cross-width differential verdict")
+    retr_p.add_argument("benchmark", choices=BENCHMARK_ORDER)
+    retr_p.add_argument("--from-width", type=int, default=4, metavar="W",
+                        help="source translation width (default: 4)")
+    retr_p.add_argument("--to-width", type=int, default=None, metavar="T",
+                        help="target width (default: 2*W)")
+    retr_p.add_argument("--cache-dir", default=None, metavar="DIR",
+                        help="fragment-store directory root (default: "
+                             "$REPRO_CACHE_DIR or ~/.cache/"
+                             "repro-liquid-simd)")
+    retr_p.add_argument("--no-cache", action="store_true",
+                        help="bypass the persistent fragment store")
+    retr_p.add_argument("--json", action="store_true",
+                        help="emit the full report as JSON")
+
     tel_p = sub.add_parser(
         "telemetry",
         help="run one benchmark with telemetry enabled and dump the "
@@ -200,6 +262,8 @@ def main(argv=None) -> int:
         return _cmd_run(args)
     if args.command == "cache":
         return _cmd_cache(args)
+    if args.command == "retranslate":
+        return _cmd_retranslate(args)
     if args.command == "telemetry":
         return _cmd_telemetry(args)
     if args.command == "bench":

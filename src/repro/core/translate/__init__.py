@@ -1,6 +1,20 @@
 """Run-time half of Liquid SIMD: the post-retirement dynamic translator."""
 
+from repro.core.translate.fragstore import (
+    FRAGSTORE_FORMAT_VERSION,
+    FRAGSTORE_SUBDIR,
+    FragmentStore,
+    FragmentStoreStats,
+    fragment_key,
+    translator_config_fingerprint,
+)
 from repro.core.translate.hw_model import TranslatorHardwareModel
+from repro.core.translate.retranslate import (
+    RetranslateReason,
+    RetranslationResult,
+    retranslate_chain,
+    retranslate_entry,
+)
 from repro.core.translate.register_state import (
     RegKind,
     RegState,
@@ -21,6 +35,16 @@ from repro.core.translate.ucode_cache import (
 )
 
 __all__ = [
+    "FRAGSTORE_FORMAT_VERSION",
+    "FRAGSTORE_SUBDIR",
+    "FragmentStore",
+    "FragmentStoreStats",
+    "fragment_key",
+    "translator_config_fingerprint",
+    "RetranslateReason",
+    "RetranslationResult",
+    "retranslate_chain",
+    "retranslate_entry",
     "TranslatorHardwareModel",
     "RegKind",
     "RegState",

@@ -18,9 +18,16 @@ from repro.isa.program import Program
 from repro.observability import telemetry as _telemetry
 
 
-@dataclass
+@dataclass(eq=False)
 class MicrocodeEntry:
     """One completed translation.
+
+    Identity is *content-based*: two entries are interchangeable when
+    ``(function, width, encoded_bytes())`` agree, no matter whether they
+    came from the dynamic translator, a cross-width retranslation, or
+    the persistent fragment store — so store-loaded and
+    freshly-translated twins share one :attr:`table_key` and the
+    machine's fragment tables never double-compile them.
 
     Attributes:
         function: label of the outlined function this entry translates.
@@ -60,6 +67,38 @@ class MicrocodeEntry:
             object.__setattr__(self, "_encoded", cached)
         return cached
 
+    @property
+    def table_key(self) -> tuple:
+        """Content identity: the machine's fragment-table key."""
+        return (self.function, self.width, self.encoded_bytes())
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, MicrocodeEntry):
+            return NotImplemented
+        return (self.table_key == other.table_key
+                and self.ready_cycle == other.ready_cycle
+                and self.static_instructions == other.static_instructions)
+
+    def __hash__(self) -> int:
+        return hash(self.table_key)
+
+    def with_ready_cycle(self, cycle: int) -> "MicrocodeEntry":
+        """A copy available at *cycle*, preserving the encoding memo.
+
+        Unlike ``dataclasses.replace`` this carries the memoized
+        canonical bytes over, so the copy's :attr:`table_key` needs no
+        re-encode.
+        """
+        clone = MicrocodeEntry(
+            function=self.function, fragment=self.fragment,
+            width=self.width, ready_cycle=cycle,
+            static_instructions=self.static_instructions,
+        )
+        cached = getattr(self, "_encoded", None)
+        if cached is not None:
+            object.__setattr__(clone, "_encoded", cached)
+        return clone
+
     def to_dict(self) -> dict:
         """JSON-safe representation (inverse of :meth:`from_dict`).
 
@@ -67,11 +106,10 @@ class MicrocodeEntry:
         encoding (:func:`repro.isa.encoding.encode_program`), so nothing
         about the microcode — labels, data, operands — is lost.
         """
-        from repro.isa.encoding import encode_program
         return {
             "function": self.function,
             "fragment": base64.b64encode(
-                encode_program(self.fragment)).decode("ascii"),
+                self.encoded_bytes()).decode("ascii"),
             "width": self.width,
             "ready_cycle": self.ready_cycle,
             "static_instructions": self.static_instructions,
@@ -80,13 +118,19 @@ class MicrocodeEntry:
     @classmethod
     def from_dict(cls, data: dict) -> "MicrocodeEntry":
         from repro.isa.encoding import decode_program
-        return cls(
+        raw = base64.b64decode(data["fragment"])
+        entry = cls(
             function=data["function"],
-            fragment=decode_program(base64.b64decode(data["fragment"])),
+            fragment=decode_program(raw),
             width=data["width"],
             ready_cycle=data["ready_cycle"],
             static_instructions=data["static_instructions"],
         )
+        # Seed the memo with the wire bytes: a store round-trip keeps
+        # the exact content key its twin fresh translation computes, so
+        # the two dedupe in the fragment tables without a re-encode.
+        object.__setattr__(entry, "_encoded", raw)
+        return entry
 
 
 @dataclass

@@ -1363,3 +1363,18 @@ def fragment_tables_for(fragment, pipeline, width: int, offset: int,
     if len(_fragment_memo) > _MEMO_CAP:
         _fragment_memo.popitem(last=False)
     return entry
+
+
+def fragment_tables_for_entry(entry, pipeline, offset: int,
+                              macro: bool = False):
+    """:func:`fragment_tables_for` keyed by a microcode entry's identity.
+
+    A :class:`~repro.core.translate.ucode_cache.MicrocodeEntry` memoizes
+    its canonical bytes (and a store-loaded entry is seeded with the
+    wire bytes), so a fresh translation, a cross-width retranslation and
+    a persistent-store hit that agree byte-for-byte all land on the same
+    memo slot — none of them compiles the fused tables twice.
+    """
+    return fragment_tables_for(entry.fragment, pipeline, entry.width,
+                               offset, encoded=entry.encoded_bytes(),
+                               macro=macro)

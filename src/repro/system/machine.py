@@ -37,7 +37,7 @@ from repro.core.translate.ucode_cache import MicrocodeCache, MicrocodeEntry
 from repro.interp.events import RetireEvent
 from repro.interp.executor import ENGINES, ExecutionError, make_executor
 from repro.interp.turbo import (
-    fragment_tables_for,
+    fragment_tables_for_entry,
     superblock_table_for,
 )
 from repro.isa.decoded import predecode
@@ -169,11 +169,34 @@ class Machine:
 
     Pass a :class:`~repro.system.trace.TraceRecorder` as *tracer* to
     capture the interleaved scalar/microcode retirement stream.
+
+    *preloaded_microcode* seeds the microcode cache with completed
+    translations before execution starts (ready at cycle 0) — the
+    mechanism behind cross-width retranslation and the persistent
+    fragment store: a fragment translated elsewhere (another process,
+    another width) runs here without the scalar observation pass.
+    Preloading is deliberately **not** a :class:`MachineConfig` field:
+    run-cache keys fingerprint the config, and a preloaded fragment must
+    produce the same result as translating it locally, so it must not
+    perturb the key.
     """
 
-    def __init__(self, config: MachineConfig, tracer=None) -> None:
+    def __init__(self, config: MachineConfig, tracer=None,
+                 preloaded_microcode=None) -> None:
         self.config = config
         self.tracer = tracer
+        self.preloaded_microcode = list(preloaded_microcode or ())
+        if self.preloaded_microcode:
+            if config.accelerator is None or not config.translation_enabled:
+                raise MachineError(
+                    "preloaded microcode needs an accelerator with "
+                    "translation enabled")
+            for entry in self.preloaded_microcode:
+                if entry.width > config.accelerator.width:
+                    raise MachineError(
+                        f"preloaded microcode for {entry.function} is "
+                        f"{entry.width} lanes wide; accelerator has "
+                        f"{config.accelerator.width}")
 
     def run(self, program: Program) -> RunResult:
         """Run *program* to its ``halt``; return the collected metrics."""
@@ -203,8 +226,13 @@ class Machine:
             scout = Machine(dataclasses.replace(config, pretranslate=False))
             for result in scout.run(program).translations:
                 if result.ok and result.entry is not None:
-                    ucache.insert(dataclasses.replace(result.entry,
-                                                      ready_cycle=0))
+                    ucache.insert(result.entry.with_ready_cycle(0))
+        if ucache is not None and self.preloaded_microcode:
+            for entry in self.preloaded_microcode:
+                ucache.insert(entry.with_ready_cycle(0))
+            if tel_on:
+                tel.count("machine.preloaded_fragments",
+                          len(self.preloaded_microcode))
         functions: Dict[str, FunctionStats] = {}
         translations: List[TranslationResult] = []
         blacklist = set()
@@ -518,17 +546,15 @@ class Machine:
         # reason — see their declarations in :meth:`run`.
         if engine in ("turbo", "macro") and self.tracer is None \
                 and tables is not None and block_tables is not None:
-            key = (entry.function, entry.width, entry.encoded_bytes())
+            key = entry.table_key
             cached = block_tables.get(key)
             if cached is None:
-                cached = fragment_tables_for(fragment, pipeline,
-                                             entry.width, offset,
-                                             encoded=key[2],
-                                             macro=engine == "macro")
+                cached = fragment_tables_for_entry(
+                    entry, pipeline, offset, macro=engine == "macro")
                 block_tables[key] = cached
             fragment, table, blocks, plan = cached
         elif engine in ("fast", "turbo", "macro") and tables is not None:
-            key = (entry.function, entry.width, entry.encoded_bytes())
+            key = entry.table_key
             cached = tables.get(key)
             if cached is None:
                 cached = (fragment, predecode(fragment))

@@ -1,0 +1,323 @@
+"""Property tests for cross-width retranslation (satellite of the
+cross-width differential suite; docs/retranslation.md).
+
+Random DSL loops go through the scalarizer, translate at width
+W ∈ {2, 4}, retranslate to 2W, and must produce bit-identical memory to
+both a fresh runtime translation at 2W and the reference engine —
+including the chained W -> 2W -> 4W path, which proves retranslation
+composes.  A directed battery then drives **every** plan-time rejection
+reason at least once, checking the telemetry counter each bump.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.scalarize import Kernel, build_liquid_program
+from repro.core.translate.retranslate import (
+    RetranslateReason,
+    retranslate_chain,
+    retranslate_entry,
+)
+from repro.core.translate.translator import TranslatorConfig
+from repro.core.translate.ucode_cache import MicrocodeEntry
+from repro.isa.instructions import Imm, Instruction, Mem, Reg, Sym, VImm
+from repro.isa.program import DataArray, Program
+from repro.kernels.dsl import LoopBuilder
+from repro.observability import telemetry
+from repro.simd.accelerator import config_for_width
+from repro.simd.permutations import PermPattern
+from repro.system.machine import Machine, MachineConfig
+from repro.system.metrics import arrays_equal
+
+
+# ---------------------------------------------------------------------------
+# Random-kernel differential property
+# ---------------------------------------------------------------------------
+
+def _random_kernel(draw) -> Kernel:
+    trip = draw(st.sampled_from([16, 32, 48]))
+    builder = LoopBuilder("hot", trip=trip, elem="f32")
+    x = builder.load("x")
+    value = x
+    for i in range(draw(st.integers(min_value=1, max_value=3))):
+        op = draw(st.sampled_from(["add", "mul", "sub"]))
+        if draw(st.booleans()):
+            operand = builder.imm(float(draw(st.integers(-4, 4))))
+        else:
+            operand = builder.load("y")
+        value = builder.binary(op, value, operand)
+    if draw(st.booleans()):
+        value = builder.bfly(value, 2)
+    builder.store("out", value)
+    if draw(st.booleans()):
+        builder.reduce("sum", value, acc="f1", init=0.0, store_to="acc")
+    return Kernel(
+        name="prop",
+        arrays=[
+            DataArray("x", "f32", [float((i * 7) % 13) * 0.5
+                                   for i in range(trip)]),
+            DataArray("y", "f32", [float((i * 5) % 11) * 0.25
+                                   for i in range(trip)]),
+            DataArray("out", "f32", [0.0] * trip),
+            DataArray("acc", "f32", [0.0]),
+        ],
+        stages=[builder.build()],
+        schedule=["hot"],
+        repeats=2,
+    )
+
+
+def _entries_at(program, width):
+    config = MachineConfig(accelerator=config_for_width(width),
+                           engine="fast")
+    run = Machine(config).run(program)
+    return [t.entry for t in run.translations
+            if t.ok and t.entry is not None], run
+
+
+def _assert_preload_matches(program, preload, width) -> None:
+    """Preloaded run == fresh run == reference, element for element."""
+    fresh = Machine(MachineConfig(accelerator=config_for_width(width),
+                                  engine="fast")).run(program)
+    reference = Machine(MachineConfig(accelerator=config_for_width(width),
+                                      engine="reference")).run(program)
+    retr = Machine(MachineConfig(accelerator=config_for_width(width),
+                                 engine="fast"),
+                   preloaded_microcode=preload).run(program)
+    assert arrays_equal(retr, fresh)
+    assert arrays_equal(retr, reference)
+    for entry in preload:
+        stats = retr.functions[entry.function]
+        assert stats.simd_runs > 0 and stats.scalar_runs == 0
+
+
+@settings(max_examples=20, deadline=None)
+@given(data=st.data(), source_width=st.sampled_from([2, 4]))
+def test_random_loops_retranslate_bit_identically(data, source_width):
+    kernel = _random_kernel(data.draw)
+    program = build_liquid_program(kernel)
+    entries, _ = _entries_at(program, source_width)
+    if not entries:  # some random shapes legitimately abort translation
+        return
+    target = 2 * source_width
+    target_tcfg = MachineConfig(
+        accelerator=config_for_width(target)).translator_config()
+    preload = []
+    for entry in entries:
+        result = retranslate_entry(entry, target, target_tcfg)
+        assert result.ok, \
+            f"rescalable shape rejected: {result.reason} ({result.detail})"
+        assert result.entry.width == target
+        preload.append(result.entry)
+    _assert_preload_matches(program, preload, target)
+
+
+@settings(max_examples=8, deadline=None)
+@given(data=st.data())
+def test_chained_retranslation_composes(data):
+    """W -> 2W -> 4W equals the direct jump and the fresh oracle."""
+    kernel = _random_kernel(data.draw)
+    program = build_liquid_program(kernel)
+    entries, _ = _entries_at(program, 2)
+    if not entries:
+        return
+    config_for = {
+        w: MachineConfig(
+            accelerator=config_for_width(w)).translator_config()
+        for w in (4, 8)
+    }
+    preload = []
+    for entry in entries:
+        chain = retranslate_chain(entry, (4, 8), config_for)
+        assert [r.ok for r in chain] == [True, True]
+        direct = retranslate_entry(entry, 8, config_for[8])
+        assert direct.ok
+        # Composition is exact: two hops produce the same bytes as one.
+        assert chain[-1].entry.table_key == direct.entry.table_key
+        preload.append(chain[-1].entry)
+    _assert_preload_matches(program, preload, 8)
+
+
+# ---------------------------------------------------------------------------
+# Directed rejection battery: every plan-time reason fires
+# ---------------------------------------------------------------------------
+
+def _fragment(instrs, labels=None, width=4, function="f"):
+    program = Program(f"{function}_ucode_w{width}")
+    program.emit_all(instrs)
+    program.labels = dict(labels or {})
+    program.labels.setdefault("u_entry", 0)
+    program.entry = "u_entry"
+    return MicrocodeEntry(function=function, fragment=program, width=width)
+
+
+def _loop(width=4, trip=16, body=()):
+    return [
+        Instruction("mov", dst=Reg("r0"), srcs=(Imm(0),)),
+        *body,
+        Instruction("add", dst=Reg("r0"), srcs=(Reg("r0"), Imm(width))),
+        Instruction("cmp", srcs=(Reg("r0"), Imm(trip))),
+        Instruction("blt", target="u1"),
+    ]
+
+
+_LOOP_LABELS = {"u_entry": 0, "u1": 1}
+
+_COPY_BODY = (
+    Instruction("vld", dst=Reg("vf2"),
+                mem=Mem(base=Sym("x"), index=Reg("r0")), elem="f32"),
+    Instruction("vst", srcs=(Reg("vf2"),),
+                mem=Mem(base=Sym("out"), index=Reg("r0")), elem="f32"),
+)
+
+
+def _cfg(width, **kwargs) -> TranslatorConfig:
+    return TranslatorConfig(width=width, **kwargs)
+
+
+REJECTIONS = [
+    (
+        "bad-width",
+        _fragment(_loop(body=_COPY_BODY), _LOOP_LABELS),
+        3, {}, RetranslateReason.BAD_WIDTH,
+    ),
+    (
+        "no-loop",
+        _fragment(list(_COPY_BODY)),
+        8, {}, RetranslateReason.NO_LOOP,
+    ),
+    (
+        "malformed-loop",
+        # Latch increment steps 1, not the source width.
+        _fragment([
+            *_COPY_BODY,
+            Instruction("add", dst=Reg("r0"), srcs=(Reg("r0"), Imm(1))),
+            Instruction("cmp", srcs=(Reg("r0"), Imm(16))),
+            Instruction("blt", target="u_entry"),
+        ]),
+        8, {}, RetranslateReason.MALFORMED_LOOP,
+    ),
+    (
+        "trip-not-divisible",
+        _fragment(_loop(trip=8, body=_COPY_BODY), _LOOP_LABELS),
+        16, {}, RetranslateReason.TRIP_NOT_DIVISIBLE,
+    ),
+    (
+        "non-affine-access",
+        _fragment(_loop(body=(
+            Instruction("vld", dst=Reg("vf2"),
+                        mem=Mem(base=Sym("x"), index=Imm(0)), elem="f32"),
+            _COPY_BODY[1],
+        )), _LOOP_LABELS),
+        8, {}, RetranslateReason.NON_AFFINE_ACCESS,
+    ),
+    (
+        "non-affine-induction-update",
+        _fragment(_loop(body=(
+            *_COPY_BODY,
+            Instruction("add", dst=Reg("r0"), srcs=(Reg("r0"), Imm(2))),
+        )), _LOOP_LABELS),
+        8, {}, RetranslateReason.NON_AFFINE_ACCESS,
+    ),
+    (
+        "width-dependent-constant",
+        # VImm lanes (1,2,3,4) are 4-wide but not 2-periodic.
+        _fragment(_loop(body=(
+            _COPY_BODY[0],
+            Instruction("vmul", dst=Reg("vf2"),
+                        srcs=(Reg("vf2"), VImm((1.0, 2.0, 3.0, 4.0))),
+                        elem="f32"),
+            _COPY_BODY[1],
+        )), _LOOP_LABELS),
+        2, {}, RetranslateReason.WIDTH_DEPENDENT_CONSTANT,
+    ),
+    (
+        "perm-period-exceeds-width",
+        _fragment(_loop(body=(
+            _COPY_BODY[0],
+            Instruction("vbfly", dst=Reg("vf2"),
+                        srcs=(Reg("vf2"), Imm(4)), elem="f32"),
+            _COPY_BODY[1],
+        )), _LOOP_LABELS),
+        2, {}, RetranslateReason.PERM_PERIOD_EXCEEDS_WIDTH,
+    ),
+    (
+        "perm-not-in-repertoire",
+        _fragment(_loop(body=(
+            _COPY_BODY[0],
+            Instruction("vbfly", dst=Reg("vf2"),
+                        srcs=(Reg("vf2"), Imm(2)), elem="f32"),
+            _COPY_BODY[1],
+        )), _LOOP_LABELS),
+        8, {"permutations": (PermPattern("rev", 4),)},
+        RetranslateReason.PERM_NOT_IN_REPERTOIRE,
+    ),
+    (
+        "opcode-not-in-target-repertoire",
+        _fragment(_loop(body=(
+            _COPY_BODY[0],
+            Instruction("vadd", dst=Reg("vf2"),
+                        srcs=(Reg("vf2"), Reg("vf2")), elem="f32"),
+            _COPY_BODY[1],
+        )), _LOOP_LABELS),
+        8, {"supported_vector_ops": frozenset({"vld", "vst"})},
+        RetranslateReason.UNSUPPORTED_OPCODE,
+    ),
+]
+
+
+@pytest.mark.parametrize("name,entry,target,cfg_kwargs,reason",
+                         REJECTIONS, ids=[r[0] for r in REJECTIONS])
+def test_rejection_reason_fires(name, entry, target, cfg_kwargs, reason):
+    tel = telemetry.enable()
+    try:
+        result = retranslate_entry(entry, target, _cfg(target, **cfg_kwargs))
+        counters = dict(tel.to_dict()["counters"])
+    finally:
+        telemetry.disable()
+    assert not result.ok
+    assert result.entry is None
+    assert result.reason is reason
+    assert counters.get("retranslate.attempts") == 1
+    assert counters.get(f"retranslate.abort.{reason.value}") == 1
+    assert "retranslate.ok" not in counters
+
+
+def test_every_rejection_reason_is_covered():
+    """The battery above exercises the complete catalog."""
+    covered = {reason for _, _, _, _, reason in REJECTIONS}
+    assert covered == set(RetranslateReason)
+
+
+def test_accepting_path_counts_ok():
+    entry = _fragment(_loop(body=_COPY_BODY), _LOOP_LABELS)
+    tel = telemetry.enable()
+    try:
+        result = retranslate_entry(entry, 8, _cfg(8))
+        counters = dict(tel.to_dict()["counters"])
+    finally:
+        telemetry.disable()
+    assert result.ok and result.entry.width == 8
+    latch = result.entry.fragment.instructions[-3]
+    assert latch.opcode == "add" and int(latch.srcs[1].value) == 8
+    assert counters.get("retranslate.ok") == 1
+
+
+def test_vimm_tiles_up_and_narrows_down():
+    body = (
+        _COPY_BODY[0],
+        Instruction("vmul", dst=Reg("vf2"),
+                    srcs=(Reg("vf2"), VImm((1.0, -1.0, 1.0, -1.0))),
+                    elem="f32"),
+        _COPY_BODY[1],
+    )
+    entry = _fragment(_loop(body=body), _LOOP_LABELS)
+    up = retranslate_entry(entry, 8, _cfg(8))
+    assert up.ok
+    assert up.entry.fragment.instructions[2].srcs[1] == \
+        VImm((1.0, -1.0) * 4)
+    down = retranslate_entry(entry, 2, _cfg(2))
+    assert down.ok
+    assert down.entry.fragment.instructions[2].srcs[1] == VImm((1.0, -1.0))

@@ -162,3 +162,41 @@ class TestHardwareModel:
         row = TranslatorHardwareModel().table2_row()
         assert row["description"] == "8-wide Translator"
         assert row["area_cells"] == PAPER_TOTAL_CELLS
+
+
+class TestMicrocodeEntryIdentity:
+    """Content-based identity (docs/retranslation.md): entries with the
+    same function, width, and encoded fragment bytes are interchangeable
+    regardless of when they became ready or where they came from."""
+
+    def test_equal_by_content_not_ready_cycle(self):
+        a = _entry("fn", ready=0)
+        b = _entry("fn", ready=0)
+        assert a == b and hash(a) == hash(b)
+        assert a.table_key == b.table_key
+
+    def test_table_key_components(self):
+        entry = _entry("fn")
+        assert entry.table_key == ("fn", 8, entry.encoded_bytes())
+
+    def test_differs_on_fragment_bytes(self):
+        a = _entry("fn", n_instr=3)
+        b = _entry("fn", n_instr=4)
+        assert a != b and a.table_key != b.table_key
+
+    def test_with_ready_cycle_preserves_encoding_memo(self):
+        entry = _entry("fn", ready=7)
+        raw = entry.encoded_bytes()
+        clone = entry.with_ready_cycle(0)
+        assert clone.ready_cycle == 0 and entry.ready_cycle == 7
+        assert clone.encoded_bytes() is raw
+        assert clone.table_key == entry.table_key
+
+    def test_from_dict_round_trip_dedupes_with_fresh(self):
+        fresh = _entry("fn")
+        loaded = MicrocodeEntry.from_dict(fresh.to_dict())
+        assert loaded == fresh
+        assert loaded.encoded_bytes() == fresh.encoded_bytes()
+        # Store-loaded and fresh entries key identically in fragment
+        # tables, so turbo/macro caches never duplicate work.
+        assert len({fresh.table_key, loaded.table_key}) == 1
