@@ -11,9 +11,10 @@ simulations entirely; set ``REPRO_CACHE_DIR`` to relocate the cache or
 
 The ``engine_bench_records`` / ``parallel_bench_records`` /
 ``turbo_bench_records`` / ``macro_bench_records`` /
-``fragstore_bench_records`` fixtures collect timing records (filled in
-by ``test_engine_speedup.py``, ``test_parallel_speedup.py``,
-``test_turbo_speedup.py``, ``test_macro_speedup.py`` and the
+``fragstore_bench_records`` / ``codegen_bench_records`` fixtures
+collect timing records (filled in by ``test_engine_speedup.py``,
+``test_parallel_speedup.py``, ``test_turbo_speedup.py``,
+``test_macro_speedup.py``, ``test_codegen_speedup.py`` and the
 fragment-store ablation in ``test_ucode_cache_ablation.py``) and write
 them through one shared
 :func:`write_bench_json` at session teardown, so successive runs leave
@@ -44,6 +45,7 @@ PARALLEL_BENCH_PATH = _BENCH_DIR / "BENCH_parallel.json"
 TURBO_BENCH_PATH = _BENCH_DIR / "BENCH_turbo.json"
 MACRO_BENCH_PATH = _BENCH_DIR / "BENCH_macro.json"
 FRAGSTORE_BENCH_PATH = _BENCH_DIR / "BENCH_fragstore.json"
+CODEGEN_BENCH_PATH = _BENCH_DIR / "BENCH_codegen.json"
 
 
 def _bench_jobs():
@@ -117,3 +119,9 @@ def macro_bench_records():
 def fragstore_bench_records():
     """Fragment-store ablation records, dumped as BENCH_fragstore.json."""
     yield from _records_fixture(FRAGSTORE_BENCH_PATH)
+
+
+@pytest.fixture(scope="session")
+def codegen_bench_records():
+    """Codegen-layer speedup records, dumped as BENCH_codegen.json."""
+    yield from _records_fixture(CODEGEN_BENCH_PATH)

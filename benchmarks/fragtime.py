@@ -1,0 +1,62 @@
+"""Shared fragment-phase timing harness for the engine benchmarks.
+
+``test_macro_speedup.py`` and ``test_codegen_speedup.py`` measure the
+same quantity — wall-clock spent inside ``Machine._run_fragment``, the
+phase the macro layer rewrites — so the patching timer and the
+best-of-N measurement loop live here once.  The scalar driver loop and
+the in-flight translation windows execute identical code under both
+engines (the macro engine *is* the turbo engine outside fragments), so
+timing the whole run would mostly measure work the macro layer doesn't
+touch; end-to-end seconds are returned alongside for context.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+
+from repro.system.machine import Machine, MachineConfig
+
+
+class FragmentTimer:
+    """Wraps ``Machine._run_fragment`` to accumulate its wall-clock."""
+
+    def __init__(self):
+        self.seconds = 0.0
+        self._original = None
+
+    def __enter__(self):
+        original = Machine._run_fragment
+        self._original = original
+        timer = self
+
+        def timed(machine, *args, **kwargs):
+            start = time.perf_counter()
+            try:
+                return original(machine, *args, **kwargs)
+            finally:
+                timer.seconds += time.perf_counter() - start
+
+        Machine._run_fragment = timed
+        return self
+
+    def __exit__(self, *exc):
+        Machine._run_fragment = self._original
+        return False
+
+
+def time_kernel(program, engine, accel, passes):
+    """(best fragment-phase s, best total s, cycles) for one kernel."""
+    best_fragment = best_total = math.inf
+    cycles = None
+    for _ in range(passes):
+        config = MachineConfig(accelerator=accel, engine=engine)
+        with FragmentTimer() as timer:
+            start = time.perf_counter()
+            result = Machine(config).run(program)
+            total = time.perf_counter() - start
+        if timer.seconds < best_fragment:
+            best_fragment = timer.seconds
+        best_total = min(best_total, total)
+        cycles = result.cycles
+    return best_fragment, best_total, cycles

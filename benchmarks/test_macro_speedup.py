@@ -8,21 +8,18 @@ acceptance criterion), recording per-kernel timings in
 ``benchmarks/BENCH_macro.json`` via the shared writer in conftest.
 
 The measured quantity is the wall-clock spent inside
-``Machine._run_fragment`` — the phase the macro layer rewrites.  The
-scalar driver loop and the in-flight translation windows execute
-identical code under both engines (the macro engine *is* the turbo
-engine outside fragments), so timing the whole run would mostly measure
-work the macro layer doesn't touch; end-to-end seconds are still
-recorded per kernel for context.  The four-way differential suite
-(``tests/test_engine_differential.py``) proves the engines
-bit-identical; this file cross-checks simulated cycles as a cheap
-sanity net.
+``Machine._run_fragment`` — the phase the macro layer rewrites — via
+the shared harness in ``benchmarks/fragtime.py``.  The four-way
+differential suite (``tests/test_engine_differential.py``) proves the
+engines bit-identical; this file cross-checks simulated cycles as a
+cheap sanity net.
 """
 
 from __future__ import annotations
 
 import math
-import time
+
+from fragtime import time_kernel
 
 from repro.core.scalarize import build_liquid_program
 from repro.kernels.suite import BENCHMARK_ORDER, build_kernel
@@ -32,50 +29,6 @@ from repro.system.machine import Machine, MachineConfig
 WIDTH = 16
 MIN_GEOMEAN_SPEEDUP = 2.0
 MEASURED_PASSES = 2
-
-
-class _FragmentTimer:
-    """Wraps ``Machine._run_fragment`` to accumulate its wall-clock."""
-
-    def __init__(self):
-        self.seconds = 0.0
-        self._original = None
-
-    def __enter__(self):
-        original = Machine._run_fragment
-        self._original = original
-        timer = self
-
-        def timed(machine, *args, **kwargs):
-            start = time.perf_counter()
-            try:
-                return original(machine, *args, **kwargs)
-            finally:
-                timer.seconds += time.perf_counter() - start
-
-        Machine._run_fragment = timed
-        return self
-
-    def __exit__(self, *exc):
-        Machine._run_fragment = self._original
-        return False
-
-
-def _time_kernel(program, engine, accel):
-    """(best fragment-phase s, best total s, cycles) for one kernel."""
-    best_fragment = best_total = math.inf
-    cycles = None
-    for _ in range(MEASURED_PASSES):
-        config = MachineConfig(accelerator=accel, engine=engine)
-        with _FragmentTimer() as timer:
-            start = time.perf_counter()
-            result = Machine(config).run(program)
-            total = time.perf_counter() - start
-        if timer.seconds < best_fragment:
-            best_fragment = timer.seconds
-        best_total = min(best_total, total)
-        cycles = result.cycles
-    return best_fragment, best_total, cycles
 
 
 def test_macro_geomean_speedup(macro_bench_records):
@@ -93,10 +46,10 @@ def test_macro_geomean_speedup(macro_bench_records):
     ratios = []
     turbo_total = macro_total = 0.0
     for name, program in programs.items():
-        turbo_frag, turbo_s, turbo_cycles = _time_kernel(
-            program, "turbo", accel)
-        macro_frag, macro_s, macro_cycles = _time_kernel(
-            program, "macro", accel)
+        turbo_frag, turbo_s, turbo_cycles = time_kernel(
+            program, "turbo", accel, MEASURED_PASSES)
+        macro_frag, macro_s, macro_cycles = time_kernel(
+            program, "macro", accel, MEASURED_PASSES)
         assert turbo_cycles == macro_cycles, \
             f"{name}: engines disagree on cycles; run the differential suite"
         ratio = turbo_frag / macro_frag

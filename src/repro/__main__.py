@@ -17,6 +17,10 @@ Subcommands:
 * ``telemetry`` — run one benchmark with the observability registry
   enabled and dump its counters/histograms/spans
   (docs/observability.md), as text or ``--json``.
+* ``codegen``   — lift one benchmark's translated fragments into the
+  shared codegen IR (docs/codegen.md) and print the per-fragment
+  shape-recognition table (recognized loop/chain shapes, IR node
+  kinds, recognition counters).
 * ``bench``     — ``bench compare OLD.json NEW.json`` diffs two
   benchmark payloads (the ``BENCH_*.json`` files benchmarks/ writes)
   and exits nonzero on speedup regressions beyond ``--tolerance``.
@@ -156,6 +160,77 @@ def _cmd_telemetry(args) -> int:
     return 0
 
 
+def _cmd_codegen(args) -> int:
+    import json
+
+    from repro.codegen.ir import LoopNode
+    from repro.observability import telemetry
+
+    kernel = build_kernel(args.benchmark)
+    program = build_liquid_program(kernel)
+    config = MachineConfig(accelerator=config_for_width(args.width),
+                           engine="turbo")
+    result = Machine(config).run(program)
+    entries = [t.entry for t in result.translations
+               if t.ok and t.entry is not None]
+    tel = telemetry.enable()
+    try:
+        rows = []
+        for entry in entries:
+            ir = entry.lift_ir()
+            shapes = []
+            for head in sorted(ir.loops):
+                node = ir.loops[head]
+                kind = "nested-loop" if node.inner is not None \
+                    else "canonical-loop"
+                shapes.append({"head": head, "shape": kind,
+                               "trip": node.trip, "step": node.step})
+            chain = None
+            if ir.chain is not None:
+                loops = [r for r in ir.chain.regions
+                         if isinstance(r, LoopNode)]
+                chain = {"regions": len(ir.chain.regions),
+                         "loops": len(loops),
+                         "fission": len(loops) >= 2,
+                         "retired": ir.chain.total_retired}
+            rows.append({"function": entry.function,
+                         "width": entry.width,
+                         "instructions": len(entry.fragment.instructions),
+                         "node_kinds": sorted(k.name
+                                              for k in ir.node_kinds()),
+                         "loops": shapes, "chain": chain})
+    finally:
+        telemetry.disable()
+    counters = {name: value
+                for name, value in tel.to_dict().get("counters", {}).items()
+                if name.startswith("macro.plan.")}
+    if args.json:
+        print(json.dumps({"benchmark": args.benchmark, "width": args.width,
+                          "fragments": rows, "counters": counters},
+                         indent=2, sort_keys=True))
+        return 0
+    print(f"{args.benchmark} @ width {args.width}: "
+          f"{len(rows)} translated fragment(s)")
+    for row in rows:
+        print(f"  {row['function']} "
+              f"({row['instructions']} instructions)")
+        for shape in row["loops"]:
+            print(f"    loop @ pc {shape['head']:<4} {shape['shape']:<15} "
+                  f"trip {shape['trip']} step {shape['step']}")
+        chain = row["chain"]
+        if chain is not None:
+            tag = "fission-chain" if chain["fission"] else "chain"
+            print(f"    whole-fragment {tag}: {chain['regions']} regions, "
+                  f"{chain['loops']} loop(s), "
+                  f"{chain['retired']} retired/invocation")
+        print(f"    IR nodes: {', '.join(row['node_kinds'])}")
+    if counters:
+        print("recognition counters:")
+        for name in sorted(counters):
+            print(f"  {name:<44} {counters[name]}")
+    return 0
+
+
 def _cmd_bench_compare(args) -> int:
     import json
 
@@ -239,6 +314,16 @@ def main(argv=None) -> int:
     tel_p.add_argument("--json", action="store_true",
                        help="emit the registry as JSON instead of text")
 
+    cg_p = sub.add_parser(
+        "codegen",
+        help="lift one benchmark's translated fragments into codegen IR "
+             "and print the per-fragment shape-recognition table")
+    cg_p.add_argument("benchmark", choices=BENCHMARK_ORDER)
+    cg_p.add_argument("--width", type=int, default=8,
+                      help="accelerator width (default: 8)")
+    cg_p.add_argument("--json", action="store_true",
+                      help="emit the table as JSON instead of text")
+
     bench_p = sub.add_parser(
         "bench", help="benchmark payload utilities (bench compare)")
     bench_sub = bench_p.add_subparsers(dest="bench_command", required=True)
@@ -266,6 +351,8 @@ def main(argv=None) -> int:
         return _cmd_retranslate(args)
     if args.command == "telemetry":
         return _cmd_telemetry(args)
+    if args.command == "codegen":
+        return _cmd_codegen(args)
     if args.command == "bench":
         return _cmd_bench_compare(args)
     return 2  # pragma: no cover

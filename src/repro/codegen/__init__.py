@@ -1,0 +1,31 @@
+"""Unified fragment IR + pluggable codegen backends.
+
+The package splits runtime code generation into three layers:
+
+* :mod:`repro.codegen.ir` — the typed fragment IR (loads/stores,
+  vector ALU, permutation gathers, reductions, counted/nested loops,
+  scalar segments, whole-fragment chains) plus the superblock spec;
+* :mod:`repro.codegen.lift` — recognition: decoded fragments and
+  superblocks into IR;
+* :mod:`repro.codegen.backend` — pluggable lowering: IR into the
+  engines' closure kinds, all compiled through
+  :mod:`repro.codegen.emit`.
+
+See ``docs/codegen.md`` for the node catalog and backend protocol.
+"""
+
+from repro.codegen.backend import BACKENDS, Backend, get_backend, \
+    register_backend
+from repro.codegen.ir import IRKind
+from repro.codegen.lift import FragmentIR, lift_fragment, lift_superblock
+
+__all__ = [
+    "BACKENDS",
+    "Backend",
+    "FragmentIR",
+    "IRKind",
+    "get_backend",
+    "lift_fragment",
+    "lift_superblock",
+    "register_backend",
+]

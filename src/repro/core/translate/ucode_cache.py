@@ -72,6 +72,21 @@ class MicrocodeEntry:
         """Content identity: the machine's fragment-table key."""
         return (self.function, self.width, self.encoded_bytes())
 
+    def lift_ir(self):
+        """This entry's :class:`~repro.codegen.lift.FragmentIR` (memoized).
+
+        Lifting is deterministic over ``(encoded_bytes(), width)``, so
+        the memo is safe under content identity; the codegen import is
+        deferred because most entry consumers (the cache, the store)
+        never need IR.
+        """
+        cached = getattr(self, "_ir", None)
+        if cached is None:
+            from repro.codegen.lift import lift_fragment
+            cached = lift_fragment(self.fragment, self.width)
+            object.__setattr__(self, "_ir", cached)
+        return cached
+
     def __eq__(self, other) -> bool:
         if not isinstance(other, MicrocodeEntry):
             return NotImplemented

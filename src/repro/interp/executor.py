@@ -456,7 +456,11 @@ class TurboExecutor(FastExecutor):
 #: engine name -> factory(state, table); tuple order is the doc order.
 #: "macro" shares the turbo executor — it differs only in the machine
 #: loop, which additionally runs recognized translated-fragment loops
-#: through whole-trip-count kernels (repro/interp/macro.py).
+#: through whole-trip-count kernels (repro/interp/macro.py).  Both
+#: accelerated engines generate their closures through the shared
+#: codegen layer (repro/codegen/, docs/codegen.md): the superblock
+#: backend emits turbo's fused blocks and timing specializations, the
+#: numpy backend emits macro's loop/chain/nest kernels.
 _ENGINE_FACTORIES = {
     "fast": lambda state, table: FastExecutor(state, table),
     "turbo": lambda state, table: TurboExecutor(state, table),

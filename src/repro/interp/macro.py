@@ -1,42 +1,44 @@
 """Whole-loop macro-kernel execution of translated SIMD fragments.
 
-The translator emits fragments of one canonical shape (see
-``repro/core/translate/translator.py``): a counted do-while loop whose
-body loads vectors at affine addresses in a single induction variable,
-applies a loop-invariant chain of vector ALU / permutation operations,
-stores results at affine addresses, optionally folds reduction
-registers, and closes with ``add rI, rI, #width`` / ``cmp rI, #trip`` /
-``blt head``.  The turbo engine (PR 3) already fuses each loop body
-into one superblock, but still runs it once per trip.
+The translator emits fragments in a small regular language (see
+``repro/core/translate/translator.py``); the macro engine executes
+their hot shapes whole instead of per block.  Recognition and lowering
+live in the shared codegen layer (:mod:`repro.codegen`): the lift pass
+(:func:`repro.codegen.lift.lift_fragment`) raises a fragment into
+typed IR once, and the numpy backend lowers the recognized regions
+into ``exec()``-compiled whole-array kernels.  This module owns the
+*runtime* shapes the machine dispatches on — what to check before
+engaging, how to replay timing, what architectural state the epilogue
+must leave — and assembles them into the fragment plan:
 
-This module recognizes that shape (:func:`build_fragment_plan` /
-:class:`FragmentLoopShape`) and ``exec()``-compiles the *entire
-remaining trip count* into one numpy kernel over 2-D ``(trips, width)``
-arrays: loads become one :meth:`~repro.memory.memory.Memory.load_array`
-slab each, the ALU body becomes whole-array numpy expressions mirroring
-the ``binary_fast_fn``/``unary_fast_fn``/``reduce_fast_fn`` lowerings
-of :mod:`repro.simd.vector_ops` (translated ``cnst`` vector immediates
-are pre-baked operands, permutations are precomputed index gathers),
-and reductions fold the flattened stream with bit-exact association
-order.  Timing stays bit-identical through two batched APIs: the whole
-loop's d-cache stream is replayed by
+* :class:`FragmentLoopShape` — the canonical counted do-while loop,
+  run for all remaining trips as one ``(trips, width)`` kernel
+  (PR 5's original shape, now IR-driven).
+* :class:`FragmentChainShape` — a whole fragment of alternating
+  scalar segments and counted loops with statically known trips
+  (the paper's fissioned permutation loops, §3, land here), run as a
+  single kernel per fragment invocation.
+* :class:`FragmentNestShape` — a nested counted loop (outer
+  ``add``/``cmp``/``blt`` around an induction reset plus one inner
+  vector loop), run whole across the remaining outer trips.
+
+Timing stays bit-identical through the same two batched APIs as
+before: whole-loop d-cache streams replayed by
 :meth:`~repro.memory.cache.Cache.access_stream` (trip-major, program
 order — the exact sequence the per-block path would have issued), and
-the pipeline hazards, per-trip branch prediction, and statistics are
-folded by :meth:`~repro.pipeline.core.PipelineModel.account_loop`
-(here specialized per loop via an ``exec()``-generated
-``BlockTiming.loop_compiled`` closure).
+pipeline hazards/branch prediction/statistics folded by
+:meth:`~repro.pipeline.core.PipelineModel.account_block` /
+:meth:`~repro.pipeline.core.PipelineModel.account_loop` over the very
+``BlockTiming`` objects the per-block path uses.
 
-Fallback contract: anything outside the canonical shape — non-affine
-addresses, a non-``blt`` or data-dependent branch, loop-carried vector
-registers, mixed element sizes on a stored symbol, unsupported
-opcodes — produces no plan entry, and runtime conditions (misaligned or
-out-of-range slabs, read-only overlap, induction state out of range,
-fewer than two remaining trips, step-limit proximity, an attached
-tracer or in-flight translation, which disable fused fragments
-wholesale in ``Machine._run_fragment``) return the loop to the
-per-block path, which raises the identical errors at the identical
-instruction.  The four-way differential suite pins all of this.
+Fallback contract: anything outside the recognized shapes produces no
+plan entry, and runtime conditions (misaligned or out-of-range slabs,
+read-only overlap, induction state out of range, fewer than two
+remaining trips, step-limit proximity, an attached tracer or in-flight
+translation, which disable fused fragments wholesale in
+``Machine._run_fragment``) return control to the per-block path, which
+raises the identical errors at the identical instruction.  The
+four-way differential suite pins all of this.
 """
 
 from __future__ import annotations
@@ -45,20 +47,10 @@ from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
-from repro import arith
+from repro.codegen.backend import get_backend
+from repro.codegen.ir import ChainNode, LoopNode
+from repro.codegen.lift import lift_fragment, static_loop_trips
 from repro.observability import telemetry as _telemetry
-from repro.isa.decoded import (
-    VEC_BINARY_OPS,
-    VEC_PERM_OPS,
-    VEC_RED_OPS,
-    VEC_UNARY_OPS,
-)
-from repro.isa.instructions import Imm, Mem, Reg, VImm, Sym
-from repro.isa.opcodes import ELEM_SIZES
-from repro.isa.registers import is_float_reg, is_int_reg, is_vector_reg
-from repro.pipeline.core import _FLAGS
-from repro.simd import vector_ops
-from repro.simd.permutations import PermPattern
 
 #: Values the induction variable may reach without 32-bit wrap concerns.
 _INT31 = 1 << 31
@@ -69,292 +61,14 @@ _INT31 = 1 << 31
 MIN_MACRO_TRIPS = 2
 
 
-def _kind(elem: Optional[str]) -> str:
-    return "f" if elem == "f32" else "i"
-
-
-def _reject(reason: str):
-    """Record one recognition rejection and return None.
-
-    Plan construction is memoized per fragment bytes (cold), so the
-    telemetry call — a no-op through the disabled shim — costs nothing
-    on the execution path.  Reasons form the
-    ``macro.plan.rejected.<reason>`` counter family
-    (docs/observability.md).
-    """
-    _telemetry.get().count("macro.plan.rejected." + reason)
-    return None
-
-
-def _full(arr: np.ndarray, n: int) -> np.ndarray:
-    """Broadcast a loop-invariant ``(1, width)`` row to ``(n, width)``."""
-    if arr.shape[0] == n:
-        return arr
-    return np.broadcast_to(arr, (n,) + arr.shape[1:])
-
-
-# ---------------------------------------------------------------------------
-# Per-instruction numpy lowerings over (trips, width) arrays.
-#
-# Each builder mirrors the corresponding *_fast_fn in simd/vector_ops.py
-# on 2-D arrays: integer lanes computed in int64 and truncated with
-# astype (== wrap_int), saturation clipped against INT_BOUNDS, float
-# lanes in float32 with one rounding per op, float min/max via np.where
-# (Python tie/NaN order), float bitwise through view(uint32).  Anything
-# the whole-array form cannot reproduce bit-identically returns None and
-# the loop is rejected (per-block fallback).
-# ---------------------------------------------------------------------------
-
-
-def _make_load(elem: str, width: int):
-    def load(memory, base, n, _elem=elem, _w=width):
-        return memory.load_array(base, _elem, n * _w).reshape(n, _w)
-    return load
-
-
-def _make_store(elem: str):
-    def store(memory, base, arr, _elem=elem):
-        memory.store_array(base, _elem, arr)
-    return store
-
-
-def _bake_vector_imm(operand, elem: Optional[str], width: int):
-    """Prepared rhs array for an ``Imm``/``VImm`` operand, or None."""
-    kind = _kind(elem or "i32")
-    if isinstance(operand, Imm):
-        value = operand.value
-        if kind == "f":
-            return np.float32(value)
-        if not isinstance(value, int):
-            return None
-        return np.int64(value)
-    if isinstance(operand, VImm):
-        lanes = list(operand.lanes)
-        if len(lanes) != width:
-            return None  # reference raises; per-block path reproduces it
-        if kind == "f":
-            return np.asarray(lanes, dtype=np.float32).reshape(1, width)
-        if not all(isinstance(v, int) for v in lanes):
-            return None
-        return np.asarray(lanes, dtype=np.int64).reshape(1, width)
-    return None
-
-
-def _bake_mask_imm(operand, width: int):
-    """uint32 mask patterns for a float-bitwise ``Imm``/``VImm`` rhs."""
-    if isinstance(operand, Imm):
-        lanes = [operand.value] * width
-    elif isinstance(operand, VImm):
-        lanes = list(operand.lanes)
-        if len(lanes) != width:
-            return None
-    else:
-        return None
-    try:
-        masks = vector_ops._mask_lanes(lanes)
-    except (TypeError, ValueError, OverflowError):
-        return None
-    return masks.reshape(1, width)
-
-
-def _make_binary(opcode: str, elem: Optional[str], b_operand, width: int):
-    """Whole-array closure for one binary vector op; None when the
-    lowering cannot be bit-identical.  ``b_operand`` is None for a
-    register rhs — the closure then takes ``(a, b)`` — or the
-    ``Imm``/``VImm`` operand to pre-bake, making the closure unary."""
-    elem = elem or "i32"
-    if elem == "f32":
-        if opcode in vector_ops._FLOAT_BITWISE:
-            want_and = opcode in ("vand", "vmask")
-            if b_operand is None:
-                def fn(a, b, _and=want_and):
-                    bits = a.view(np.uint32)
-                    masks = b.view(np.uint32)
-                    out = (bits & masks) if _and else (bits | masks)
-                    return out.view(np.float32)
-                return fn
-            masks = _bake_mask_imm(b_operand, width)
-            if masks is None:
-                return None
-
-            def fn(a, _m=masks, _and=want_and):
-                bits = a.view(np.uint32)
-                out = (bits & _m) if _and else (bits | _m)
-                return out.view(np.float32)
-            return fn
-        if opcode == "vabd":
-            if b_operand is None:
-                return lambda a, b: np.abs(a - b)
-            bb = _bake_vector_imm(b_operand, elem, width)
-            if bb is None:
-                return None
-            return lambda a, _b=bb: np.abs(a - _b)
-        if opcode in ("vmin", "vmax"):
-            want_min = opcode == "vmin"
-            if b_operand is None:
-                def fn(a, b, _min=want_min):
-                    return np.where(b < a, b, a) if _min \
-                        else np.where(b > a, b, a)
-                return fn
-            bb = _bake_vector_imm(b_operand, elem, width)
-            if bb is None:
-                return None
-
-            def fn(a, _b=bb, _min=want_min):
-                return np.where(_b < a, _b, a) if _min \
-                    else np.where(_b > a, _b, a)
-            return fn
-        np_op = vector_ops._NP_FLOAT_BINARY.get(opcode)
-        if np_op is None:
-            return None
-        if b_operand is None:
-            return lambda a, b, _op=np_op: _op(a, b)
-        bb = _bake_vector_imm(b_operand, elem, width)
-        if bb is None:
-            return None
-        return lambda a, _b=bb, _op=np_op: _op(a, _b)
-
-    dtype = vector_ops._NP_INT_DTYPE.get(elem)
-    if dtype is None:
-        return None
-    if opcode in ("vqadd", "vqsub"):
-        lo, hi = arith.INT_BOUNDS[elem]
-        want_add = opcode == "vqadd"
-        if b_operand is None:
-            def fn(a, b, _lo=lo, _hi=hi, _add=want_add, _dtype=dtype):
-                aa = a.astype(np.int64)
-                bb = b.astype(np.int64)
-                raw = aa + bb if _add else aa - bb
-                return np.clip(raw, _lo, _hi).astype(_dtype)
-            return fn
-        bb = _bake_vector_imm(b_operand, elem, width)
-        if bb is None:
-            return None
-
-        def fn(a, _b=bb, _lo=lo, _hi=hi, _add=want_add, _dtype=dtype):
-            aa = a.astype(np.int64)
-            raw = aa + _b if _add else aa - _b
-            return np.clip(raw, _lo, _hi).astype(_dtype)
-        return fn
-    np_op = vector_ops._NP_INT_BINARY.get(opcode)
-    if np_op is None:
-        return None
-    if b_operand is None:
-        def fn(a, b, _op=np_op, _dtype=dtype):
-            return _op(a.astype(np.int64), b.astype(np.int64)).astype(_dtype)
-        return fn
-    bb = _bake_vector_imm(b_operand, elem, width)
-    if bb is None:
-        return None
-
-    def fn(a, _b=bb, _op=np_op, _dtype=dtype):
-        return _op(a.astype(np.int64), _b).astype(_dtype)
-    return fn
-
-
-def _make_unary(opcode: str, elem: Optional[str]):
-    elem = elem or "i32"
-    np_op = {"vabs": np.abs, "vneg": np.negative}.get(opcode)
-    if np_op is None:
-        return None
-    if elem == "f32":
-        return lambda a, _op=np_op: _op(a)
-    dtype = vector_ops._NP_INT_DTYPE.get(elem)
-    if dtype is None:
-        return None
-    return lambda a, _op=np_op, _dtype=dtype: \
-        _op(a.astype(np.int64)).astype(_dtype)
-
-
-def _make_perm(instr, width: int):
-    """Precomputed index gather for one vbfly/vrev/vrot, or None."""
-    try:
-        period_operand = instr.srcs[1] if len(instr.srcs) > 1 else Imm(width)
-        if not isinstance(period_operand, Imm):
-            return None
-        period = int(period_operand.value)
-        if instr.opcode == "vbfly":
-            pattern = PermPattern("bfly", period)
-        elif instr.opcode == "vrev":
-            pattern = PermPattern("rev", period)
-        else:
-            if len(instr.srcs) < 3 or not isinstance(instr.srcs[2], Imm):
-                return None
-            pattern = PermPattern("rot", period, int(instr.srcs[2].value))
-        if width % pattern.period != 0:
-            return None
-        lane_map = np.asarray(pattern.lane_map(width), dtype=np.intp)
-    except (ValueError, TypeError):
-        return None
-    return lambda a, _map=lane_map: a[:, _map]
-
-
-def _make_reduce(opcode: str, elem: Optional[str]):
-    """Whole-stream reduction fold, bit-exact vs. the per-trip chain.
-
-    f32 ``vredsum`` uses ``np.add.accumulate`` — a strictly sequential
-    left fold in float32, i.e. the reference's one-rounding-per-element
-    chain; f32 min/max fold through ``arith.float_op`` for its Python
-    tie/NaN ordering.  Integer sums are computed wide and wrapped once
-    (congruent mod 2**32 to the per-step wrap); integer min/max never
-    leave the 32-bit range, so per-step wraps are the identity.
-    """
-    elem = elem or "i32"
-    if elem == "f32":
-        if opcode == "vredsum":
-            def fn(acc, arr):
-                flat = np.empty(arr.size + 1, dtype=np.float32)
-                flat[0] = acc
-                flat[1:] = arr.reshape(-1)
-                return float(np.add.accumulate(flat)[-1])
-            return fn
-        if opcode in ("vredmin", "vredmax"):
-            op = "fmin" if opcode == "vredmin" else "fmax"
-
-            def fn(acc, arr, _op=op):
-                result = float(acc)
-                for lane in arr.reshape(-1).tolist():
-                    result = arith.float_op(_op, result, lane)
-                return result
-            return fn
-        return None
-    if opcode == "vredsum":
-        def fn(acc, arr):
-            return arith.wrap_int(int(acc) + int(arr.sum(dtype=np.int64)))
-        return fn
-    if opcode in ("vredmin", "vredmax"):
-        want_min = opcode == "vredmin"
-        pick = min if want_min else max
-
-        def fn(acc, arr, _pick=pick, _min=want_min):
-            best = arr.min() if _min else arr.max()
-            return arith.wrap_int(_pick(int(acc), int(best)))
-        return fn
-    return None
-
-
-def _make_invariant(name: str, kind: str):
-    """Reader for a loop-invariant vector register input."""
-    dtype = np.float32 if kind == "f" else np.int64
-
-    def read(vregs, _n=name, _dtype=dtype):
-        return np.asarray(vregs.read(_n), dtype=_dtype).reshape(1, -1)
-    return read
-
-
-# ---------------------------------------------------------------------------
-# Shape analysis
-# ---------------------------------------------------------------------------
-
-
-def _affine_sym(mem: Optional[Mem], induction: str) -> Optional[str]:
-    """Symbol name of a ``[sym + induction]`` operand, else None."""
-    if mem is None or not isinstance(mem.base, Sym):
-        return None
-    index = mem.index
-    if not (isinstance(index, Reg) and index.name == induction):
-        return None
-    return mem.base.name
+def _site_arrays(sites, width: int):
+    """(strides, nbytes, writes, load_cols) numpy arrays for loop sites."""
+    strides = [esz * width for (_sym, esz, _w) in sites]
+    return (np.asarray(strides, dtype=np.int64),
+            np.asarray(strides, dtype=np.int64),  # one vector/site
+            np.asarray([w for (_s, _e, w) in sites], dtype=bool),
+            np.asarray([i for i, (_s, _e, w) in enumerate(sites) if not w],
+                       dtype=np.intp))
 
 
 class FragmentLoopShape:
@@ -372,25 +86,18 @@ class FragmentLoopShape:
                  "sites", "kernel", "timing",
                  "_bases_stride", "_nbytes", "_writes", "_load_cols")
 
-    def __init__(self, head: int, branch_pc: int, width: int,
-                 induction: str, trip: int,
-                 sites: List[Tuple[str, int, bool]], kernel) -> None:
-        self.head = head
-        self.branch_pc = branch_pc
-        self.blen = branch_pc - head + 1
-        self.width = width
-        self.induction = induction
-        self.trip = trip
-        self.sites = tuple(sites)
+    def __init__(self, node: LoopNode, kernel) -> None:
+        self.head = node.head
+        self.branch_pc = node.branch_pc
+        self.blen = node.blen
+        self.width = node.width
+        self.induction = node.induction
+        self.trip = node.trip
+        self.sites = node.sites
         self.kernel = kernel
         self.timing = None  # attached by build_fragment_plan
-        strides = [esz * width for (_sym, esz, _w) in sites]
-        self._bases_stride = np.asarray(strides, dtype=np.int64)
-        self._nbytes = np.asarray(strides, dtype=np.int64)  # one vector/site
-        self._writes = np.asarray([w for (_s, _e, w) in sites], dtype=bool)
-        self._load_cols = np.asarray(
-            [i for i, (_s, _e, w) in enumerate(sites) if not w],
-            dtype=np.intp)
+        (self._bases_stride, self._nbytes, self._writes,
+         self._load_cols) = _site_arrays(node.sites, node.width)
 
     def trips(self, state) -> Optional[int]:
         """Remaining trip count from live state, or None to fall back."""
@@ -460,312 +167,200 @@ class FragmentLoopShape:
         return True
 
 
-def _analyze_loop(fragment, head: int, branch_pc: int,
-                  width: int) -> Optional[FragmentLoopShape]:
-    """A :class:`FragmentLoopShape` for the loop closed by the ``blt``
-    at *branch_pc* targeting *head*, or None when any instruction falls
-    outside the canonical translated form."""
-    instrs = fragment.instructions
-    if branch_pc - head < 3:
-        return _reject("loop-too-short")
-    cmp_i = instrs[branch_pc - 1]
-    add_i = instrs[branch_pc - 2]
-    if (cmp_i.opcode != "cmp" or len(cmp_i.srcs) != 2
-            or add_i.opcode != "add" or add_i.dst is None
-            or len(add_i.srcs) != 2):
-        return _reject("bad-header")
-    ind_op = add_i.srcs[0]
-    if not (isinstance(ind_op, Reg) and is_int_reg(ind_op.name)
-            and add_i.dst.name == ind_op.name):
-        return _reject("bad-header")
-    induction = ind_op.name
-    step = add_i.srcs[1]
-    if not (isinstance(step, Imm) and step.value == width):
-        return _reject("step-not-width")
-    if not (isinstance(cmp_i.srcs[0], Reg)
-            and cmp_i.srcs[0].name == induction
-            and isinstance(cmp_i.srcs[1], Imm)
-            and isinstance(cmp_i.srcs[1].value, int)):
-        return _reject("bad-header")
-    trip = int(cmp_i.srcs[1].value)
+class FragmentChainShape:
+    """A whole chain-shaped fragment, executable as one kernel.
 
-    # Vector registers written anywhere in the body: a read before the
-    # body's (re)definition would be loop-carried — unsupported.
-    written = set()
-    for pc in range(head, branch_pc - 2):
-        dst = instrs[pc].dst
-        if dst is not None and is_vector_reg(dst.name):
-            written.add(dst.name)
-
-    ns = {"np": np, "_full": _full}
-    emits: List[str] = []
-    sites: List[Tuple[str, int, bool]] = []
-    defined: Dict[str, str] = {}     # body-defined vreg -> kind
-    invariants: Dict[str, str] = {}  # loop-invariant input vreg -> kind
-    finals: Dict[str, Optional[str]] = {}  # written vreg -> last elem
-    accs: Dict[str, bool] = {}       # reduction accumulator scalars
-
-    def use_vec(operand, kind: str) -> Optional[str]:
-        """Python expression reading a vector register operand."""
-        if not (isinstance(operand, Reg) and is_vector_reg(operand.name)):
-            return None
-        name = operand.name
-        have = defined.get(name)
-        if have is not None:
-            return f"v_{name}" if have == kind else None
-        if name in written:
-            return None  # read of a later definition: loop-carried
-        prior = invariants.get(name)
-        if prior is None:
-            invariants[name] = kind
-        elif prior != kind:
-            return None
-        return f"v_{name}"
-
-    for pc in range(head, branch_pc - 2):
-        ins = instrs[pc]
-        op = ins.opcode
-        elem = ins.elem
-        if op == "vld":
-            if elem is None or ins.dst is None \
-                    or not is_vector_reg(ins.dst.name):
-                return _reject("bad-operand")
-            sym = _affine_sym(ins.mem, induction)
-            if sym is None:
-                return _reject("non-affine-address")
-            key = f"ld{pc}"
-            ns[key] = _make_load(elem, width)
-            site = len(sites)
-            sites.append((sym, ELEM_SIZES[elem], False))
-            dname = ins.dst.name
-            emits.append(f"v_{dname} = {key}(memory, bases[{site}], n)")
-            defined[dname] = _kind(elem)
-            finals[dname] = elem
-        elif op == "vst":
-            if elem is None or not ins.srcs:
-                return _reject("bad-operand")
-            src = use_vec(ins.srcs[0], _kind(elem))
-            sym = _affine_sym(ins.mem, induction)
-            if sym is None:
-                return _reject("non-affine-address")
-            if src is None:
-                return _reject("vector-dataflow")
-            key = f"st{pc}"
-            ns[key] = _make_store(elem)
-            site = len(sites)
-            sites.append((sym, ELEM_SIZES[elem], True))
-            emits.append(f"{key}(memory, bases[{site}], _full({src}, n))")
-        elif op in VEC_BINARY_OPS:
-            if ins.dst is None or len(ins.srcs) != 2 \
-                    or not is_vector_reg(ins.dst.name):
-                return _reject("bad-operand")
-            kind = _kind(elem)
-            a = use_vec(ins.srcs[0], kind)
-            if a is None:
-                return _reject("vector-dataflow")
-            b_operand = ins.srcs[1]
-            key = f"op{pc}"
-            if isinstance(b_operand, Reg):
-                b = use_vec(b_operand, kind)
-                if b is None:
-                    return _reject("vector-dataflow")
-                fn = _make_binary(op, elem, None, width)
-                if fn is None:
-                    return _reject("unsupported-lowering")
-                ns[key] = fn
-                emits.append(f"v_{ins.dst.name} = {key}({a}, {b})")
-            else:
-                fn = _make_binary(op, elem, b_operand, width)
-                if fn is None:
-                    return _reject("unsupported-lowering")
-                ns[key] = fn
-                emits.append(f"v_{ins.dst.name} = {key}({a})")
-            defined[ins.dst.name] = kind
-            finals[ins.dst.name] = elem
-        elif op in VEC_UNARY_OPS:
-            if ins.dst is None or not ins.srcs \
-                    or not is_vector_reg(ins.dst.name):
-                return _reject("bad-operand")
-            kind = _kind(elem)
-            a = use_vec(ins.srcs[0], kind)
-            if a is None:
-                return _reject("vector-dataflow")
-            fn = _make_unary(op, elem)
-            if fn is None:
-                return _reject("unsupported-lowering")
-            key = f"op{pc}"
-            ns[key] = fn
-            emits.append(f"v_{ins.dst.name} = {key}({a})")
-            defined[ins.dst.name] = kind
-            finals[ins.dst.name] = elem
-        elif op in VEC_PERM_OPS:
-            if ins.dst is None or not ins.srcs \
-                    or not is_vector_reg(ins.dst.name):
-                return _reject("bad-operand")
-            kind = _kind(elem)
-            a = use_vec(ins.srcs[0], kind)
-            if a is None:
-                return _reject("vector-dataflow")
-            fn = _make_perm(ins, width)
-            if fn is None:
-                return _reject("unsupported-lowering")
-            key = f"op{pc}"
-            ns[key] = fn
-            emits.append(f"v_{ins.dst.name} = {key}({a})")
-            defined[ins.dst.name] = kind
-            finals[ins.dst.name] = elem
-        elif op in VEC_RED_OPS:
-            if ins.dst is None or len(ins.srcs) != 2:
-                return _reject("bad-operand")
-            dname = ins.dst.name
-            acc_op = ins.srcs[0]
-            # Canonical accumulator form only: dst == srcs[0], a scalar
-            # register of the reduction's kind, distinct from the
-            # induction and from every other accumulator.
-            if (is_vector_reg(dname) or dname == induction
-                    or dname in accs
-                    or not (isinstance(acc_op, Reg)
-                            and acc_op.name == dname)):
-                return _reject("bad-accumulator")
-            kind = _kind(elem)
-            if kind == "f" and not is_float_reg(dname):
-                return _reject("bad-accumulator")
-            if kind == "i" and not is_int_reg(dname):
-                return _reject("bad-accumulator")
-            vsrc = use_vec(ins.srcs[1], kind)
-            if vsrc is None:
-                return _reject("vector-dataflow")
-            fn = _make_reduce(op, elem)
-            if fn is None:
-                return _reject("unsupported-lowering")
-            key = f"red{pc}"
-            ns[key] = fn
-            accs[dname] = True
-            emits.append(
-                f"acc_{dname} = {key}(acc_{dname}, _full({vsrc}, n))")
-        else:
-            return _reject("unsupported-op")
-
-    # Memory-ordering precondition for whole-array execution: every
-    # trip's windows are disjoint across trips (stride == width
-    # elements), which holds per symbol only when all its sites share
-    # one element size once a store is involved.
-    store_syms = {sym for (sym, _esz, w) in sites if w}
-    for sym in store_syms:
-        if len({esz for (s, esz, _w) in sites if s == sym}) != 1:
-            return _reject("mixed-elem-store")
-
-    prologue = [f"acc_{name} = regs.read({name!r})" for name in accs]
-    for name, kind in invariants.items():
-        key = f"inv_{name}"
-        ns[key] = _make_invariant(name, kind)
-        prologue.append(f"v_{name} = {key}(vregs)")
-    epilogue = [f"regs.write({name!r}, acc_{name})" for name in accs]
-    for name, last_elem in finals.items():
-        epilogue.append(
-            f"vregs.write({name!r}, v_{name}[-1].tolist(), {last_elem!r})")
-
-    body = prologue + emits + epilogue
-    src = ["def _kernel(memory, vregs, regs, bases, n):"]
-    src += ["    " + line for line in body] or ["    pass"]
-    exec(compile("\n".join(src), f"<macro-kernel@{head}>", "exec"), ns)
-
-    return FragmentLoopShape(head, branch_pc, width, induction, trip,
-                             sites, ns["_kernel"])
-
-
-# ---------------------------------------------------------------------------
-# Compiled whole-loop timing
-# ---------------------------------------------------------------------------
-
-
-def _compile_loop_timing(timing, pipeline):
-    """``exec()``-generated specialization of
-    :meth:`~repro.pipeline.core.PipelineModel.account_loop` for one
-    loop-body block: the generic row loop unrolled with constants baked
-    (same style as the turbo engine's per-block ``compiled`` closures),
-    wrapped in the per-trip loop with its deterministic branch pattern.
+    Registered at pc 0 of the plan: one invocation runs every scalar
+    segment and every loop region of the fragment (all trip counts are
+    static — the chain lift required each induction to be reset by a
+    ``mov rI, #0`` in the chain itself), then replays the fragment's
+    complete timing as a static schedule of block steps (segment +
+    first loop iteration + back-branch, and the trailing segment) and
+    loop steps (iterations 2..n via ``access_stream`` +
+    ``account_loop``) over the same ``BlockTiming`` objects the
+    per-block path uses.
     """
-    dcache_hit = pipeline._dcache_hit
-    penalty = pipeline.config.mispredict_penalty
-    src = [
-        "def _loop(pipe, trips, lats):",
-        "    reg_ready = pipe._reg_ready",
-        "    get = reg_ready.get",
-        "    stats = pipe.stats",
-        "    fetch_ready = pipe._fetch_ready",
-        "    last_issue = pipe._last_issue",
-        "    last_completion = pipe._last_completion",
-        "    predict = pipe.predictor.predict",
-        "    update = pipe.predictor.update",
-        "    data_stall = 0",
-        "    load_miss = 0",
-        "    branch_penalty = 0",
-        "    mispredicts = 0",
-        "    k = 0",
-        "    issue = last_issue",
-        "    last_trip = trips - 1",
-        "    for _t in range(trips):",
-    ]
-    emit = src.append
-    for (_fetch_key, reads, reads_flags, writes, sets_flags,
-         latency, mem_kind, _nbytes) in timing.rows:
-        emit("        ready = fetch_ready")
-        for reg in reads:
-            emit(f"        t = get({reg!r}, 0)")
-            emit("        if t > ready:")
-            emit("            ready = t")
-        if reads_flags:
-            emit(f"        t = get({_FLAGS!r}, 0)")
-            emit("        if t > ready:")
-            emit("            ready = t")
-        emit("        issue = last_issue + 1")
-        emit("        if ready > issue:")
-        emit("            data_stall += ready - issue")
-        emit("            issue = ready")
-        if mem_kind == 1:
-            emit("        a = lats[k]")
-            emit("        k += 1")
-            emit("        completion = issue + a")
-            emit(f"        if a > {dcache_hit}:")
-            emit(f"            load_miss += a - {dcache_hit}")
-        else:
-            # Stores and ALU rows: the d-cache was pre-advanced by
-            # access_stream; the write buffer hides store latency.
-            emit(f"        completion = issue + {latency}")
-        for reg in writes:
-            emit(f"        reg_ready[{reg!r}] = completion")
-        if sets_flags:
-            emit(f"        reg_ready[{_FLAGS!r}] = completion")
-        emit("        last_issue = issue")
-        emit("        fetch_ready = issue")
-        emit("        if completion > last_completion:")
-        emit("            last_completion = completion")
-    branch_pc = timing.branch_pc
-    branch_target = timing.branch_target
-    src += [
-        "        taken = _t != last_trip",
-        f"        predicted = predict({branch_pc}, "
-        f"{branch_target} if taken else {branch_pc})",
-        f"        update({branch_pc}, taken)",
-        "        if predicted != taken:",
-        "            mispredicts += 1",
-        f"            fetch_ready = issue + 1 + {penalty}",
-        f"            branch_penalty += {penalty}",
-        "    pipe._last_issue = last_issue",
-        "    pipe._fetch_ready = fetch_ready",
-        "    pipe._last_completion = last_completion",
-        f"    stats.instructions += {timing.count} * trips",
-        f"    stats.simd_instructions += {timing.simd} * trips",
-        "    stats.branches += trips",
-        "    stats.mispredicts += mispredicts",
-        "    stats.branch_penalty_cycles += branch_penalty",
-        "    stats.data_stall_cycles += data_stall",
-        "    stats.load_miss_cycles += load_miss",
-    ]
-    ns: dict = {}
-    exec(compile("\n".join(src), "<macro-loop-timing>", "exec"), ns)
-    return ns["_loop"]
+
+    __slots__ = ("blen", "width", "kernel", "steps", "sites", "count",
+                 "_flags_pair")
+
+    def __init__(self, chain: ChainNode, kernel, steps, count: int,
+                 flags_pair: Tuple[int, int]) -> None:
+        self.blen = chain.total_retired
+        self.width = chain.width
+        self.kernel = kernel
+        self.steps = steps
+        self.sites = chain.sites
+        self.count = count  # fragment instruction count (exit pc)
+        self._flags_pair = flags_pair
+
+    def trips(self, state) -> Optional[int]:
+        """One whole-fragment invocation; trip counts are static."""
+        return 1
+
+    def run(self, state, pipeline, trips: int) -> bool:
+        regs = state.regs
+        memory = state.memory
+        symbols = state.symbols
+        width = self.width
+        bases: List[int] = []
+        for site in self.sites:
+            base = symbols.address_of(site.sym) + site.offset * site.esz
+            nbytes = site.count_elems * site.esz
+            if site.scalar:
+                if base < 0 or base + nbytes > memory.size:
+                    return False
+            else:
+                if base % (site.esz * width) or base < 0 \
+                        or base + nbytes > memory.size:
+                    return False
+            if site.is_store and memory.overlaps_read_only(base, nbytes):
+                return False
+            bases.append(base)
+
+        self.kernel(memory, state.vregs, regs, bases)
+
+        account_block = pipeline.account_block
+        account_loop = pipeline.account_loop
+        access_stream = pipeline.dcache.access_stream
+        for step in self.steps:
+            if step[0] == 0:
+                _, timing, ids, taken = step
+                account_block(timing, [bases[s] for s in ids], taken)
+            else:
+                (_, timing, ids, ltrips, strides, nbytes, writes,
+                 load_cols) = step
+                n_sites = len(ids)
+                if n_sites:
+                    b = np.asarray([bases[s] for s in ids], dtype=np.int64)
+                    addr_mat = (b[None, :]
+                                + np.arange(1, ltrips + 1, dtype=np.int64)
+                                [:, None] * strides[None, :])
+                    lats = access_stream(addr_mat.reshape(-1),
+                                         np.tile(nbytes, ltrips),
+                                         np.tile(writes, ltrips))
+                    load_lats = lats.reshape(ltrips, n_sites)[:, load_cols] \
+                        .reshape(-1).tolist()
+                else:
+                    load_lats = []
+                account_loop(timing, ltrips, load_lats)
+
+        # The kernel set every induction final; the last flag-setting
+        # instruction of a chain is the last loop's cmp.
+        regs.set_flags(*self._flags_pair)
+        state.pc = self.count
+        state.instructions_retired += self.blen
+        return True
+
+
+class FragmentNestShape:
+    """A nested counted loop, run whole across remaining outer trips.
+
+    The outer region's body is an induction reset plus one canonical
+    inner loop whose trip count is static; each outer trip runs the
+    inner loop's whole-array kernel once and replays the outer trip's
+    timing as entry block (reset + inner iteration 1 + inner branch),
+    inner loop iterations 2..n, and tail block (outer
+    ``add``/``cmp``/``blt``).
+    """
+
+    __slots__ = ("head", "branch_pc", "blen", "width", "node", "inner",
+                 "inner_trips", "kernel", "entry_timing", "loop_timing",
+                 "tail_timing",
+                 "_bases_stride", "_nbytes", "_writes", "_load_cols")
+
+    def __init__(self, node: LoopNode, inner_trips: int, kernel,
+                 entry_timing, loop_timing, tail_timing) -> None:
+        inner = node.inner
+        self.head = node.head
+        self.branch_pc = node.branch_pc
+        self.width = node.width
+        self.node = node
+        self.inner = inner
+        self.inner_trips = inner_trips
+        self.kernel = kernel
+        self.entry_timing = entry_timing
+        self.loop_timing = loop_timing
+        self.tail_timing = tail_timing
+        #: retired instructions per outer trip: reset + whole inner
+        #: loop + outer add/cmp/blt.
+        self.blen = 1 + inner_trips * inner.blen + 3
+        (self._bases_stride, self._nbytes, self._writes,
+         self._load_cols) = _site_arrays(inner.sites, node.width)
+
+    def trips(self, state) -> Optional[int]:
+        """Remaining outer trips from live state, or None to fall back."""
+        node = self.node
+        j0 = state.regs.ints[node.induction]
+        trip = node.trip
+        step = node.step
+        if j0 < 0 or trip < 0:
+            return None
+        n = ((trip - j0 + step - 1) // step) if trip > j0 else 1
+        if j0 + n * step >= _INT31:
+            return None
+        return n
+
+    def run(self, state, pipeline, trips: int) -> bool:
+        regs = state.regs
+        memory = state.memory
+        symbols = state.symbols
+        node = self.node
+        inner = self.inner
+        width = self.width
+        inner_trips = self.inner_trips
+        span = inner_trips * width
+        bases: List[int] = []
+        for sym, esz, is_store in inner.sites:
+            base = symbols.address_of(sym)
+            nbytes = span * esz
+            if base % (esz * width) or base < 0 or base + nbytes > memory.size:
+                return False
+            if is_store and memory.overlaps_read_only(base, nbytes):
+                return False
+            bases.append(base)
+
+        account_block = pipeline.account_block
+        account_loop = pipeline.account_loop
+        access_stream = pipeline.dcache.access_stream
+        kernel = self.kernel
+        entry_timing = self.entry_timing
+        loop_timing = self.loop_timing
+        tail_timing = self.tail_timing
+        vregs = state.vregs
+        n_sites = len(bases)
+        ltrips = inner_trips - 1
+        if n_sites and ltrips:
+            addr_mat = (np.asarray(bases, dtype=np.int64)[None, :]
+                        + np.arange(1, inner_trips, dtype=np.int64)[:, None]
+                        * self._bases_stride[None, :])
+            flat = addr_mat.reshape(-1)
+            nbytes_stream = np.tile(self._nbytes, ltrips)
+            writes_stream = np.tile(self._writes, ltrips)
+        last = trips - 1
+        no_mem: List[int] = []
+        for t in range(trips):
+            kernel(memory, vregs, regs, bases, inner_trips)
+            account_block(entry_timing, bases, True)
+            if ltrips:
+                if n_sites:
+                    lats = access_stream(flat, nbytes_stream, writes_stream)
+                    load_lats = lats.reshape(ltrips, n_sites) \
+                        [:, self._load_cols].reshape(-1).tolist()
+                else:
+                    load_lats = []
+                account_loop(loop_timing, ltrips, load_lats)
+            account_block(tail_timing, no_mem, t != last)
+
+        # Epilogue: inner induction rests at its final value, outer
+        # induction and flags from the last outer cmp.
+        regs.ints[inner.induction] = inner_trips * width
+        j_final = regs.ints[node.induction] + trips * node.step
+        regs.ints[node.induction] = j_final
+        regs.set_flags(j_final, node.trip)
+        state.pc = self.branch_pc + 1
+        state.instructions_retired += trips * self.blen
+        return True
 
 
 # ---------------------------------------------------------------------------
@@ -773,38 +368,160 @@ def _compile_loop_timing(timing, pipeline):
 # ---------------------------------------------------------------------------
 
 
-def build_fragment_plan(fragment, blocks, pipeline,
-                        width: int) -> Dict[int, FragmentLoopShape]:
-    """Map loop-head pc -> :class:`FragmentLoopShape` for every
-    recognizable counted loop in *fragment*.
+def _reject(reason: str):
+    _telemetry.get().count("macro.plan.rejected." + reason)
+    return None
 
-    *blocks* is the fragment's :class:`~repro.interp.turbo.SuperblockTable`:
-    each recognized loop reuses — and attaches a compiled whole-loop
-    timing to — the superblock discovered at its head, guaranteeing the
-    macro path and the per-block path account the very same rows.
+
+def _loop_block_timing(node: LoopNode, blocks, pipeline, sb_backend,
+                       label: str):
+    """The validated loop-body ``BlockTiming`` for *node*, with its
+    compiled whole-loop specialization attached, or None on mismatch."""
+    timing = blocks.block_at(node.head).timing
+    if (timing.fetch_mode != 0 or timing.term != 1
+            or timing.count != node.blen
+            or len(timing.rows) != node.blen):
+        # superblock discovery disagreed: stay per-block
+        return _reject("timing-mismatch")
+    if timing.loop_compiled is None:
+        timing.loop_compiled = sb_backend.lower_loop_timing(
+            timing, pipeline, label, node.head)
+    return timing
+
+
+def _mem_rows(timing) -> int:
+    return sum(1 for row in timing.rows if row[6])
+
+
+def _build_chain_shape(chain: ChainNode, fragment, blocks, pipeline,
+                       np_backend, sb_backend,
+                       label: str) -> Optional[FragmentChainShape]:
+    """Lower one chain and build its static timing schedule, or None."""
+    lowered = np_backend.lower_chain(chain, label)
+    if lowered is None:
+        return _reject("unsupported-lowering")
+    count = len(fragment.instructions)
+    trips = {ri: (n, sb) for (ri, n, sb) in chain.trips}
+    steps: List[tuple] = []
+    pending: List[int] = []  # scalar store site ids in segment order
+    pos = 0
+    last_loop = None
+    last_trips = 1
+    for ri, region in enumerate(chain.regions):
+        if not isinstance(region, LoopNode):
+            if region.site is not None:
+                pending.append(region.site)
+            continue
+        nloop, site_base = trips[ri]
+        loop_ids = tuple(range(site_base, site_base + len(region.sites)))
+        entry_timing = blocks.block_at(pos).timing
+        expected = (region.head - pos) + region.blen
+        mem_ids = tuple(pending) + loop_ids
+        if (entry_timing.fetch_mode != 0 or entry_timing.term != 1
+                or entry_timing.count != expected
+                or _mem_rows(entry_timing) != len(mem_ids)):
+            return _reject("chain-block-mismatch")
+        steps.append((0, entry_timing, mem_ids, nloop > 1))
+        if nloop > 1:
+            loop_timing = _loop_block_timing(region, blocks, pipeline,
+                                             sb_backend, label)
+            if loop_timing is None:
+                return None  # _loop_block_timing counted the rejection
+            strides, nbytes, writes, load_cols = _site_arrays(
+                region.sites, chain.width)
+            steps.append((1, loop_timing, loop_ids, nloop - 1,
+                          strides, nbytes, writes, load_cols))
+        pending = []
+        pos = region.branch_pc + 1
+        last_loop = region
+        last_trips = nloop
+    if pos < count:
+        tail_timing = blocks.block_at(pos).timing
+        if (tail_timing.fetch_mode != 0 or tail_timing.term != 0
+                or tail_timing.count != count - pos
+                or _mem_rows(tail_timing) != len(pending)):
+            return _reject("chain-block-mismatch")
+        steps.append((0, tail_timing, tuple(pending), None))
+    flags_pair = (last_trips * chain.width, last_loop.trip)
+    return FragmentChainShape(chain, lowered.kernel, tuple(steps), count,
+                              flags_pair)
+
+
+def _build_nest_shape(node: LoopNode, blocks, pipeline, np_backend,
+                      sb_backend,
+                      label: str) -> Optional[FragmentNestShape]:
+    """Lower one nested loop and validate its three blocks, or None."""
+    inner = node.inner
+    inner_trips = static_loop_trips(inner)
+    if inner_trips is None or inner_trips < 2:
+        return _reject("nested-inner-trips")
+    lowered = np_backend.lower_loop(inner, label)
+    if lowered is None:
+        return _reject("unsupported-lowering")
+    entry_timing = blocks.block_at(node.head).timing
+    expected = 1 + inner.blen  # induction reset + first inner iteration
+    if (entry_timing.fetch_mode != 0 or entry_timing.term != 1
+            or entry_timing.count != expected
+            or len(entry_timing.rows) != expected
+            or _mem_rows(entry_timing) != len(inner.sites)):
+        return _reject("timing-mismatch")
+    loop_timing = _loop_block_timing(inner, blocks, pipeline, sb_backend,
+                                     label)
+    if loop_timing is None:
+        return None
+    tail_timing = blocks.block_at(inner.branch_pc + 1).timing
+    if (tail_timing.fetch_mode != 0 or tail_timing.term != 1
+            or tail_timing.count != 3 or len(tail_timing.rows) != 3
+            or _mem_rows(tail_timing) != 0):
+        return _reject("timing-mismatch")
+    return FragmentNestShape(node, inner_trips, lowered.kernel,
+                             entry_timing, loop_timing, tail_timing)
+
+
+def build_fragment_plan(fragment, blocks, pipeline,
+                        width: int) -> Dict[int, object]:
+    """Map plan pc -> runtime shape for every recognizable region.
+
+    Keys are loop-head pcs for :class:`FragmentLoopShape` /
+    :class:`FragmentNestShape`, plus pc 0 for a whole-fragment
+    :class:`FragmentChainShape`.  *blocks* is the fragment's
+    :class:`~repro.interp.turbo.SuperblockTable`: every shape reuses —
+    and attaches compiled whole-loop timings to — the superblocks
+    discovered at its pcs, guaranteeing the macro path and the
+    per-block path account the very same rows.
     """
     tel = _telemetry.get()
-    plans: Dict[int, FragmentLoopShape] = {}
-    instrs = fragment.instructions
-    for pc, ins in enumerate(instrs):
-        if ins.opcode != "blt" or ins.target is None:
+    label = getattr(fragment, "name", "fragment")
+    np_backend = get_backend("numpy")
+    sb_backend = get_backend("superblock")
+    ir = lift_fragment(fragment, width)
+    plans: Dict[int, object] = {}
+    for head in sorted(ir.loops):
+        node = ir.loops[head]
+        if node.inner is not None:
+            shape = _build_nest_shape(node, blocks, pipeline, np_backend,
+                                      sb_backend, label)
+            if shape is not None:
+                plans[head] = shape
+                tel.count("macro.plan.recognized")
             continue
-        head = fragment.labels.get(ins.target)
-        if head is None or not 0 <= head < pc:
+        lowered = np_backend.lower_loop(node, label)
+        if lowered is None:
+            _reject("unsupported-lowering")
             continue
-        loop = _analyze_loop(fragment, head, pc, width)
-        if loop is None:
-            continue  # _analyze_loop counted the per-reason rejection
-        timing = blocks.block_at(head).timing
-        if (timing.fetch_mode != 0 or timing.term != 1
-                or timing.count != loop.blen
-                or len(timing.rows) != loop.blen):
-            # superblock discovery disagreed: stay per-block
-            tel.count("macro.plan.rejected.timing-mismatch")
+        timing = _loop_block_timing(node, blocks, pipeline, sb_backend,
+                                    label)
+        if timing is None:
             continue
-        if timing.loop_compiled is None:
-            timing.loop_compiled = _compile_loop_timing(timing, pipeline)
-        loop.timing = timing
-        plans[head] = loop
+        shape = FragmentLoopShape(node, lowered.kernel)
+        shape.timing = timing
+        plans[head] = shape
         tel.count("macro.plan.recognized")
+    if ir.chain is not None:
+        chain_shape = _build_chain_shape(ir.chain, fragment, blocks,
+                                         pipeline, np_backend, sb_backend,
+                                         label)
+        if chain_shape is not None:
+            plans[0] = chain_shape
+            tel.count("macro.plan.recognized")
     return plans

@@ -45,13 +45,14 @@ deferred into raising handlers just like :func:`repro.isa.decoded.predecode`.
 
 from __future__ import annotations
 
-import math
 from collections import OrderedDict
 from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
 from repro import arith
+from repro.codegen.backend import get_backend
+from repro.codegen.lift import lift_superblock
 from repro.interp.errors import ExecutionError
 from repro.isa.decoded import (
     COND_CODES,
@@ -80,23 +81,9 @@ from repro.isa.instructions import Imm, Instruction, Reg
 from repro.isa.opcodes import ELEM_SIZES, LOAD_ELEM, OPCODES, STORE_ELEM, InstrClass
 from repro.isa.registers import LINK_REGISTER, is_float_reg, is_int_reg
 from repro.memory.alignment import vector_alignment_ok
-from repro.pipeline.core import _FLAGS, _INSTR_BYTES, BlockTiming
+from repro.pipeline.core import BlockTiming
 from repro.simd import vector_ops
 from repro.simd.permutations import PermPattern
-
-#: Upper bound on fused block length (defensive; real blocks are short).
-_MAX_BLOCK = 200
-
-#: Condition suffix -> Python expression over the hoisted ``flags`` dict,
-#: mirroring :data:`repro.isa.decoded.COND_CODES` predicate for predicate.
-_COND_EXPRS = {
-    "eq": 'flags["eq"]',
-    "ne": 'not flags["eq"]',
-    "lt": 'flags["lt"]',
-    "le": 'flags["lt"] or flags["eq"]',
-    "gt": 'flags["gt"]',
-    "ge": 'flags["gt"] or flags["eq"]',
-}
 
 
 # ---------------------------------------------------------------------------
@@ -647,152 +634,14 @@ def _quiet_one(pc: int, instr: Instruction, program):
 
 
 # ---------------------------------------------------------------------------
-# Inline specialization
-#
-# The dominant scalar shapes are emitted as source lines into the fused
-# block instead of closure calls, operating on register banks hoisted
-# into locals once per block.  Each form is only used under exactly the
-# conditions for which the corresponding decoded.py handler specializes,
-# and computes the same value by the same (documented) identities.
-# ---------------------------------------------------------------------------
-
-
-def _literal(value) -> Optional[str]:
-    """An exact source literal for *value*, or None if there isn't one."""
-    if value is True or value is False:
-        return repr(value)
-    if isinstance(value, int):
-        return repr(value)
-    if isinstance(value, float) and math.isfinite(value):
-        return repr(value)  # repr round-trips binary64 exactly
-    return None
-
-
-def _inline_lines(pc: int, instr: Instruction, ns: dict):
-    """(source lines, hoisted banks) for one instruction, or None.
-
-    Lines assume ``ints`` / ``floats`` / ``flags`` locals bound to the
-    live register banks (dict identity is stable for the whole run:
-    :class:`~repro.isa.registers.RegisterFile` mutates its banks in
-    place, never rebinding them).
-    """
-    spec = OPCODES.get(instr.opcode)
-    if spec is None:
-        return None
-    cls = spec.cls
-    opcode = instr.opcode
-
-    if cls in (InstrClass.ALU, InstrClass.MUL):
-        fast = _INT_ALU_FAST.get(opcode)
-        if (fast is None or len(instr.srcs) != 2 or instr.dst is None
-                or not is_int_reg(instr.dst.name)):
-            return None
-        a_op, b_op = instr.srcs
-        if not (isinstance(a_op, Reg) and is_int_reg(a_op.name)):
-            return None
-        d, a = instr.dst.name, a_op.name
-        fn = f"f{pc}"
-        if isinstance(b_op, Reg) and is_int_reg(b_op.name):
-            ns[fn] = fast
-            return ([f"ints[{d!r}] = {fn}(ints[{a!r}], ints[{b_op.name!r}])"],
-                    {"ints"})
-        if isinstance(b_op, Imm):
-            try:
-                b_const = int(b_op.value)
-            except (TypeError, ValueError):
-                return None
-            ns[fn] = fast
-            return ([f"ints[{d!r}] = {fn}(ints[{a!r}], {b_const})"], {"ints"})
-        return None
-
-    if cls is InstrClass.CMP:
-        if len(instr.srcs) != 2:
-            return None
-        a_op, b_op = instr.srcs
-        if not (isinstance(a_op, Reg) and is_int_reg(a_op.name)):
-            return None
-        a = a_op.name
-        if isinstance(b_op, Imm):
-            lit = _literal(b_op.value)
-            if lit is None:
-                return None
-            return ([f"a = ints[{a!r}]",
-                     f'flags["lt"] = a < {lit}',
-                     f'flags["eq"] = a == {lit}',
-                     f'flags["gt"] = a > {lit}'], {"ints", "flags"})
-        if isinstance(b_op, Reg) and is_int_reg(b_op.name):
-            return ([f"a = ints[{a!r}]",
-                     f"b = ints[{b_op.name!r}]",
-                     'flags["lt"] = a < b',
-                     'flags["eq"] = a == b',
-                     'flags["gt"] = a > b'], {"ints", "flags"})
-        return None
-
-    if cls is InstrClass.MOVE:
-        if len(instr.srcs) != 1 or instr.dst is None:
-            return None
-        src = instr.srcs[0]
-        d = instr.dst.name
-        if opcode == "mov" and is_int_reg(d):
-            if isinstance(src, Imm):
-                try:
-                    value = arith.wrap_int(int(src.value))
-                except (TypeError, ValueError):
-                    return None
-                return ([f"ints[{d!r}] = {value}"], {"ints"})
-            if isinstance(src, Reg) and is_int_reg(src.name):
-                # The integer bank invariantly holds wrapped ints, so
-                # wrap_int(int(x)) is the identity here.
-                return ([f"ints[{d!r}] = ints[{src.name!r}]"], {"ints"})
-        if opcode == "fmov" and is_float_reg(d):
-            if isinstance(src, Imm):
-                try:
-                    value = arith.f32(float(src.value))
-                except (TypeError, ValueError):
-                    return None
-                lit = _literal(value)
-                if lit is None:
-                    return None
-                return ([f"floats[{d!r}] = {lit}"], {"floats"})
-            if isinstance(src, Reg) and is_float_reg(src.name):
-                # Float registers invariantly hold exact binary32 values,
-                # so f32(float(x)) is the identity here.
-                return ([f"floats[{d!r}] = floats[{src.name!r}]"], {"floats"})
-        return None
-
-    if cls in (InstrClass.FALU, InstrClass.FMUL):
-        py_sym = {"fadd": "+", "fsub": "-", "fmul": "*"}.get(opcode)
-        if (py_sym is None or len(instr.srcs) != 2 or instr.dst is None
-                or not is_float_reg(instr.dst.name)):
-            return None
-        a_op, b_op = instr.srcs
-        if not (isinstance(a_op, Reg) and is_float_reg(a_op.name)):
-            return None
-        d, a = instr.dst.name, a_op.name
-        # binary64 +/-/* of binary32 operands followed by one rounding
-        # to binary32 is correctly rounded (2p+2 <= 53): identical to
-        # the reference's float32 arithmetic (see decoded.py).
-        if isinstance(b_op, Reg) and is_float_reg(b_op.name):
-            return ([f"floats[{d!r}] = float(_f32("
-                     f"floats[{a!r}] {py_sym} floats[{b_op.name!r}]))"],
-                    {"floats"})
-        if isinstance(b_op, Imm):
-            try:
-                b_const = float(np.float32(float(b_op.value)))
-            except (TypeError, ValueError):
-                return None
-            lit = _literal(b_const)
-            if lit is None:
-                return None
-            return ([f"floats[{d!r}] = float(_f32("
-                     f"floats[{a!r}] {py_sym} {lit}))"], {"floats"})
-        return None
-
-    return None
-
-
-# ---------------------------------------------------------------------------
 # Superblock discovery + fusion
+#
+# Discovery and codegen live in the shared codegen layer: the lift pass
+# (repro.codegen.lift.lift_superblock) scans a straight-line run into a
+# BlockSpec, and the "superblock" backend (repro.codegen.superblock)
+# emits the fused run closure and the compiled timing specializations.
+# This module keeps the per-program tables, memoization, and the quiet
+# handlers the emitted code chains.
 # ---------------------------------------------------------------------------
 
 
@@ -841,9 +690,9 @@ class SuperblockTable:
         self.pc_offset = pc_offset
         self.in_vector_unit = in_vector_unit
         direct, code_base, line_bytes = pipeline.fetch_profile()
-        self._fetch_mode = 0 if in_vector_unit else (1 if direct else 2)
-        self._code_base = code_base
-        self._iline_bytes = line_bytes
+        self.fetch_mode = 0 if in_vector_unit else (1 if direct else 2)
+        self.code_base = code_base
+        self.iline_bytes = line_bytes
         # Timing-model constants baked into the compiled timing closures
         # (config-derived, so tables memoized per PipelineConfig — see
         # superblock_table_for — never see them change).
@@ -885,8 +734,13 @@ class SuperblockTable:
 
     # -- internals ----------------------------------------------------------
 
-    def _quiet(self, pc: int):
-        """(handler, decoded_ok) for one pc, cached."""
+    def quiet(self, pc: int):
+        """(handler, decoded_ok) for one pc, cached.
+
+        Public because the superblock backend's fused-block emitter
+        (:func:`repro.codegen.superblock.emit_fused_block`) chains these
+        handlers into its generated code.
+        """
         cached = self._quiet_cache[pc]
         if cached is None:
             instr = self.instructions[pc]
@@ -897,370 +751,21 @@ class SuperblockTable:
             self._quiet_cache[pc] = cached
         return cached
 
-    def _row(self, pc: int, meta) -> tuple:
-        if self._fetch_mode == 1:
-            fetch_key = (self._code_base
-                         + pc * _INSTR_BYTES) // self._iline_bytes
-        elif self._fetch_mode == 2:
-            fetch_key = self._code_base + pc * _INSTR_BYTES
-        else:
-            fetch_key = 0
-        cls = meta.cls
-        if meta.is_load:
-            mem_kind = 1
-        elif cls is InstrClass.STORE or cls is InstrClass.VSTORE:
-            mem_kind = 2
-        else:
-            mem_kind = 0
-        nbytes = meta.elem_bytes
-        if meta.is_vector and self.vector_width:
-            nbytes *= self.vector_width
-        return (fetch_key, meta.reads, meta.reads_flags, meta.writes,
-                meta.sets_flags, meta.latency, mem_kind, nbytes)
-
-    def _compile_timing(self, entry: int, rows, term: int,
-                        branch_pc: int, branch_target: int,
-                        blen: int, simd: int):
-        """Compile :meth:`PipelineModel.account_block`'s loop for *rows*.
-
-        Emits the generic loop's arithmetic with this block's constants
-        baked in — fetch line numbers, register names, latencies,
-        penalties — so accounting a block is straight-line Python with
-        no tuple unpacking or per-row branching.  Two deliberate
-        strength reductions, both stats-identical to the generic loop:
-
-        * Consecutive instructions fetched from the *same* I-cache line
-          are guaranteed hits after the first (nothing else touches the
-          icache mid-block), so the first fetch goes through the cache
-          and the rest are batched into one O(1)
-          :meth:`~repro.memory.cache.Cache.repeat_hits` call.  Each
-          batched access still advances the generation counter and
-          re-stamps the line, so recency ordering — and every future
-          hit/miss/writeback decision — is unchanged.
-        * Config latencies/penalties are literals; the memo key of
-          :func:`superblock_table_for` includes the
-          :class:`~repro.pipeline.core.PipelineConfig`, so a compiled
-          closure never outlives its constants.
-
-        Pipeline *instance* state (caches, predictor, hazard map, stats)
-        is bound from the ``pipe`` argument at call time, so one
-        compiled block serves every pipeline sharing the config.
-        """
-        if not rows:
-            return None  # entry-raiser block: never accounted
-        mode = self._fetch_mode
-        ihit = self._icache_hit
-        dhit = self._dcache_hit
-        body: List[str] = []
-        emit = body.append
-        has_load = has_store = need_repeat = False
-        mem_index = 0
-        prev_line = None
-        rep_count = 0
-
-        def flush_repeats():
-            nonlocal rep_count, need_repeat
-            if rep_count:
-                need_repeat = True
-                emit(f"irh({prev_line}, {rep_count})")
-                rep_count = 0
-
-        for (fetch_key, reads, reads_flags, writes, sets_flags,
-             latency, mem_kind, nbytes) in rows:
-            if mode == 1:
-                if fetch_key == prev_line:
-                    rep_count += 1
-                    if ihit > 1:
-                        emit(f"fetch_stall += {ihit - 1}")
-                        emit(f"ready = fetch_ready + {ihit - 1}")
-                    else:
-                        emit("ready = fetch_ready")
-                else:
-                    flush_repeats()
-                    prev_line = fetch_key
-                    emit(f"fc = ifl({fetch_key}, False)")
-                    emit("if fc > 1:")
-                    emit("    fetch_stall += fc - 1")
-                    emit("ready = fetch_ready + fc - 1")
-            elif mode == 2:
-                emit(f"fc = ia({fetch_key}, {_INSTR_BYTES}, False)")
-                emit("if fc > 1:")
-                emit("    fetch_stall += fc - 1")
-                emit("ready = fetch_ready + fc - 1")
-            else:
-                emit("ready = fetch_ready")
-            for reg in reads:
-                emit(f"t = get({reg!r}, 0)")
-                emit("if t > ready: ready = t")
-            if reads_flags:
-                emit(f"t = get({_FLAGS!r}, 0)")
-                emit("if t > ready: ready = t")
-            emit("issue = last_issue + 1")
-            emit("if ready > issue:")
-            emit("    data_stall += ready - issue")
-            emit("    issue = ready")
-            if mem_kind == 1:
-                has_load = True
-                emit(f"a = da(mem[{mem_index}], {nbytes}, False)")
-                emit("completion = issue + a")
-                emit(f"if a > {dhit}:")
-                emit(f"    load_miss += a - {dhit}")
-                mem_index += 1
-            elif mem_kind == 2:
-                has_store = True
-                emit(f"completion = issue + {latency}")
-                emit(f"da(mem[{mem_index}], {nbytes}, True)")
-                mem_index += 1
-            else:
-                emit(f"completion = issue + {latency}")
-            for reg in writes:
-                emit(f"reg_ready[{reg!r}] = completion")
-            if sets_flags:
-                emit(f"reg_ready[{_FLAGS!r}] = completion")
-            emit("last_issue = issue")
-            emit("fetch_ready = issue")
-            emit("if completion > last_completion: "
-                 "last_completion = completion")
-        if mode == 1:
-            flush_repeats()
-        if term == 1:
-            penalty = self._mispredict_penalty
-            emit("stats.branches += 1")
-            emit("pred = pipe.predictor")
-            emit(f"predicted = pred.predict({branch_pc}, "
-                 f"{branch_target} if taken else {branch_pc})")
-            emit(f"pred.update({branch_pc}, taken)")
-            emit("if predicted != taken:")
-            emit("    stats.mispredicts += 1")
-            emit(f"    fetch_ready = issue + 1 + {penalty}")
-            emit(f"    stats.branch_penalty_cycles += {penalty}")
-        elif term == 2:
-            penalty = self._call_redirect_penalty
-            emit(f"fetch_ready = issue + 1 + {penalty}")
-            emit(f"stats.branch_penalty_cycles += {penalty}")
-        emit("pipe._last_issue = last_issue")
-        emit("pipe._fetch_ready = fetch_ready")
-        emit("pipe._last_completion = last_completion")
-        emit(f"stats.instructions += {blen}")
-        if simd:
-            emit(f"stats.simd_instructions += {simd}")
-        emit("stats.data_stall_cycles += data_stall")
-        if mode:
-            emit("stats.fetch_stall_cycles += fetch_stall")
-        if has_load:
-            emit("stats.load_miss_cycles += load_miss")
-
-        prologue = [
-            "reg_ready = pipe._reg_ready",
-            "get = reg_ready.get",
-            "stats = pipe.stats",
-            "fetch_ready = pipe._fetch_ready",
-            "last_issue = pipe._last_issue",
-            "last_completion = pipe._last_completion",
-            "data_stall = 0",
-        ]
-        if mode:
-            prologue.append("fetch_stall = 0")
-        if mode == 1:
-            prologue.append("ifl = pipe._ifetch_line")
-        elif mode == 2:
-            prologue.append("ia = pipe.icache.access")
-        if need_repeat:
-            prologue.append("irh = pipe.icache.repeat_hits")
-        if has_load or has_store:
-            prologue.append("da = pipe.dcache.access")
-        if has_load:
-            prologue.append("load_miss = 0")
-        src = ["def _timing(pipe, mem, taken):"]
-        src.extend("    " + line for line in prologue)
-        src.extend("    " + line for line in body)
-        tns: dict = {}
-        exec(compile("\n".join(src), f"<sbtiming@{entry}>", "exec"), tns)
-        return tns["_timing"]
-
     def _build(self, entry: int) -> FusedBlock:
         self.compiles += 1
-        instructions = self.instructions
-        metas = self.metas
-        marked = self.marked
-        n = len(instructions)
-        limit = min(n, entry + _MAX_BLOCK)
-
-        # -- discovery: scan the straight-line run from `entry` ------------
-        pcs: List[int] = []
-        term = 0          # 0 none, 1 branch, 2 call/ret, 3 halt
-        i = entry
-        exit_pc = entry
-        while True:
-            if i >= limit:
-                exit_pc = i
-                break
-            if i > entry and marked is not None and marked[i]:
-                exit_pc = i
-                break
-            meta = metas[i]
-            if meta is None:
-                # Unknown opcode: executable only as the entry, where its
-                # deferred decode error must fire (rows stay unused).
-                if i == entry:
-                    pcs.append(i)
-                exit_pc = i
-                break
-            cls = meta.cls
-            pcs.append(i)
-            if cls is InstrClass.BRANCH:
-                term = 1
-                break
-            if cls is InstrClass.CALL or cls is InstrClass.RET:
-                term = 2
-                break
-            if instructions[i].opcode == "halt":
-                term = 3
-                break
-            i += 1
-            exit_pc = i
-
-        blen = len(pcs)
-        off = self.pc_offset
-
-        # -- timing rows ---------------------------------------------------
-        rows = []
-        simd = 0
-        for pc in pcs:
-            meta = metas[pc]
-            if meta is None:
-                continue
-            rows.append(self._row(pc, meta))
-            simd += meta.is_vector
-        branch_pc = branch_target = 0
-        if term == 1:
-            tpc = pcs[-1]
-            branch_pc = tpc + off
-            target, _err = _resolve_target(self.program,
-                                           instructions[tpc].target)
-            branch_target = (target + off) if target is not None \
-                else branch_pc
-        timing_term = 1 if term == 1 else (2 if term == 2 else 0)
-        timing = BlockTiming(tuple(rows), blen, simd, self._fetch_mode,
-                             timing_term, branch_pc, branch_target,
-                             self._compile_timing(entry, rows, timing_term,
-                                                  branch_pc, branch_target,
-                                                  blen, simd))
-
-        # -- codegen -------------------------------------------------------
-        mem: List[int] = []
-        ns = {"_m": mem.append, "_c": mem.clear, "_f32": np.float32}
-        body: List[str] = []
-        hoists = set()
-        has_mem = False
-
-        def emit_closure(pc: int, handler, mem_kind: int) -> None:
-            nonlocal has_mem
-            name = f"q{pc}"
-            ns[name] = handler
-            if mem_kind:
-                has_mem = True
-                body.append(f"p = {pc}")
-                body.append(f"_m({name}(state))")
-            else:
-                body.append(f"p = {pc}")
-                body.append(f"{name}(state)")
-
-        straight = pcs[:-1] if term else pcs
-        for pc in straight:
-            meta = metas[pc]
-            mem_kind = 0
-            if meta is not None:
-                if meta.is_load:
-                    mem_kind = 1
-                elif meta.cls is InstrClass.STORE \
-                        or meta.cls is InstrClass.VSTORE:
-                    mem_kind = 2
-            handler, ok = self._quiet(pc)
-            inline = _inline_lines(pc, instructions[pc], ns) if ok else None
-            if inline is not None:
-                lines, needs = inline
-                hoists |= needs
-                body.append(f"p = {pc}")
-                body.extend(lines)
-            else:
-                emit_closure(pc, handler, mem_kind)
-
-        retired = f"state.instructions_retired += {blen}"
-        if term == 1:
-            tpc = pcs[-1]
-            instr = instructions[tpc]
-            handler, ok = self._quiet(tpc)
-            target, terr = _resolve_target(self.program, instr.target)
-            cond_expr = (_COND_EXPRS.get(instr.opcode[1:])
-                         if instr.opcode != "b" else None)
-            if ok and terr is None and instr.opcode == "b":
-                body += [f"p = {tpc}", f"state.pc = {target}", retired,
-                         "return True"]
-            elif ok and terr is None and cond_expr is not None:
-                hoists.add("flags")
-                body += [f"p = {tpc}",
-                         f"if {cond_expr}:",
-                         f"    state.pc = {target}",
-                         f"    {retired}",
-                         "    return True",
-                         f"state.pc = {tpc + 1}",
-                         retired,
-                         "return False"]
-            else:
-                name = f"q{tpc}"
-                ns[name] = handler
-                body += [f"p = {tpc}", f"r = {name}(state)", retired,
-                         "return r"]
-        elif term == 2:
-            tpc = pcs[-1]
-            instr = instructions[tpc]
-            handler, ok = self._quiet(tpc)
-            cls = metas[tpc].cls
-            if ok and cls is InstrClass.RET:
-                hoists.add("ints")
-                body += [f"p = {tpc}",
-                         f"state.pc = ints[{LINK_REGISTER!r}]",
-                         retired, "return None"]
-            elif ok and cls is InstrClass.CALL:
-                target, terr = _resolve_target(self.program, instr.target)
-                if terr is None:
-                    hoists.add("ints")
-                    body += [f"p = {tpc}",
-                             f"ints[{LINK_REGISTER!r}] = {tpc + 1}",
-                             f"state.pc = {target}",
-                             retired, "return None"]
-                else:
-                    emit_closure(tpc, handler, 0)
-                    body += [retired, "return None"]
-            else:
-                emit_closure(tpc, handler, 0)
-                body += [retired, "return None"]
-        elif term == 3:
-            tpc = pcs[-1]
-            body += [f"p = {tpc}",
-                     "state.halted = True",
-                     f"state.pc = {tpc + 1}",
-                     retired, "return None"]
-        else:
-            body += [f"state.pc = {exit_pc}", retired, "return None"]
-
-        src = ["def _fused(state):"]
-        if has_mem:
-            src.append("    _c()")
-        src.append(f"    p = {entry}")
-        src.append("    try:")
-        for bank in ("ints", "floats", "flags"):
-            if bank in hoists:
-                src.append(f"        {bank} = state.regs.{bank}")
-        for line in body:
-            src.append("        " + line)
-        src += ["    except BaseException:",
-                "        state.pc = p",
-                f"        state.instructions_retired += p - {entry}",
-                "        raise"]
-        exec(compile("\n".join(src), f"<superblock@{entry}>", "exec"), ns)
-        return FusedBlock(ns["_fused"], mem, timing)
+        backend = get_backend("superblock")
+        spec = lift_superblock(self, entry)
+        timing = BlockTiming(
+            spec.rows, spec.blen, spec.simd, self.fetch_mode,
+            spec.timing_term, spec.branch_pc, spec.branch_target,
+            backend.lower_block_timing(
+                spec,
+                icache_hit=self._icache_hit,
+                dcache_hit=self._dcache_hit,
+                mispredict_penalty=self._mispredict_penalty,
+                call_redirect_penalty=self._call_redirect_penalty))
+        run, mem = backend.lower_block(spec, self)
+        return FusedBlock(run, mem, timing)
 
 
 # ---------------------------------------------------------------------------

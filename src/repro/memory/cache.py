@@ -22,6 +22,7 @@ set), which are rare by construction for a cache worth modelling.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from heapq import heapify, heappop, heappush
 from typing import Dict, List, Set, Tuple
 
 import numpy as np
@@ -248,11 +249,7 @@ class Cache:
             len(self._stamps[s]) + extra <= self._assoc
             for s, extra in new_per_set.items())
         if not fits:
-            access = self._access_line_number
-            lat = np.empty(total, dtype=np.int64)
-            for i in range(total):
-                lat[i] = access(int(lines[i]), bool(line_writes[i]))
-            return lat
+            return self._stream_lines_evicting(lines, line_writes)
 
         first_occurrence = np.zeros(total, dtype=bool)
         first_occurrence[first_idx] = True
@@ -280,6 +277,96 @@ class Cache:
             if written[j]:
                 self._dirty[set_index].add(tag)
         return np.where(hits, self._hit_latency, self._miss_latency)
+
+    def _stream_lines_evicting(self, lines: np.ndarray,
+                               line_writes: np.ndarray) -> np.ndarray:
+        """Sequential replay of an eviction-bearing line stream.
+
+        Bit-identical to calling :meth:`_access_line_number` once per
+        line — same latencies, same victim sequence, same final stamps,
+        dirty bits, tick, and statistics (the property suite pins
+        this) — but tuned for streams that evict on most accesses,
+        which is exactly when the vectorized fast path above bails out
+        (e.g. 179.art's 16 KB arrays streaming through 8 sets).  Two
+        strength reductions over the naive replay:
+
+        * Victim selection is a per-set **lazy-deletion heap** of
+          ``(stamp, tag)`` pairs instead of an O(assoc) ``min`` scan.
+          Stamps are strictly increasing and therefore unique, so the
+          smallest non-stale heap entry is exactly the line ``min``
+          would have picked.  A set's heap is built from its resident
+          stamps the first time that set needs a victim; from then on
+          every re-stamp pushes a fresh pair and stale pairs are
+          popped on sight (their stamp no longer matches the live
+          dict), giving O(log assoc) eviction.
+        * Statistics and the generation counter accumulate in locals
+          and are written back once.
+        """
+        num_sets = self._num_sets
+        assoc = self._assoc
+        hit_latency = self._hit_latency
+        miss_latency = self._miss_latency
+        stamps = self._stamps
+        dirty_sets = self._dirty
+        tick = self._tick
+        reads = writes = read_misses = write_misses = writebacks = 0
+        heaps: Dict[int, list] = {}
+        total = int(lines.shape[0])
+        lat = np.empty(total, dtype=np.int64)
+        line_list = lines.tolist()
+        write_list = line_writes.tolist()
+        for i in range(total):
+            line = line_list[i]
+            is_write = write_list[i]
+            set_index = line % num_sets
+            tag = line // num_sets
+            ways = stamps[set_index]
+            tick += 1
+            if is_write:
+                writes += 1
+            else:
+                reads += 1
+            heap = heaps.get(set_index)
+            if tag in ways:
+                ways[tag] = tick
+                if heap is not None:
+                    heappush(heap, (tick, tag))
+                if is_write:
+                    dirty_sets[set_index].add(tag)
+                lat[i] = hit_latency
+                continue
+            if is_write:
+                write_misses += 1
+            else:
+                read_misses += 1
+            dirty = dirty_sets[set_index]
+            if len(ways) >= assoc:
+                if heap is None:
+                    heap = [(stamp, t) for t, stamp in ways.items()]
+                    heapify(heap)
+                    heaps[set_index] = heap
+                while True:
+                    stamp, victim = heappop(heap)
+                    if ways.get(victim) == stamp:
+                        break
+                del ways[victim]
+                if victim in dirty:
+                    dirty.remove(victim)
+                    writebacks += 1
+            ways[tag] = tick
+            if heap is not None:
+                heappush(heap, (tick, tag))
+            if is_write:
+                dirty.add(tag)
+            lat[i] = miss_latency
+        self._tick = tick
+        stats = self.stats
+        stats.reads += reads
+        stats.writes += writes
+        stats.read_misses += read_misses
+        stats.write_misses += write_misses
+        stats.writebacks += writebacks
+        return lat
 
     def repeat_hits(self, line_number: int, count: int) -> None:
         """Account *count* extra read hits on a just-accessed line.

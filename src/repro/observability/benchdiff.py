@@ -9,13 +9,17 @@ records as::
       "speedups": {<record name>: <derived speedup>, ...}
     }
 
-This module diffs two such payloads record by record on the uniform
-``speedups`` map — the one field every record derives and the one the
-acceptance bars gate on — and classifies each delta.  A *regression* is
-a record whose new speedup fell below ``old * (1 - tolerance)``;
-records missing from the new payload are regressions too (a perf gate
-that silently stops measuring is worse than one that fails).  Records
-only present in the new payload are informational.
+This module diffs two such payloads on every speedup they carry —
+the top-level ``speedups`` map *and* the nested per-kernel speedups
+inside each record (``records[name]["kernels"]``, the shape
+``BENCH_macro.json``/``BENCH_turbo.json`` write, flattened to
+``name/kernel``; see :func:`collect_speedups`) — and classifies each
+delta.  A *regression* is a record whose new speedup fell below
+``old * (1 - tolerance)``; records missing from the new payload are
+regressions too (a perf gate that silently stops measuring is worse
+than one that fails).  Records only present in the new payload are
+informational ``added`` rows, so a kernel joining or leaving the
+suite is always reported, never silently skipped.
 
 ``repro bench compare OLD.json NEW.json [--tolerance PCT]`` is the CLI
 wrapper; CI's ``bench-smoke`` job runs it against the committed
@@ -33,6 +37,7 @@ from typing import Dict, List, Union
 __all__ = [
     "RecordDelta",
     "BenchComparison",
+    "collect_speedups",
     "compare_payloads",
     "compare_files",
     "render_comparison",
@@ -89,19 +94,58 @@ class BenchComparison:
         }
 
 
-def _speedups(payload: dict, label: str) -> Dict[str, float]:
+def collect_speedups(payload: dict, label: str = "payload"
+                     ) -> Dict[str, float]:
+    """Every gateable speedup in *payload*, flattened to one map.
+
+    Three sources, merged (names never collide in practice — the
+    flat map's keys are record names, and kernel entries get compound
+    ``record/kernel`` names):
+
+    * the top-level ``speedups`` map (one derived speedup per record);
+    * each record's own ``"speedup"`` scalar — same name, same value as
+      the flat map when both exist;
+    * each record's nested per-kernel dicts
+      (``records[name]["kernels"][kernel]["speedup"]``, the shape
+      ``BENCH_macro.json`` and ``BENCH_turbo.json`` write), as
+      ``"name/kernel"`` — so a kernel that regresses, appears, or
+      vanishes is reported per kernel instead of being averaged into
+      (or silently dropped from) the aggregate.
+    """
+    out: Dict[str, float] = {}
     speedups = payload.get("speedups")
-    if not isinstance(speedups, dict):
-        raise ValueError(f"{label}: no 'speedups' map — not a BENCH_*.json "
-                         f"payload (see benchmarks/conftest.py)")
-    out = {}
-    for name, value in speedups.items():
-        try:
-            out[name] = float(value)
-        except (TypeError, ValueError):
-            raise ValueError(
-                f"{label}: speedup for {name!r} is not numeric: {value!r}"
-            ) from None
+    if isinstance(speedups, dict):
+        for name, value in speedups.items():
+            try:
+                out[name] = float(value)
+            except (TypeError, ValueError):
+                raise ValueError(
+                    f"{label}: speedup for {name!r} is not numeric: "
+                    f"{value!r}"
+                ) from None
+    records = payload.get("records")
+    if isinstance(records, dict):
+        for rname, record in records.items():
+            if not isinstance(record, dict):
+                continue
+            value = record.get("speedup")
+            if isinstance(value, (int, float)) \
+                    and not isinstance(value, bool):
+                out[rname] = float(value)
+            kernels = record.get("kernels")
+            if not isinstance(kernels, dict):
+                continue
+            for kname, kernel in kernels.items():
+                if not isinstance(kernel, dict):
+                    continue
+                kvalue = kernel.get("speedup")
+                if isinstance(kvalue, (int, float)) \
+                        and not isinstance(kvalue, bool):
+                    out[f"{rname}/{kname}"] = float(kvalue)
+    if not out:
+        raise ValueError(f"{label}: no 'speedups' map or per-record "
+                         f"speedups — not a BENCH_*.json payload "
+                         f"(see benchmarks/conftest.py)")
     return out
 
 
@@ -111,8 +155,8 @@ def compare_payloads(old: dict, new: dict,
     """Diff two BENCH payloads; *tolerance* is a fraction (0.10 = 10%)."""
     if tolerance < 0:
         raise ValueError(f"tolerance must be >= 0, got {tolerance}")
-    old_speedups = _speedups(old, "baseline")
-    new_speedups = _speedups(new, "candidate")
+    old_speedups = collect_speedups(old, "baseline")
+    new_speedups = collect_speedups(new, "candidate")
     deltas: List[RecordDelta] = []
     for name in sorted(set(old_speedups) | set(new_speedups)):
         if name not in new_speedups:

@@ -563,9 +563,12 @@ class Machine:
         frag_state = MachineState(fragment, state.memory, state.symbols,
                                   vector_width=entry.width)
         frag_state.regs = state.regs  # architectural scalar state is shared
-        frag_executor = make_executor(frag_state, self.config.engine, table)
-        metas = frag_executor.metas
-        handlers = frag_executor.handlers
+        # The per-event executor is built lazily: macro/turbo fragments
+        # that run entirely through plan kernels and fused blocks never
+        # reach the per-event path, so its construction cost (decode
+        # table wiring, handler binding) is skipped on the hot path.
+        frag_executor = None
+        metas = handlers = None
         count = len(fragment.instructions)
         guard = 0
         max_steps = self.config.max_steps
@@ -629,6 +632,11 @@ class Machine:
                 )
             frag_pc = frag_state.pc
             instr = fragment.instructions[frag_pc]
+            if frag_executor is None:
+                frag_executor = make_executor(frag_state,
+                                              self.config.engine, table)
+                metas = frag_executor.metas
+                handlers = frag_executor.handlers
             try:
                 if handlers is not None:
                     event = handlers[frag_pc](frag_state)

@@ -12,6 +12,7 @@ import pytest
 
 from repro.__main__ import main
 from repro.observability.benchdiff import (
+    collect_speedups,
     compare_payloads,
     render_comparison,
 )
@@ -20,6 +21,24 @@ from repro.observability.benchdiff import (
 def payload(**speedups):
     """Minimal BENCH_*.json-shaped payload (benchmarks/conftest.py)."""
     return {"machine": {}, "records": {}, "speedups": speedups}
+
+
+def kernel_payload(record, aggregate, **kernels):
+    """Nested per-kernel payload, the BENCH_macro.json/BENCH_turbo.json
+    shape: a record scalar plus a per-kernel speedup map."""
+    return {
+        "machine": {},
+        "records": {record: {
+            "speedup": aggregate,
+            "turbo_fragment_seconds": 1.0,
+            "macro_fragment_seconds": 1.0 / aggregate,
+            "kernels": {name: {"speedup": value,
+                               "turbo_seconds": 1.0,
+                               "macro_seconds": 1.0 / value}
+                        for name, value in kernels.items()},
+        }},
+        "speedups": {record: aggregate},
+    }
 
 
 class TestComparePayloads:
@@ -65,6 +84,44 @@ class TestComparePayloads:
                              {"speedups": {"engine": "fast"}})
         with pytest.raises(ValueError, match="tolerance"):
             compare_payloads(payload(), payload(), tolerance=-1)
+
+    def test_nested_kernel_speedups_are_collected(self):
+        p = kernel_payload("macro_speedup", 2.2, FIR=3.1, LU=1.8)
+        flat = collect_speedups(p)
+        assert flat == {"macro_speedup": 2.2,
+                        "macro_speedup/FIR": 3.1,
+                        "macro_speedup/LU": 1.8}
+
+    def test_nested_kernel_regression_is_caught(self):
+        # The aggregate holds steady while one kernel tanks — the
+        # failure mode a flat-speedups-only gate waves through.
+        old = kernel_payload("macro_speedup", 2.2, FIR=3.1, LU=1.8)
+        new = kernel_payload("macro_speedup", 2.2, FIR=3.1, LU=1.0)
+        cmp = compare_payloads(old, new, tolerance=0.10)
+        assert not cmp.ok
+        assert [d.name for d in cmp.regressions] == ["macro_speedup/LU"]
+
+    def test_removed_kernel_is_reported_not_skipped(self):
+        old = kernel_payload("macro_speedup", 2.2, FIR=3.1, LU=1.8)
+        new = kernel_payload("macro_speedup", 2.2, FIR=3.1)
+        cmp = compare_payloads(old, new)
+        assert not cmp.ok
+        assert [(d.name, d.status) for d in cmp.regressions] == \
+            [("macro_speedup/LU", "missing")]
+
+    def test_added_kernel_is_informational(self):
+        old = kernel_payload("macro_speedup", 2.2, FIR=3.1)
+        new = kernel_payload("macro_speedup", 2.2, FIR=3.1, FFT=1.9)
+        cmp = compare_payloads(old, new)
+        assert cmp.ok
+        added = [d for d in cmp.deltas if d.status == "added"]
+        assert [d.name for d in added] == ["macro_speedup/FFT"]
+
+    def test_records_without_speedups_map_still_compare(self):
+        # BENCH payloads whose only speedups live inside records.
+        p = kernel_payload("macro_speedup", 2.2, FIR=3.1)
+        del p["speedups"]
+        assert compare_payloads(p, p).ok
 
     def test_render_mentions_verdict_and_records(self):
         good = render_comparison(compare_payloads(payload(engine=2.0),

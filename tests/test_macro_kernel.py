@@ -63,7 +63,8 @@ def _plan_for(fragment, width=WIDTH, macro=True):
 @pytest.mark.parametrize("kernel_name", ["FIR", "FFT", "LU"])
 def test_translated_loops_are_recognized(kernel_name):
     """Every loop the translator emits for these kernels matches the
-    canonical shape: the plan covers each backward ``blt``."""
+    canonical shape: the plan covers each backward ``blt`` (plus, for
+    chain-shaped fragments, a whole-fragment shape keyed at pc 0)."""
     for entry in _translated_entries(kernel_name):
         fragment = entry.fragment
         plan = _plan_for(fragment, entry.width)
@@ -72,16 +73,27 @@ def test_translated_loops_are_recognized(kernel_name):
             pc for pc, instr in enumerate(fragment.instructions)
             if instr.opcode == "blt"
             and fragment.labels.get(instr.target, pc + 1) <= pc]
-        assert sorted(k.branch_pc for k in plan.values()) == back_branches
+        loop_shapes = [k for k in plan.values() if hasattr(k, "branch_pc")]
+        assert sorted(k.branch_pc for k in loop_shapes) == back_branches
 
 
 def test_fir_shape_facts():
-    """The FIR fragment's single loop, checked field by field."""
+    """The FIR fragment's single loop, checked field by field.
+
+    The fragment is also chain-shaped (mov prologue + one counted
+    loop + scalar-store epilogue), so the plan carries a whole-fragment
+    chain shape at pc 0 alongside the loop shape at its head.
+    """
     entry, = _translated_entries("FIR")
     fragment = entry.fragment
     plan = _plan_for(fragment)
     head = fragment.labels["u16"]
-    assert set(plan) == {head}
+    assert set(plan) == {0, head}
+    chain = plan[0]
+    # one whole-fragment invocation retires every straight-line
+    # instruction once plus the loop body once per trip
+    assert chain.blen >= len(fragment.instructions)
+    assert chain.trips(None) == 1
     shape = plan[head]
     branch_pc = next(pc for pc, i in enumerate(fragment.instructions)
                      if i.opcode == "blt")
