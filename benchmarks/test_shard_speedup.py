@@ -1,0 +1,110 @@
+"""Sharded-sweep benchmark: cold vs. sharded vs. incremental re-bench.
+
+Runs one paper-figure sweep (a benchmark subset across the width sweep)
+three ways through ``run_sweep`` and records the wall-clocks and
+machine-run counts in ``benchmarks/BENCH_shard.json``:
+
+* **cold**        — one unsharded invocation against an empty cache,
+* **sharded**     — two ``--shard K/2`` invocations against one shared
+  cache directory, then ``merge_sweeps`` verifying the fleet contract,
+* **incremental** — the same sweep against the now-warm cache.
+
+Acceptance (ISSUE 9): the merged sharded sweep is byte-identical to the
+cold unsharded one with zero duplicate machine-runs; the incremental
+pass performs **zero** machine-runs and exactly one cache probe
+round-trip.  The *gated* speedup record is derived from machine-run
+counts — ``(cold_runs + 1) / (incremental_runs + 1)`` — a deterministic
+quantity, unlike wall-clock ratios on shared CI hardware; the raw
+wall-clocks ride along ungated.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.evaluation.runcache import RunCache
+from repro.evaluation.runner import RunScheduler
+from repro.evaluation.shard import ShardSpec, merge_sweeps, run_sweep
+from repro.system.machine import Machine
+
+BENCHMARKS = ["MPEG2 Dec.", "GSM Enc.", "LU", "FFT", "FIR"]
+WIDTHS = (2, 4, 8, 16)
+SHARDS = 2
+
+
+def _timed_sweep(cache_dir, **kwargs):
+    scheduler = RunScheduler(jobs=1, cache=RunCache(cache_dir))
+    start = time.perf_counter()
+    manifest = run_sweep(BENCHMARKS, WIDTHS, scheduler=scheduler, **kwargs)
+    return time.perf_counter() - start, manifest
+
+
+def test_sharded_and_incremental_sweep(tmp_path, shard_bench_records,
+                                       monkeypatch):
+    cold_seconds, cold = _timed_sweep(tmp_path / "cold")
+
+    # Sharded fleet: disjoint slices against one shared directory.
+    shard_walls, shards = [], []
+    for index in range(1, SHARDS + 1):
+        seconds, manifest = _timed_sweep(
+            tmp_path / "shared", shard=ShardSpec(index, SHARDS))
+        shard_walls.append(seconds)
+        shards.append(manifest)
+    merged = merge_sweeps(shards)
+
+    # Byte-identical to the unsharded run, zero duplicate machine-runs.
+    assert merged["entries"] == cold["entries"], \
+        "merged shard digests must match the unsharded sweep exactly"
+    assert merged["speedups"] == cold["speedups"]
+    total_runs = sum(m["stats"]["machine_runs"] for m in shards)
+    assert total_runs == cold["coverage"]["total_requests"], \
+        "the fleet must simulate each key exactly once"
+
+    # Incremental pass over the warm shared cache: zero machine-runs,
+    # one probe round-trip.
+    machine_runs = []
+    real_run = Machine.run
+    monkeypatch.setattr(
+        Machine, "run",
+        lambda self, program: machine_runs.append(program.name)
+        or real_run(self, program))
+    incr_seconds, incr = _timed_sweep(tmp_path / "shared",
+                                      incremental=True)
+    assert machine_runs == [], \
+        f"incremental sweep on warm cache still simulated {machine_runs}"
+    assert incr["stats"]["machine_runs"] == 0
+    assert incr["stats"]["probe_calls"] == 1
+    assert incr["entries"] == cold["entries"]
+
+    cold_runs = cold["stats"]["machine_runs"]
+    incr_runs = incr["stats"]["machine_runs"]
+    # Deterministic gate: machine-runs avoided, not wall-clock measured.
+    runs_avoided_ratio = (cold_runs + 1) / (incr_runs + 1)
+    shard_bench_records["shard_sweep"] = {
+        "benchmarks": BENCHMARKS,
+        "widths": list(WIDTHS),
+        "shards": SHARDS,
+        "total_requests": cold["coverage"]["total_requests"],
+        "cold_machine_runs": cold_runs,
+        "sharded_machine_runs": total_runs,
+        "incremental_machine_runs": incr_runs,
+        "incremental_probe_calls": incr["stats"]["probe_calls"],
+        "speedup": round(runs_avoided_ratio, 2),
+    }
+    shard_bench_records["shard_wall_clock"] = {
+        "cold_seconds": round(cold_seconds, 3),
+        "shard_seconds": [round(s, 3) for s in shard_walls],
+        "max_shard_seconds": round(max(shard_walls), 3),
+        "incremental_seconds": round(incr_seconds, 3),
+        "wall_ratio_cold_over_incremental": round(
+            cold_seconds / incr_seconds, 2) if incr_seconds else None,
+    }
+    print(f"\ncold {cold_seconds:.2f}s ({cold_runs} runs)  "
+          f"shards {[f'{s:.2f}s' for s in shard_walls]} "
+          f"({total_runs} runs total)  "
+          f"incremental {incr_seconds:.3f}s ({incr_runs} runs)")
+
+    # The incremental pass must be dramatically cheaper than cold.
+    assert incr_seconds < cold_seconds / 5
+    # And the balanced fleet finishes faster than one cold worker.
+    assert max(shard_walls) < cold_seconds

@@ -8,9 +8,16 @@ Subcommands:
 * ``list``      — list the benchmark suite.
 * ``run NAME``  — run one benchmark across the width sweep and print its
   Figure 6 row plus translation outcomes.
-* ``cache``     — inspect (``cache info``) or empty (``cache clear``)
-  the persistent run cache *and* fragment store
-  (docs/evaluation-runner.md, docs/retranslation.md).
+* ``cache``     — inspect (``cache info``), empty (``cache clear``), or
+  share over HTTP (``cache serve``) the persistent run cache *and*
+  fragment store (docs/evaluation-runner.md, docs/retranslation.md).
+  ``info``/``clear`` take ``--cache-url`` to address a running
+  ``cache serve`` daemon instead of a local directory.
+* ``sweep``     — run (one shard of) the paper-figure sweep through the
+  run cache and write a JSON manifest; ``--shard K/N`` executes a
+  disjoint hash-slice against a shared backend, ``--incremental``
+  simulates only cache misses, and ``--merge`` verifies and combines
+  shard manifests (docs/evaluation-runner.md).
 * ``retranslate`` — re-lower one benchmark's translated fragments to
   another SIMD width and print the cross-width differential verdict
   (docs/retranslation.md).
@@ -73,22 +80,140 @@ def _cmd_run(args) -> int:
 def _cmd_cache(args) -> int:
     from repro.core.translate.fragstore import FragmentStore
     from repro.evaluation.runcache import RunCache
-    cache = RunCache.default(args.cache_dir)
-    fragments = FragmentStore.default(args.cache_dir)
+
+    if args.action == "serve":
+        from repro.evaluation.cacheserver import CacheServer
+        from repro.evaluation.runcache import default_cache_dir
+        root = args.cache_dir or default_cache_dir()
+        server = CacheServer(root, host=args.host, port=args.port)
+        print(f"serving run cache at {server.url} from {root} "
+              f"(Ctrl-C to stop)")
+        try:
+            server.serve_forever()
+        except KeyboardInterrupt:
+            server.shutdown()
+        return 0
+
+    cache = RunCache.default(args.cache_dir, cache_url=args.cache_url)
+    backend = cache.describe()
+    remote = backend["backend"] != "local"
+    # The fragment store is directory-backed only; with a --cache-url
+    # there is no local directory to pair it with.
+    fragments = None if remote else FragmentStore.default(args.cache_dir)
+
     if args.action == "clear":
         removed = cache.clear()
-        frag_removed = fragments.clear()
-        print(f"cleared {removed} cached run{'s' if removed != 1 else ''} "
-              f"and {frag_removed} "
-              f"fragment{'s' if frag_removed != 1 else ''} "
-              f"from {cache.root}")
+        frag_note = ""
+        if fragments is not None:
+            frag_removed = fragments.clear()
+            frag_note = (f" and {frag_removed} "
+                         f"fragment{'s' if frag_removed != 1 else ''}")
+        print(f"cleared {removed} cached run{'s' if removed != 1 else ''}"
+              f"{frag_note} from {backend['location']}")
         return 0
-    print(f"run cache at {cache.root}")
-    print(f"  entries  {cache.entry_count()}")
-    print(f"  size     {cache.size_bytes() / 1024:.1f} KB")
-    print(f"fragment store at {fragments.root}")
-    print(f"  entries  {fragments.entry_count()}")
-    print(f"  size     {fragments.size_bytes() / 1024:.1f} KB")
+
+    kind = ("http (repro cache serve)" if remote else "local directory")
+    print(f"run cache backend: {kind}")
+    print(f"  location  {backend['location']}")
+    if remote:
+        status = "reachable" if backend["reachable"] else "unreachable"
+        print(f"  status    {status}")
+        if not backend["reachable"]:
+            return 1
+    print(f"  entries   {cache.entry_count()}")
+    print(f"  size      {cache.size_bytes() / 1024:.1f} KB")
+    if fragments is not None:
+        print(f"fragment store at {fragments.root}")
+        print(f"  entries   {fragments.entry_count()}")
+        print(f"  size      {fragments.size_bytes() / 1024:.1f} KB")
+    return 0
+
+
+def _sweep_scheduler(args):
+    """The scheduler one sweep invocation runs against."""
+    from repro.evaluation.runcache import RunCache
+    from repro.evaluation.runner import RunScheduler
+    cache = None
+    if not args.no_cache:
+        cache = RunCache.default(args.cache_dir, cache_url=args.cache_url)
+    return RunScheduler(jobs=args.jobs, cache=cache)
+
+
+def _cmd_sweep(args) -> int:
+    import json
+    from pathlib import Path
+
+    from repro.evaluation.shard import (
+        SweepError,
+        merge_sweeps,
+        parse_shard_spec,
+        run_sweep,
+    )
+
+    try:
+        if args.merge:
+            manifests = []
+            for path in args.merge:
+                try:
+                    manifests.append(json.loads(
+                        Path(path).read_text(encoding="utf-8")))
+                except (OSError, ValueError) as exc:
+                    print(f"sweep merge: {path}: {exc}", file=sys.stderr)
+                    return 2
+            manifest = merge_sweeps(manifests)
+        else:
+            from repro.evaluation.cli import FAST_SUBSET
+            benchmarks = args.benchmarks or FAST_SUBSET
+            shard = (parse_shard_spec(args.shard)
+                     if args.shard is not None else None)
+            scheduler = _sweep_scheduler(args)
+            manifest = run_sweep(benchmarks, tuple(args.widths),
+                                 engine=args.engine, scheduler=scheduler,
+                                 shard=shard,
+                                 incremental=args.incremental)
+    except SweepError as exc:
+        print(f"sweep: {exc}", file=sys.stderr)
+        return 1
+
+    if args.out:
+        Path(args.out).write_text(
+            json.dumps(manifest, indent=2, sort_keys=True) + "\n",
+            encoding="utf-8")
+    if args.json:
+        print(json.dumps(manifest, indent=2, sort_keys=True))
+        return 0
+
+    sweep = manifest["sweep"]
+    stats = manifest["stats"]
+    coverage = manifest["coverage"]
+    widths = ", ".join(str(w) for w in sweep["widths"])
+    print(f"sweep: {len(sweep['benchmarks'])} benchmark(s) x "
+          f"widths ({widths}) + baselines = "
+          f"{coverage['total_requests']} runs (engine {sweep['engine']})")
+    if args.merge:
+        print(f"merged {stats['shards_merged']} shard manifest(s): "
+              f"coverage OK, {stats['machine_runs']} machine-runs total, "
+              f"no duplicates")
+    else:
+        backend = manifest["backend"]
+        if sweep["shard"]:
+            print(f"shard {sweep['shard']}: {coverage['selected']} of "
+                  f"{coverage['total_requests']} keys")
+        print(f"backend: {backend['backend']} at "
+              f"{backend.get('location', '-')}")
+        probe = (f", probe round-trips {stats['probe_calls']}"
+                 if "probe_calls" in stats else "")
+        mode = "incremental: " if sweep["incremental"] else ""
+        print(f"{mode}simulated {stats['machine_runs']}, "
+              f"warm {stats['cache_hits']}{probe}, "
+              f"{stats['wall_seconds']:.2f}s")
+    if manifest.get("speedups"):
+        speedups = manifest["speedups"]
+        mean = sum(speedups.values()) / len(speedups)
+        print(f"speedups: {len(speedups)} records, mean {mean:.2f}x "
+              f"(gate with `repro bench compare OLD NEW`)")
+    if args.out:
+        print(f"wrote manifest to {args.out}")
     return 0
 
 
@@ -272,14 +397,68 @@ def main(argv=None) -> int:
     sub.add_parser("evaluate", help="regenerate evaluation artifacts "
                                     "(see `repro evaluate --help`)")
 
-    cache_p = sub.add_parser("cache", help="inspect or clear the "
+    cache_p = sub.add_parser("cache", help="inspect, clear, or serve the "
                                            "persistent run cache")
-    cache_p.add_argument("action", choices=("info", "clear"),
-                         help="'info' prints entry count and size; "
-                              "'clear' deletes every cached run")
+    cache_p.add_argument("action", choices=("info", "clear", "serve"),
+                         help="'info' prints backend, entry count, and "
+                              "size; 'clear' deletes every cached run; "
+                              "'serve' shares the cache directory over "
+                              "HTTP for --cache-url clients")
     cache_p.add_argument("--cache-dir", default=None, metavar="DIR",
                          help="cache directory (default: $REPRO_CACHE_DIR "
                               "or ~/.cache/repro-liquid-simd)")
+    cache_p.add_argument("--cache-url", default=None, metavar="URL",
+                         help="address a running `repro cache serve` "
+                              "daemon instead of a local directory "
+                              "(default: $REPRO_CACHE_URL; info/clear "
+                              "only)")
+    cache_p.add_argument("--host", default="127.0.0.1",
+                         help="serve: bind address (default: 127.0.0.1)")
+    cache_p.add_argument("--port", type=int, default=8742,
+                         help="serve: port, 0 for ephemeral "
+                              "(default: 8742)")
+
+    sweep_p = sub.add_parser(
+        "sweep",
+        help="run (one shard of) the paper-figure sweep through the run "
+             "cache and write a JSON manifest; --merge verifies and "
+             "combines shard manifests")
+    sweep_p.add_argument("--benchmarks", nargs="*", default=None,
+                         metavar="NAME", choices=BENCHMARK_ORDER,
+                         help="benchmarks to sweep (default: the fast "
+                              "evaluation subset)")
+    sweep_p.add_argument("--widths", nargs="*", type=int,
+                         default=[2, 4, 8, 16],
+                         help="SIMD widths to sweep (default: 2 4 8 16)")
+    sweep_p.add_argument("--engine", default="fast",
+                         help="execution engine (default: fast)")
+    sweep_p.add_argument("--jobs", type=int, default=None, metavar="N",
+                         help="worker processes (default: cpu count)")
+    sweep_p.add_argument("--shard", default=None, metavar="K/N",
+                         help="execute only this sweep's K-th of N "
+                              "disjoint hash-slices (requires a cache)")
+    sweep_p.add_argument("--incremental", action="store_true",
+                         help="probe the cache for the whole sweep in one "
+                              "round-trip and simulate only misses")
+    sweep_p.add_argument("--cache-dir", default=None, metavar="DIR",
+                         help="run-cache directory (default: "
+                              "$REPRO_CACHE_DIR or ~/.cache/"
+                              "repro-liquid-simd)")
+    sweep_p.add_argument("--cache-url", default=None, metavar="URL",
+                         help="shared run-cache daemon to run against "
+                              "(default: $REPRO_CACHE_URL)")
+    sweep_p.add_argument("--no-cache", action="store_true",
+                         help="bypass the run cache (incompatible with "
+                              "--shard/--incremental)")
+    sweep_p.add_argument("--merge", nargs="+", default=None,
+                         metavar="MANIFEST",
+                         help="instead of running: verify and merge these "
+                              "shard manifest files")
+    sweep_p.add_argument("--out", default=None, metavar="FILE",
+                         help="write the manifest JSON to FILE")
+    sweep_p.add_argument("--json", action="store_true",
+                         help="print the manifest as JSON instead of a "
+                              "summary")
 
     retr_p = sub.add_parser(
         "retranslate",
@@ -347,6 +526,8 @@ def main(argv=None) -> int:
         return _cmd_run(args)
     if args.command == "cache":
         return _cmd_cache(args)
+    if args.command == "sweep":
+        return _cmd_sweep(args)
     if args.command == "retranslate":
         return _cmd_retranslate(args)
     if args.command == "telemetry":

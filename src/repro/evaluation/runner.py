@@ -11,13 +11,18 @@ so the evaluation layer funnels them all through one
    the width-8 Liquid runs) is simulated once.
 2. Requests already answered this process (memo) or by a previous
    process (the persistent :class:`~repro.evaluation.runcache.RunCache`)
-   are skipped.
+   are skipped.  Cache presence is probed for the whole batch in **one**
+   ``contains_many`` round-trip — one directory scan locally, one HTTP
+   request against a shared ``repro cache serve`` daemon — instead of a
+   per-key probe loop.
 3. The remainder fans out across a ``ProcessPoolExecutor``
    (``--jobs N``, default ``os.cpu_count()``).  ``--jobs 1`` keeps
    everything in-process — today's sequential behavior, the right mode
-   for pdb and profiling.  Workers rebuild the program from the request
-   (kernel construction is deterministic) and ship the result back as
-   its ``to_dict`` form, the same wire format the cache persists.
+   for pdb and profiling.  Programs are built and encoded once per
+   ``program_id`` in the parent (a width sweep shares one program
+   across every width) and shipped to workers as their canonical
+   encoded bytes; workers ship the result back as its ``to_dict``
+   form, the same wire format the cache persists.
 
 Results are bit-identical whichever path produced them, so rendered
 tables never depend on ``--jobs`` or cache state; a determinism test
@@ -37,7 +42,8 @@ from repro.core.scalarize import (
     build_baseline_program,
     build_liquid_program,
 )
-from repro.evaluation.runcache import RunCache, run_key
+from repro.evaluation.runcache import RunCache, run_key_for_bytes
+from repro.isa.encoding import decode_program, encode_program
 from repro.isa.program import Program
 from repro.observability import telemetry as _telemetry
 from repro.kernels.suite import build_kernel
@@ -98,14 +104,20 @@ def execute_request(request: RunRequest,
     return Machine(request.config).run(program)
 
 
-def _pool_worker(request: RunRequest) -> dict:
+def _pool_worker(request: RunRequest,
+                 encoded_program: Optional[bytes] = None) -> dict:
     """Process-pool entry point: simulate and return the wire form.
 
-    Returning ``to_dict()`` rather than the live object keeps transport
-    on the same serialization path the cache uses (and exercises it on
-    every parallel run).
+    The parent ships the program as its canonical encoded bytes —
+    built and encoded once per ``program_id`` — so workers decode
+    instead of rebuilding the kernel (falling back to a rebuild when no
+    bytes were shipped).  Returning ``to_dict()`` rather than the live
+    object keeps transport on the same serialization path the cache
+    uses (and exercises it on every parallel run).
     """
-    return execute_request(request).to_dict()
+    program = (decode_program(encoded_program)
+               if encoded_program is not None else None)
+    return execute_request(request, program).to_dict()
 
 
 @dataclass
@@ -138,8 +150,14 @@ class RunScheduler:
             self.jobs = os.cpu_count() or 1
         if self.jobs < 1:
             raise ValueError(f"jobs must be >= 1, got {self.jobs}")
+        #: Where each request of the most recent ``run_many`` batch was
+        #: answered from: ``"memo"`` | ``"cache"`` | ``"simulated"``.
+        #: Sweep manifests (:mod:`repro.evaluation.shard`) read this to
+        #: attribute per-key provenance without a second cache probe.
+        self.last_batch: Dict[RunRequest, str] = {}
         self._memo: Dict[RunRequest, RunResult] = {}
         self._programs: Dict[Tuple[str, str, int], Program] = {}
+        self._encoded: Dict[Tuple[str, str, int], bytes] = {}
 
     # -- public API -----------------------------------------------------------
 
@@ -160,20 +178,37 @@ class RunScheduler:
         # "scheduler.batch.simulate" isolates actual simulation time.
         tel = _telemetry.get()
         results: Dict[RunRequest, RunResult] = {}
+        self.last_batch = {}
         with tel.span("scheduler.batch"):
-            pending: List[Tuple[RunRequest, Optional[str]]] = []
+            missing: List[RunRequest] = []
             for request in unique:
                 memo = self._memo.get(request)
                 if memo is not None:
                     self.stats.memo_hits += 1
+                    self.last_batch[request] = "memo"
                     results[request] = memo
                     continue
-                key = None
-                if self.cache is not None:
-                    key = self._key_for(request)
+                missing.append(request)
+
+            # One batched presence probe for everything the memo could
+            # not answer — a single directory scan (or HTTP round-trip
+            # against a shared cache daemon) instead of a per-key load
+            # probe; only keys the probe reports present are then read.
+            keys: Dict[RunRequest, str] = {}
+            present: set = set()
+            if self.cache is not None and missing:
+                keys = {request: self.key_for(request)
+                        for request in missing}
+                present = self.cache.contains_many(keys.values())
+
+            pending: List[Tuple[RunRequest, Optional[str]]] = []
+            for request in missing:
+                key = keys.get(request)
+                if key is not None and key in present:
                     hit = self.cache.load(key)
                     if hit is not None:
                         self.stats.cache_hits += 1
+                        self.last_batch[request] = "cache"
                         self._memo[request] = hit
                         results[request] = hit
                         continue
@@ -199,13 +234,28 @@ class RunScheduler:
             self._programs[request.program_id] = program
         return program
 
-    def _key_for(self, request: RunRequest) -> str:
-        return run_key(self._program_for(request), request.config)
+    def _encoded_for(self, request: RunRequest) -> bytes:
+        """Canonical program bytes, built/encoded once per program_id.
+
+        A width sweep issues many requests against the same program;
+        memoizing the encoded form means one kernel build and one
+        encode serve every key computation and every worker shipment.
+        """
+        encoded = self._encoded.get(request.program_id)
+        if encoded is None:
+            encoded = encode_program(self._program_for(request))
+            self._encoded[request.program_id] = encoded
+        return encoded
+
+    def key_for(self, request: RunRequest) -> str:
+        """The run-cache key a request resolves to (memoized encode)."""
+        return run_key_for_bytes(self._encoded_for(request), request.config)
 
     def _finish(self, request: RunRequest, key: Optional[str],
                 result: RunResult,
                 results: Dict[RunRequest, RunResult]) -> None:
         self.stats.executed += 1
+        self.last_batch[request] = "simulated"
         if key is not None and self.cache is not None:
             self.cache.store(key, result)
         self._memo[request] = result
@@ -214,7 +264,9 @@ class RunScheduler:
     def _execute_parallel(self, pending, results) -> None:
         workers = min(self.jobs, len(pending))
         with ProcessPoolExecutor(max_workers=workers) as pool:
-            futures = {pool.submit(_pool_worker, request): (request, key)
+            futures = {pool.submit(_pool_worker, request,
+                                   self._encoded_for(request)):
+                       (request, key)
                        for request, key in pending}
             remaining = set(futures)
             while remaining:

@@ -1,0 +1,263 @@
+"""Shared run-cache daemon + HTTP backend tests (docs/evaluation-runner.md).
+
+The fleet contract the cache server must honor:
+
+* local and HTTP backends answer each other's entries byte-identically
+  (the daemon serves the very files ``--cache-dir`` writes),
+* stores are first-writer-wins — concurrent writers of one key, in one
+  process or racing across processes, leave exactly one valid entry,
+* a whole sweep's presence probe costs one HTTP round-trip,
+* every network failure fails open (miss / skipped store / empty
+  probe), counted under ``runcache.http.errors``, never raised.
+"""
+
+import json
+from concurrent.futures import ProcessPoolExecutor
+
+import pytest
+
+from repro.evaluation.cacheserver import (
+    CacheServer,
+    HTTPCacheBackend,
+    SERVICE_NAME,
+)
+from repro.evaluation.runcache import (
+    CACHE_FORMAT_VERSION,
+    LocalDirectoryBackend,
+    RunCache,
+    entry_payload,
+    run_key,
+)
+from repro.evaluation.runner import build_request_program, execute_request
+from repro.observability import telemetry
+from tests.test_runner import liquid_request
+
+KEY_A = "aa" + "0" * 62
+KEY_B = "bb" + "1" * 62
+
+
+@pytest.fixture()
+def server(tmp_path):
+    server = CacheServer(tmp_path / "served", port=0).start()
+    yield server
+    server.shutdown()
+
+
+def _http(server) -> HTTPCacheBackend:
+    return HTTPCacheBackend(server.url)
+
+
+class TestRoundtrip:
+    def test_store_then_load_bytes(self, server):
+        backend = _http(server)
+        assert backend.load(KEY_A) is None
+        assert backend.store(KEY_A, b"payload-bytes") is True
+        assert backend.load(KEY_A) == b"payload-bytes"
+
+    def test_local_write_visible_over_http(self, server):
+        server.backend.store(KEY_A, b"written-locally")
+        assert _http(server).load(KEY_A) == b"written-locally"
+
+    def test_http_write_visible_locally(self, server):
+        _http(server).store(KEY_A, b"written-remotely")
+        assert server.backend.load(KEY_A) == b"written-remotely"
+
+    def test_backends_interoperate_on_real_entries(self, server):
+        """A cached run stored via one backend is byte-identical and
+        loadable through the other — the --cache-dir/--cache-url duality
+        the CACHE_FORMAT_VERSION contract promises."""
+        request = liquid_request()
+        key = run_key(build_request_program(request), request.config)
+        result = execute_request(request)
+        via_http = RunCache(backend=_http(server))
+        via_http.store(key, result)
+
+        local = RunCache(backend=server.backend)
+        hit = local.load(key)
+        assert hit is not None and hit.cycles == result.cycles
+        assert server.backend.load(key) == entry_payload(key, result)
+
+    def test_delete_removes_entry(self, server):
+        backend = _http(server)
+        backend.store(KEY_A, b"x")
+        backend.delete(KEY_A)
+        assert backend.load(KEY_A) is None
+
+    def test_clear_reports_removed(self, server):
+        backend = _http(server)
+        backend.store(KEY_A, b"x")
+        backend.store(KEY_B, b"y")
+        assert backend.clear() == 2
+        assert backend.describe()["entries"] == 0
+
+
+class TestFirstWriterWins:
+    def test_second_store_loses(self, server):
+        backend = _http(server)
+        assert backend.store(KEY_A, b"first") is True
+        assert backend.store(KEY_A, b"first") is False
+        assert backend.load(KEY_A) == b"first"
+
+    def test_race_is_counted_not_raised(self, server):
+        cache = RunCache(backend=_http(server))
+        request = liquid_request()
+        key = run_key(build_request_program(request), request.config)
+        result = execute_request(request)
+        tel = telemetry.enable()
+        try:
+            cache.store(key, result)
+            cache.store(key, result)
+            counters = dict(tel.to_dict()["counters"])
+        finally:
+            telemetry.disable()
+        assert cache.stats.stores == 1 and cache.stats.races == 1
+        assert counters.get("runcache.stores") == 1
+        assert counters.get("runcache.races") == 1
+
+
+def _racing_store(root_and_tag):
+    """Child-process body: store one key, report whether we won."""
+    root, tag = root_and_tag
+    backend = LocalDirectoryBackend(root)
+    # Deterministic results mean racing writers hold identical bytes.
+    return backend.store(KEY_A, b"identical-entry-bytes"), tag
+
+
+class TestConcurrentWriters:
+    def test_two_processes_one_valid_entry(self, tmp_path):
+        """Two processes racing ``store()`` on one key: exactly one
+        winner, and the surviving entry is intact (the fragment store's
+        first-writer-wins guarantee, ported to the run cache)."""
+        root = str(tmp_path / "raced")
+        with ProcessPoolExecutor(max_workers=2) as pool:
+            outcomes = list(pool.map(_racing_store,
+                                     [(root, "a"), (root, "b")] * 4))
+        wins = sum(1 for won, _ in outcomes if won)
+        assert wins == 1, f"expected exactly one winning store: {outcomes}"
+        backend = LocalDirectoryBackend(root)
+        assert backend.load(KEY_A) == b"identical-entry-bytes"
+        assert sum(1 for _ in backend.entry_paths()) == 1
+
+    def test_no_tmp_litter_after_race(self, tmp_path):
+        root = tmp_path / "raced"
+        with ProcessPoolExecutor(max_workers=2) as pool:
+            list(pool.map(_racing_store, [(str(root), "a"), (str(root), "b")]))
+        leftovers = [p for p in root.rglob("*") if p.is_file()
+                     and not p.name.endswith(".json")]
+        assert leftovers == [], "losing writer must clean up its temp file"
+
+
+class TestBatchProbe:
+    def test_contains_many_is_one_round_trip(self, server):
+        backend = _http(server)
+        backend.store(KEY_A, b"x")
+        posts_before = server.request_counts.get("POST", 0)
+        present = backend.contains_many([KEY_A, KEY_B])
+        assert present == {KEY_A}
+        assert server.request_counts.get("POST", 0) == posts_before + 1
+
+    def test_empty_probe_skips_network(self, server):
+        posts_before = server.request_counts.get("POST", 0)
+        assert _http(server).contains_many([]) == set()
+        assert server.request_counts.get("POST", 0) == posts_before
+
+
+class TestFailOpen:
+    @pytest.fixture()
+    def dead(self, server):
+        """A backend whose daemon has already gone away."""
+        backend = _http(server)
+        server.shutdown()
+        return backend
+
+    def test_load_fails_open(self, dead):
+        assert dead.load(KEY_A) is None
+
+    def test_store_fails_open(self, dead):
+        assert dead.store(KEY_A, b"x") is False
+
+    def test_probe_fails_open(self, dead):
+        assert dead.contains_many([KEY_A, KEY_B]) == set()
+
+    def test_describe_reports_unreachable(self, dead):
+        info = dead.describe()
+        assert info["backend"] == "http"
+        assert info["reachable"] is False
+
+    def test_failures_are_counted(self, dead):
+        tel = telemetry.enable()
+        try:
+            dead.load(KEY_A)
+            dead.store(KEY_A, b"x")
+            counters = dict(tel.to_dict()["counters"])
+        finally:
+            telemetry.disable()
+        assert counters.get("runcache.http.errors") == 2
+        assert counters.get("runcache.http.requests") == 2
+
+    def test_scheduler_survives_dead_backend(self, dead):
+        """A sweep against a dead daemon degrades to local simulation."""
+        from repro.evaluation.runner import RunScheduler
+        scheduler = RunScheduler(jobs=1, cache=RunCache(backend=dead))
+        result = scheduler.run(liquid_request())
+        assert result.cycles > 0
+        assert scheduler.stats.executed == 1
+
+
+class TestProtocolHygiene:
+    def test_bad_keys_rejected(self, server):
+        backend = _http(server)
+        for bad in ("short", "../../etc/passwd", "Z" * 64, KEY_A[:-1] + "G"):
+            assert backend.load(bad) is None
+            assert backend.store(bad, b"x") is False
+        assert server.backend.entry_paths() is not None
+        assert sum(1 for _ in server.backend.entry_paths()) == 0
+
+    def test_probe_filters_bad_keys(self, server):
+        server.backend.store(KEY_A, b"x")
+        present = _http(server).contains_many(
+            [KEY_A, "../../sneaky", "not-a-key"])
+        assert present == {KEY_A}
+
+    def test_stats_identifies_service(self, server):
+        info = _http(server).describe()
+        assert info["reachable"] is True
+        assert info["format_version"] == CACHE_FORMAT_VERSION
+
+    def test_wrong_service_reads_unreachable(self):
+        """--cache-url pointed at some unrelated HTTP server must read
+        as unreachable, not corrupt probes with bogus answers."""
+        import threading
+        from http.server import BaseHTTPRequestHandler, HTTPServer
+
+        class Impostor(BaseHTTPRequestHandler):
+            def log_message(self, fmt, *args):
+                pass
+
+            def do_GET(self):
+                body = json.dumps({"service": "something-else"}).encode()
+                self.send_response(200)
+                self.send_header("Content-Length", str(len(body)))
+                self.end_headers()
+                self.wfile.write(body)
+
+        httpd = HTTPServer(("127.0.0.1", 0), Impostor)
+        thread = threading.Thread(target=httpd.serve_forever, daemon=True)
+        thread.start()
+        try:
+            host, port = httpd.server_address[:2]
+            info = HTTPCacheBackend(f"http://{host}:{port}").describe()
+        finally:
+            httpd.shutdown()
+            httpd.server_close()
+        assert info["reachable"] is False
+        assert SERVICE_NAME not in (None, "something-else")
+
+    def test_stats_counts_entries_and_bytes(self, server):
+        backend = _http(server)
+        backend.store(KEY_A, b"four")
+        backend.store(KEY_B, b"bytes!")
+        info = backend.describe()
+        assert info["entries"] == 2
+        assert info["size_bytes"] == len(b"four") + len(b"bytes!")
+        assert json.loads(json.dumps(info)) == info

@@ -246,6 +246,98 @@ class TestRunScheduler:
             assert par[request].arrays == seq[request].arrays
 
 
+class TestBatchedProbe:
+    def test_one_round_trip_per_batch(self, tmp_path):
+        requests = [liquid_request(b, w) for b in SUBSET for w in WIDTHS]
+        cache = RunCache(tmp_path)
+        RunScheduler(jobs=1, cache=cache).run_many(requests)
+        assert cache.stats.probe_calls == 1, \
+            "a batch must cost one contains_many round-trip"
+        assert cache.stats.probed == len(requests)
+
+    def test_probe_telemetry_counts_batched_keys(self, tmp_path):
+        from repro.observability import telemetry
+        requests = [liquid_request(b, w) for b in SUBSET for w in WIDTHS]
+        tel = telemetry.enable()
+        try:
+            RunScheduler(jobs=1,
+                         cache=RunCache(tmp_path)).run_many(requests)
+            counters = dict(tel.to_dict()["counters"])
+        finally:
+            telemetry.disable()
+        assert counters.get("runcache.probe.calls") == 1
+        assert counters.get("runcache.probe.batched") == len(requests)
+
+    def test_warm_batch_loads_only_present_keys(self, tmp_path,
+                                                monkeypatch):
+        requests = [liquid_request(b, w) for b in SUBSET for w in WIDTHS]
+        RunScheduler(jobs=1, cache=RunCache(tmp_path)).run_many(requests)
+
+        warm_cache = RunCache(tmp_path)
+        loads = []
+        real_load = RunCache.load
+        monkeypatch.setattr(
+            RunCache, "load",
+            lambda self, key: loads.append(key) or real_load(self, key))
+        warm = RunScheduler(jobs=1, cache=warm_cache)
+        warm.run_many(requests + [liquid_request("LU", 4)])
+        # The cold key was filtered out by the probe, never load()ed.
+        assert len(loads) == len(requests)
+        assert warm.stats.cache_hits == len(requests)
+        assert warm.stats.executed == 1
+
+    def test_last_batch_records_provenance(self, tmp_path):
+        request = liquid_request()
+        scheduler = RunScheduler(jobs=1, cache=RunCache(tmp_path))
+        scheduler.run(request)
+        assert scheduler.last_batch == {request: "simulated"}
+        scheduler.run(request)
+        assert scheduler.last_batch == {request: "memo"}
+        fresh = RunScheduler(jobs=1, cache=RunCache(tmp_path))
+        fresh.run(request)
+        assert fresh.last_batch == {request: "cache"}
+
+
+class TestProgramMemoization:
+    def test_one_build_per_program_id(self, monkeypatch):
+        import repro.evaluation.runner as runner_mod
+        builds = []
+        real_build = runner_mod.build_request_program
+        monkeypatch.setattr(
+            runner_mod, "build_request_program",
+            lambda request: builds.append(request.program_id)
+            or real_build(request))
+        scheduler = RunScheduler(jobs=1)
+        # A width sweep: four requests, one shared liquid program.
+        scheduler.run_many([liquid_request("LU", w) for w in (2, 4, 8, 16)])
+        assert builds == [("LU", "liquid", 1)], \
+            "the sweep must build its program exactly once"
+
+    def test_keys_reuse_encoded_bytes(self, tmp_path, monkeypatch):
+        from repro.isa import encoding
+        import repro.evaluation.runner as runner_mod
+        encodes = []
+        real_encode = encoding.encode_program
+        monkeypatch.setattr(
+            runner_mod, "encode_program",
+            lambda program: encodes.append(program.name)
+            or real_encode(program))
+        scheduler = RunScheduler(jobs=1, cache=RunCache(tmp_path))
+        scheduler.run_many([liquid_request("LU", w) for w in (2, 4, 8, 16)])
+        assert len(encodes) == 1, \
+            "four keys against one program must encode it once"
+
+    def test_workers_decode_shipped_bytes(self):
+        from repro.evaluation.runner import _pool_worker
+        from repro.isa.encoding import encode_program
+        request = liquid_request()
+        program = build_request_program(request)
+        shipped = _pool_worker(request, encode_program(program))
+        rebuilt = _pool_worker(request)
+        assert shipped == rebuilt, \
+            "decoded-program runs must match rebuilt-program runs exactly"
+
+
 class TestEvalContextIntegration:
     def test_jobs_1_and_4_produce_identical_rows_and_tables(self):
         rows = {}
