@@ -1,0 +1,182 @@
+"""CI smoke gate for the ``repro serve`` simulation farm.
+
+Boots a real ``python -m repro serve`` subprocess (the exact artifact a
+user runs, not an in-process harness) over a scratch cache and asserts
+the service contract end to end:
+
+1. **cold** — each distinct request simulates exactly once,
+2. **storm** — concurrent duplicates of one unseen key coalesce onto a
+   single machine-run,
+3. **warm** — re-firing every request answers from the cache with zero
+   further simulation,
+4. **fidelity** — every served ``result`` payload is byte-identical to
+   a direct in-process ``RunScheduler`` run of the same request,
+5. **hygiene** — zero 5xx errors; malformed jobs get a 400 without
+   touching the pool.
+
+Run from the repo root with ``PYTHONPATH=src``; exits non-zero with a
+readable message on the first violated invariant.
+"""
+
+import json
+import os
+import socket
+import subprocess
+import sys
+import tempfile
+import time
+import urllib.error
+import urllib.request
+from concurrent.futures import ThreadPoolExecutor
+from pathlib import Path
+
+SERVICE_NAME = "repro-sim-server"
+COLD_SET = [
+    {"benchmark": "LU", "width": 4},
+    {"benchmark": "FFT", "width": 8},
+    {"benchmark": "FIR", "program_kind": "baseline"},
+]
+STORM_REQUEST = {"benchmark": "FIR", "width": 16}
+STORM_SIZE = 8
+
+
+def fail(message: str) -> None:
+    print(f"serve-smoke: FAIL: {message}", file=sys.stderr)
+    sys.exit(1)
+
+
+def free_port() -> int:
+    with socket.socket() as sock:
+        sock.bind(("127.0.0.1", 0))
+        return sock.getsockname()[1]
+
+
+def get_stats(url: str) -> dict:
+    with urllib.request.urlopen(f"{url}/stats", timeout=10) as resp:
+        return json.loads(resp.read())
+
+
+def post_run(url: str, payload: dict) -> dict:
+    req = urllib.request.Request(
+        f"{url}/v1/runs", data=json.dumps(payload).encode("utf-8"),
+        headers={"Content-Type": "application/json"})
+    with urllib.request.urlopen(req, timeout=120) as resp:
+        return json.loads(resp.read())
+
+
+def wait_ready(url: str, deadline: float = 30.0) -> None:
+    end = time.time() + deadline
+    while time.time() < end:
+        try:
+            payload = get_stats(url)
+        except (OSError, ValueError):
+            time.sleep(0.2)
+            continue
+        if payload.get("service") != SERVICE_NAME:
+            fail(f"unexpected service at {url}: "
+                 f"{payload.get('service')!r}")
+        return
+    fail(f"server at {url} not ready within {deadline}s")
+
+
+def direct_results() -> dict:
+    """Telemetry-stripped wire dicts from a direct in-process run."""
+    from repro.evaluation.runner import RunScheduler
+    from repro.evaluation.simserver import parse_run_request
+
+    scheduler = RunScheduler(jobs=1, cache=None)
+    wires = {}
+    for payload in COLD_SET + [STORM_REQUEST]:
+        wire = scheduler.run(parse_run_request(payload)).to_dict()
+        wire.pop("telemetry", None)
+        wires[json.dumps(payload, sort_keys=True)] = wire
+    return wires
+
+
+def main() -> None:
+    port = free_port()
+    url = f"http://127.0.0.1:{port}"
+    scratch = tempfile.mkdtemp(prefix="repro-serve-smoke-")
+    process = subprocess.Popen(
+        [sys.executable, "-m", "repro", "serve", "--port", str(port),
+         "--jobs", "2", "--cache-dir", scratch],
+        env={**os.environ, "PYTHONPATH": str(Path("src").resolve())})
+    try:
+        wait_ready(url)
+
+        # Phase 1: distinct cold requests simulate exactly once each.
+        for payload in COLD_SET:
+            reply = post_run(url, payload)
+            if reply["source"] != "cold":
+                fail(f"first request for {payload} answered "
+                     f"{reply['source']!r}, expected cold")
+        stats = get_stats(url)["stats"]
+        if stats["executed"] != len(COLD_SET):
+            fail(f"cold set of {len(COLD_SET)} executed "
+                 f"{stats['executed']} machine-runs")
+
+        # Phase 2: a concurrent identical-request storm on an unseen
+        # key coalesces onto one machine-run.
+        with ThreadPoolExecutor(max_workers=STORM_SIZE) as pool:
+            replies = list(pool.map(
+                lambda _: post_run(url, STORM_REQUEST),
+                range(STORM_SIZE)))
+        stats = get_stats(url)["stats"]
+        storm_runs = stats["executed"] - len(COLD_SET)
+        if storm_runs != 1:
+            fail(f"{STORM_SIZE} identical concurrent requests cost "
+                 f"{storm_runs} machine-runs, expected 1")
+        if sum(1 for r in replies if r["source"] == "cold") != 1:
+            fail("storm must contain exactly one cold response")
+        if len({json.dumps(r["result"], sort_keys=True)
+                for r in replies}) != 1:
+            fail("storm waiters received differing payloads")
+
+        # Phase 3: warm re-fires simulate nothing further.
+        executed_before = stats["executed"]
+        warm_replies = {}
+        for payload in COLD_SET + [STORM_REQUEST]:
+            reply = post_run(url, payload)
+            if reply["source"] != "hit":
+                fail(f"warm re-fire of {payload} answered "
+                     f"{reply['source']!r}, expected hit")
+            warm_replies[json.dumps(payload, sort_keys=True)] = \
+                reply["result"]
+        stats = get_stats(url)["stats"]
+        if stats["executed"] != executed_before:
+            fail("warm re-fires raised the machine-run count")
+
+        # Phase 4: served payloads are byte-identical to direct runs.
+        for name, wire in direct_results().items():
+            served = json.dumps(warm_replies[name], sort_keys=True)
+            direct = json.dumps(wire, sort_keys=True)
+            if served != direct:
+                fail(f"served result for {name} differs from a "
+                     f"direct scheduler run")
+
+        # Phase 5: hygiene.
+        try:
+            post_run(url, {"benchmark": "definitely-not-real"})
+        except urllib.error.HTTPError as exc:
+            if exc.code != 400:
+                fail(f"malformed job got {exc.code}, expected 400")
+        else:
+            fail("malformed job was accepted")
+        stats = get_stats(url)["stats"]
+        if stats["errors"] != 0:
+            fail(f"server recorded {stats['errors']} 5xx errors")
+
+        print(f"serve-smoke: OK — {stats['executed']} machine-runs for "
+              f"{stats['requests']} requests "
+              f"({stats['hits']} hits, {stats['coalesced']} coalesced, "
+              f"{stats['bad_requests']} rejected)")
+    finally:
+        process.terminate()
+        try:
+            process.wait(timeout=10)
+        except subprocess.TimeoutExpired:
+            process.kill()
+
+
+if __name__ == "__main__":
+    main()

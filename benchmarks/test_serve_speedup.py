@@ -1,0 +1,60 @@
+"""Sim-server loadtest benchmark: request dedup under concurrency.
+
+Boots one in-process :class:`~repro.evaluation.simserver.SimServer`
+over a scratch cache and drives the full ``repro loadtest`` harness
+against it — warmup, an identical-request storm, and a high-volume warm
+mixed phase — recording the results in ``benchmarks/BENCH_serve.json``.
+
+Acceptance (ISSUE 10): the identical-request storm costs exactly one
+machine-run (dedup ratio >= 0.9), the warm mixed phase simulates
+nothing, and no request errors.  The gated records are deterministic
+machine-run ratios — requests answered per simulation paid — following
+the BENCH_shard precedent; p50/p99 latency, throughput, and the log2
+latency histogram ride along ungated.
+"""
+
+from __future__ import annotations
+
+from repro.evaluation.loadtest import (
+    LoadtestPlan,
+    loadtest_ok,
+    render_summary,
+    run_loadtest,
+)
+from repro.evaluation.runcache import RunCache
+from repro.evaluation.simserver import SimServer
+
+REQUESTS = 400
+CONCURRENCY = 32
+STORM = 48
+JOBS = 2  # explicit: CI runners and this container report 1-2 CPUs
+
+
+def test_serve_loadtest(tmp_path, serve_bench_records):
+    server = SimServer(jobs=JOBS,
+                       cache=RunCache(tmp_path / "serve-bench")).start()
+    try:
+        plan = LoadtestPlan(requests=REQUESTS, concurrency=CONCURRENCY,
+                            storm=STORM)
+        payload = run_loadtest(server.url, plan)
+    finally:
+        server.shutdown()
+
+    records = payload["records"]
+    dedup = records["serve_dedup"]
+    warm = records["serve_warm"]
+
+    # The storm's dedup claim: N identical in-flight requests, one run.
+    assert dedup["machine_runs"] == 1, \
+        f"identical-request storm cost {dedup['machine_runs']} runs"
+    assert dedup["duplicate_machine_runs"] == 0
+    assert dedup["dedup_ratio"] >= 0.9
+    # The warm phase answers everything from cache/memo.
+    assert warm["machine_runs"] == 0, \
+        f"warm phase simulated {warm['machine_runs']} times"
+    assert warm["requests"] == REQUESTS
+    assert records["serve_errors"]["errors"] == 0
+    assert loadtest_ok(payload)
+
+    serve_bench_records.update(records)
+    print("\n" + render_summary(payload))

@@ -18,6 +18,16 @@ Subcommands:
   disjoint hash-slice against a shared backend, ``--incremental``
   simulates only cache misses, and ``--merge`` verifies and combines
   shard manifests (docs/evaluation-runner.md).
+* ``serve``     — run the simulation farm: an async HTTP service where
+  clients POST (benchmark, program_kind, width, engine) jobs to
+  ``/v1/runs``; warm requests answer from the run cache in O(1),
+  identical in-flight requests coalesce onto one machine-run, and
+  distinct cold runs fan out over a bounded worker pool
+  (docs/serving.md).
+* ``loadtest``  — hammer a ``repro serve`` farm (or a private one) with
+  a mixed warm/cold/duplicate-storm workload and write the p50/p99
+  latency + throughput + dedup-ratio payload ``repro bench compare``
+  gates (docs/serving.md).
 * ``retranslate`` — re-lower one benchmark's translated fragments to
   another SIMD width and print the cross-width differential verdict
   (docs/retranslation.md).
@@ -215,6 +225,85 @@ def _cmd_sweep(args) -> int:
     if args.out:
         print(f"wrote manifest to {args.out}")
     return 0
+
+
+def _cmd_serve(args) -> int:
+    from repro.evaluation.runcache import RunCache
+    from repro.evaluation.simserver import SimServer
+
+    cache = (None if args.no_cache
+             else RunCache.default(args.cache_dir, cache_url=args.cache_url))
+    server = SimServer(host=args.host, port=args.port, jobs=args.jobs,
+                       cache=cache)
+    server.start()
+    backend = "no cache (every request simulates)" if cache is None \
+        else cache.describe()["location"]
+    print(f"serving simulations at {server.url} "
+          f"({server.jobs} worker{'s' if server.jobs != 1 else ''}, "
+          f"cache: {backend}; Ctrl-C to stop)")
+    import time
+    try:
+        while True:
+            time.sleep(3600)
+    except KeyboardInterrupt:
+        server.shutdown()
+    return 0
+
+
+def _cmd_loadtest(args) -> int:
+    import json
+
+    from repro.evaluation.loadtest import (
+        LoadtestError,
+        LoadtestPlan,
+        loadtest_ok,
+        render_summary,
+        run_loadtest,
+    )
+
+    try:
+        plan = LoadtestPlan(requests=args.requests,
+                            concurrency=args.concurrency,
+                            storm=args.storm)
+    except ValueError as exc:
+        print(f"loadtest: {exc}", file=sys.stderr)
+        return 2
+
+    server = None
+    url = args.url
+    if url is None:
+        # Self-contained mode: boot a private farm over a throwaway
+        # cache so the loadtest measures the service, not stale state.
+        import tempfile
+
+        from repro.evaluation.runcache import RunCache
+        from repro.evaluation.simserver import SimServer
+        scratch = tempfile.mkdtemp(prefix="repro-loadtest-")
+        server = SimServer(jobs=args.jobs,
+                           cache=RunCache(scratch)).start()
+        url = server.url
+    try:
+        payload = run_loadtest(url, plan)
+    except LoadtestError as exc:
+        print(f"loadtest: {exc}", file=sys.stderr)
+        return 2
+    finally:
+        if server is not None:
+            server.shutdown()
+
+    if args.out:
+        from pathlib import Path
+        Path(args.out).write_text(
+            json.dumps(payload, indent=2, sort_keys=True) + "\n",
+            encoding="utf-8")
+    if args.json:
+        print(json.dumps(payload, indent=2, sort_keys=True))
+    else:
+        print(render_summary(payload))
+        if args.out:
+            print(f"wrote payload to {args.out} "
+                  f"(gate with `repro bench compare OLD {args.out}`)")
+    return 0 if loadtest_ok(payload) else 1
 
 
 def _cmd_retranslate(args) -> int:
@@ -460,6 +549,57 @@ def main(argv=None) -> int:
                          help="print the manifest as JSON instead of a "
                               "summary")
 
+    serve_p = sub.add_parser(
+        "serve",
+        help="run the simulation farm: POST (benchmark, program_kind, "
+             "width, engine) jobs to /v1/runs; warm hits answer from "
+             "the run cache, identical in-flight requests coalesce, "
+             "cold runs fan out over a bounded worker pool")
+    serve_p.add_argument("--host", default="127.0.0.1",
+                         help="bind address (default: 127.0.0.1)")
+    serve_p.add_argument("--port", type=int, default=8979,
+                         help="port, 0 for ephemeral (default: 8979)")
+    serve_p.add_argument("--jobs", type=int, default=None, metavar="N",
+                         help="simulation worker processes "
+                              "(default: cpu count)")
+    serve_p.add_argument("--cache-dir", default=None, metavar="DIR",
+                         help="run-cache directory (default: "
+                              "$REPRO_CACHE_DIR or ~/.cache/"
+                              "repro-liquid-simd)")
+    serve_p.add_argument("--cache-url", default=None, metavar="URL",
+                         help="answer warm hits from a `repro cache "
+                              "serve` daemon instead of a local "
+                              "directory (default: $REPRO_CACHE_URL)")
+    serve_p.add_argument("--no-cache", action="store_true",
+                         help="serve without a persistent cache "
+                              "(every distinct request simulates)")
+
+    load_p = sub.add_parser(
+        "loadtest",
+        help="hammer a `repro serve` farm with a mixed warm/cold/"
+             "duplicate-storm workload and write the latency + "
+             "dedup-ratio payload `repro bench compare` gates")
+    load_p.add_argument("--url", default=None, metavar="URL",
+                        help="target farm (default: boot a private one "
+                             "over a throwaway cache)")
+    load_p.add_argument("--requests", type=int, default=400, metavar="N",
+                        help="warm mixed-phase request volume "
+                             "(default: 400)")
+    load_p.add_argument("--concurrency", type=int, default=32, metavar="C",
+                        help="concurrent keep-alive connections "
+                             "(default: 32)")
+    load_p.add_argument("--storm", type=int, default=48, metavar="D",
+                        help="identical-request storm size exercising "
+                             "single-flight dedup (default: 48)")
+    load_p.add_argument("--jobs", type=int, default=None, metavar="N",
+                        help="worker processes for the private farm "
+                             "(ignored with --url; default: cpu count)")
+    load_p.add_argument("--out", default=None, metavar="FILE",
+                        help="write the BENCH-schema payload to FILE")
+    load_p.add_argument("--json", action="store_true",
+                        help="print the payload as JSON instead of a "
+                             "summary")
+
     retr_p = sub.add_parser(
         "retranslate",
         help="re-lower one benchmark's fragments to another width and "
@@ -528,6 +668,10 @@ def main(argv=None) -> int:
         return _cmd_cache(args)
     if args.command == "sweep":
         return _cmd_sweep(args)
+    if args.command == "serve":
+        return _cmd_serve(args)
+    if args.command == "loadtest":
+        return _cmd_loadtest(args)
     if args.command == "retranslate":
         return _cmd_retranslate(args)
     if args.command == "telemetry":

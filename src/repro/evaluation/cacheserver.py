@@ -39,6 +39,7 @@ under ``runcache.http.errors`` (docs/observability.md).
 from __future__ import annotations
 
 import json
+import logging
 import re
 import threading
 import urllib.error
@@ -63,6 +64,14 @@ KEY_RE = re.compile(r"^[0-9a-f]{64}$")
 SERVICE_NAME = "repro-run-cache"
 
 DEFAULT_TIMEOUT = 10.0
+
+#: Consecutive transport failures after which :class:`HTTPCacheBackend`
+#: logs one warning and counts ``runcache.http.failopen`` — the "your
+#: cache daemon is dead and every run is silently re-simulating" alarm.
+#: A successful reply re-arms the detector.
+FAILOPEN_THRESHOLD = 3
+
+_log = logging.getLogger(__name__)
 
 
 class _CacheRequestHandler(BaseHTTPRequestHandler):
@@ -238,7 +247,10 @@ class HTTPCacheBackend:
     miss / skipped store / empty probe and falls back to simulating
     locally, so a dead or flaky cache daemon can never fail a sweep,
     only slow it down.  ``runcache.http.*`` telemetry counts traffic
-    and failures.
+    and failures, and :data:`FAILOPEN_THRESHOLD` consecutive transport
+    failures log one warning (plus one ``runcache.http.failopen``
+    count) per outage so a dead daemon is loud instead of silently
+    turning every warm sweep cold.
     """
 
     kind = "http"
@@ -246,6 +258,12 @@ class HTTPCacheBackend:
     def __init__(self, url: str, timeout: float = DEFAULT_TIMEOUT) -> None:
         self.url = url.rstrip("/")
         self.timeout = timeout
+        #: Transport failures since the last successful reply; at
+        #: :data:`FAILOPEN_THRESHOLD` the backend warns once (and counts
+        #: ``runcache.http.failopen``) that it is failing open — a dead
+        #: daemon should be loud in logs/CI, not just slow.
+        self.consecutive_failures = 0
+        self._failopen_reported = False
 
     # -- request plumbing --------------------------------------------------
 
@@ -261,17 +279,46 @@ class HTTPCacheBackend:
         tel.count("runcache.http.requests")
         try:
             with urllib.request.urlopen(req, timeout=self.timeout) as resp:
-                return resp.status, resp.read()
+                status, reply = resp.status, resp.read()
         except urllib.error.HTTPError as exc:
             # An HTTP-level status is a *reply*, not a transport failure
             # (404 miss, 409 lost race); drain it and let callers map it.
             body = exc.read()
             if exc.code not in ok_statuses:
                 tel.count("runcache.http.errors")
+            self._note_reply()
             return exc.code, body
         except (urllib.error.URLError, OSError, TimeoutError):
             tel.count("runcache.http.errors")
+            self._note_failure()
             return None
+        self._note_reply()
+        return status, reply
+
+    def _note_reply(self) -> None:
+        """Any reply from the daemon re-arms the fail-open detector."""
+        self.consecutive_failures = 0
+        self._failopen_reported = False
+
+    def _note_failure(self) -> None:
+        """Track a transport failure; warn once at the threshold.
+
+        Individual failures are already counted per request under
+        ``runcache.http.errors``; this detects the *dead daemon* case —
+        every request failing open and re-simulating locally — and
+        raises exactly one warning (plus one ``runcache.http.failopen``
+        count) per outage so CI logs show it without being flooded.
+        """
+        self.consecutive_failures += 1
+        if self.consecutive_failures >= FAILOPEN_THRESHOLD \
+                and not self._failopen_reported:
+            self._failopen_reported = True
+            _telemetry.get().count("runcache.http.failopen")
+            _log.warning(
+                "run-cache daemon at %s failed %d consecutive requests; "
+                "failing open (every miss re-simulates locally until it "
+                "answers again)",
+                self.url, self.consecutive_failures)
 
     # -- CacheBackend protocol --------------------------------------------
 

@@ -1,0 +1,368 @@
+"""Load-test harness for the ``repro serve`` simulation farm.
+
+``repro loadtest`` hammers a sim server with a realistic mixed
+workload — warm repeats, distinct cold runs, and an identical-request
+*storm* that every request-dedup claim lives or dies on — at a
+configurable connection count, and reduces the observations to one
+BENCH-schema payload (``benchmarks/conftest.py``'s
+``{machine, records, speedups}`` shape) so `repro bench compare` can
+gate it exactly like every other ``BENCH_*.json``.
+
+Three phases, each measured against the server's own ``/stats``
+counters (deltas bracket each phase, so the numbers are the *server's*
+account of what simulated, not the client's guess):
+
+1. **warmup** — every key in the warm set is requested once, so the
+   following phases have a genuinely warm cache to hit.
+2. **storm** — N identical requests for one deliberately un-warmed key,
+   all in flight together.  Single-flight dedup means the whole storm
+   must cost **one** machine-run: the first request goes cold, the rest
+   coalesce onto it (or hit the cache if they arrive after it lands).
+   ``dedup_ratio = 1 - machine_runs/requests``.
+3. **mixed** — the main volume: every request drawn from the warm set,
+   answered entirely without simulation.  Per-request latencies from
+   this phase produce the p50/p99/throughput records and a log2-bucket
+   latency histogram (the artifact CI nightly uploads).
+
+The gated records are deterministic *machine-run* ratios (requests
+answered per simulation paid), immune to shared-runner timing noise;
+wall-clock latency and throughput ride along ungated, exactly the
+BENCH_shard precedent.
+
+The harness drives any server URL (``repro loadtest --url``); without
+one it boots a private :class:`~repro.evaluation.simserver.SimServer`
+over a temporary cache and tears it down afterwards.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import math
+import random
+import time
+import urllib.request
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+from urllib.parse import urlsplit
+
+from repro.evaluation.simserver import SERVICE_NAME
+
+DEFAULT_BENCHMARKS = ("FIR", "LU")
+DEFAULT_WIDTHS = (4, 8)
+
+#: The storm targets this request — present in no warm set, so the
+#: burst is genuinely cold when it starts.
+STORM_REQUEST = {"benchmark": "FFT", "width": 8, "repeat_factor": 2}
+
+
+class LoadtestError(RuntimeError):
+    """The target server is unreachable or not a sim server."""
+
+
+def _machine_info() -> dict:
+    """The same hardware/software context ``benchmarks/conftest.py``
+    stamps on every BENCH payload (duplicated here so the CLI path has
+    no dependency on the pytest harness)."""
+    import os
+    import platform
+    import sys
+    return {
+        "platform": platform.platform(),
+        "python": sys.version.split()[0],
+        "cpu_count": os.cpu_count(),
+        "processor": platform.processor() or platform.machine(),
+    }
+
+
+@dataclass
+class _Observation:
+    """One request as the client saw it."""
+
+    seconds: float
+    source: str   # hit | coalesced | cold
+    status: int
+
+
+@dataclass
+class _PhaseResult:
+    """Client observations plus the server-side stats delta."""
+
+    observations: List[_Observation]
+    stats_delta: Dict[str, int]
+    wall_seconds: float
+
+    @property
+    def latencies(self) -> List[float]:
+        return [o.seconds for o in self.observations]
+
+    def source_counts(self) -> Dict[str, int]:
+        counts: Dict[str, int] = {}
+        for o in self.observations:
+            counts[o.source] = counts.get(o.source, 0) + 1
+        return counts
+
+
+def percentile(latencies: Sequence[float], q: float) -> float:
+    """The *q*-quantile (0..1) by the nearest-rank method."""
+    if not latencies:
+        return 0.0
+    ranked = sorted(latencies)
+    rank = max(1, math.ceil(q * len(ranked)))
+    return ranked[rank - 1]
+
+
+def latency_histogram(latencies: Sequence[float]) -> Dict[str, int]:
+    """Log2 milliseconds buckets: ``<1ms``, ``<2ms``, ``<4ms``, ...
+
+    Coarse on purpose — the buckets survive runner-to-runner noise and
+    diff cleanly across CI artifact uploads.
+    """
+    buckets: Dict[str, int] = {}
+    for seconds in latencies:
+        ms = seconds * 1000.0
+        bound = 1
+        while ms >= bound:
+            bound *= 2
+        label = f"<{bound}ms"
+        buckets[label] = buckets.get(label, 0) + 1
+    return dict(sorted(buckets.items(),
+                       key=lambda kv: int(kv[0][1:-2])))
+
+
+# -- the async client ------------------------------------------------------
+
+async def _fire(host: str, port: int, payloads: Sequence[dict],
+                concurrency: int) -> List[_Observation]:
+    """POST every payload over *concurrency* keep-alive connections.
+
+    Workers share one index counter, so the load is work-stealing: a
+    connection stuck behind a cold run does not idle the others.
+    """
+    observations: List[Optional[_Observation]] = [None] * len(payloads)
+    next_index = 0
+
+    async def worker() -> None:
+        nonlocal next_index
+        reader, writer = await asyncio.open_connection(host, port)
+        try:
+            while True:
+                index = next_index
+                if index >= len(payloads):
+                    return
+                next_index = index + 1
+                body = json.dumps(payloads[index]).encode("utf-8")
+                head = (f"POST /v1/runs HTTP/1.1\r\nHost: {host}\r\n"
+                        "Content-Type: application/json\r\n"
+                        f"Content-Length: {len(body)}\r\n\r\n")
+                start = time.perf_counter()
+                writer.write(head.encode("latin-1") + body)
+                await writer.drain()
+                status, reply = await _read_response(reader)
+                elapsed = time.perf_counter() - start
+                source = reply.get("source", "error") \
+                    if status == 200 else "error"
+                observations[index] = _Observation(elapsed, source, status)
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except OSError:
+                pass
+
+    workers = [asyncio.create_task(worker())
+               for _ in range(min(concurrency, max(1, len(payloads))))]
+    await asyncio.gather(*workers)
+    return [o for o in observations if o is not None]
+
+
+async def _read_response(reader: asyncio.StreamReader) -> Tuple[int, dict]:
+    status_line = await reader.readline()
+    status = int(status_line.split()[1])
+    length = 0
+    while True:
+        line = await reader.readline()
+        if line in (b"\r\n", b"\n", b""):
+            break
+        name, _, value = line.decode("latin-1").partition(":")
+        if name.strip().lower() == "content-length":
+            length = int(value.strip())
+    body = await reader.readexactly(length) if length else b""
+    try:
+        return status, json.loads(body.decode("utf-8"))
+    except (UnicodeDecodeError, ValueError):
+        return status, {}
+
+
+# -- server bookkeeping ----------------------------------------------------
+
+def fetch_stats(url: str, timeout: float = 10.0) -> dict:
+    """The server's ``/stats`` payload; raises LoadtestError otherwise."""
+    try:
+        with urllib.request.urlopen(f"{url.rstrip('/')}/stats",
+                                    timeout=timeout) as resp:
+            payload = json.loads(resp.read().decode("utf-8"))
+    except (OSError, ValueError) as exc:
+        raise LoadtestError(f"no sim server at {url}: {exc}") from None
+    if payload.get("service") != SERVICE_NAME:
+        raise LoadtestError(
+            f"{url} is not a {SERVICE_NAME} (service="
+            f"{payload.get('service')!r})")
+    return payload
+
+
+def _stats_delta(before: dict, after: dict) -> Dict[str, int]:
+    b, a = before["stats"], after["stats"]
+    return {name: a[name] - b.get(name, 0) for name in a}
+
+
+def _run_phase(url: str, payloads: Sequence[dict],
+               concurrency: int) -> _PhaseResult:
+    host, port = urlsplit(url).hostname, urlsplit(url).port
+    before = fetch_stats(url)
+    start = time.perf_counter()
+    observations = asyncio.run(_fire(host, port, payloads, concurrency))
+    wall = time.perf_counter() - start
+    after = fetch_stats(url)
+    return _PhaseResult(observations, _stats_delta(before, after), wall)
+
+
+# -- the harness -----------------------------------------------------------
+
+@dataclass
+class LoadtestPlan:
+    """Knobs for one loadtest session (CLI flags map 1:1)."""
+
+    requests: int = 400
+    concurrency: int = 32
+    storm: int = 48
+    benchmarks: Sequence[str] = DEFAULT_BENCHMARKS
+    widths: Sequence[int] = DEFAULT_WIDTHS
+    seed: int = 20070212  # the paper's conference date; any constant works
+    warm_set: List[dict] = field(init=False)
+
+    def __post_init__(self) -> None:
+        if self.requests < 1 or self.storm < 2 or self.concurrency < 1:
+            raise ValueError("requests >= 1, storm >= 2, concurrency >= 1")
+        self.warm_set = [
+            {"benchmark": benchmark, "width": width}
+            for benchmark in self.benchmarks for width in self.widths
+        ] + [{"benchmark": self.benchmarks[0], "program_kind": "baseline"}]
+
+    def mixed_payloads(self) -> List[dict]:
+        rng = random.Random(self.seed)
+        return [rng.choice(self.warm_set) for _ in range(self.requests)]
+
+
+def run_loadtest(url: str, plan: LoadtestPlan,
+                 machine_info: Optional[dict] = None) -> dict:
+    """Drive the three phases against *url*; return the BENCH payload."""
+    fetch_stats(url)  # fail fast on a wrong or dead target
+
+    warmup = _run_phase(url, plan.warm_set, plan.concurrency)
+    bad = [o for o in warmup.observations if o.status != 200]
+    if bad:
+        raise LoadtestError(
+            f"{len(bad)} warmup request(s) failed with "
+            f"{sorted({o.status for o in bad})}")
+
+    storm_payloads = [dict(STORM_REQUEST)] * plan.storm
+    storm = _run_phase(url, storm_payloads,
+                       min(plan.concurrency, plan.storm))
+    storm_runs = storm.stats_delta["executed"]
+    dedup_ratio = 1.0 - storm_runs / plan.storm
+
+    mixed = _run_phase(url, plan.mixed_payloads(), plan.concurrency)
+    mixed_runs = mixed.stats_delta["executed"]
+
+    latencies = mixed.latencies
+    throughput = (len(latencies) / mixed.wall_seconds
+                  if mixed.wall_seconds else 0.0)
+    errors = sum(1 for phase in (warmup, storm, mixed)
+                 for o in phase.observations if o.status != 200)
+
+    records = {
+        "serve_dedup": {
+            "storm_requests": plan.storm,
+            "machine_runs": storm_runs,
+            "duplicate_machine_runs": max(0, storm_runs - 1),
+            "dedup_ratio": round(dedup_ratio, 4),
+            "sources": storm.source_counts(),
+            # Deterministic gate: requests answered per simulation paid
+            # for the identical-request storm ((N+1)/2 when exactly one
+            # runs) — not a wall-clock.
+            "speedup": round((plan.storm + 1) / (storm_runs + 1), 2),
+        },
+        "serve_warm": {
+            "requests": len(mixed.observations),
+            "machine_runs": mixed_runs,
+            "sources": mixed.source_counts(),
+            # Warm requests answered per simulation paid; (N+1) when the
+            # warm phase simulates nothing.
+            "speedup": round(
+                (len(mixed.observations) + 1) / (mixed_runs + 1), 2),
+        },
+        "serve_latency": {
+            "concurrency": plan.concurrency,
+            "requests": len(latencies),
+            "p50_ms": round(percentile(latencies, 0.50) * 1000, 3),
+            "p99_ms": round(percentile(latencies, 0.99) * 1000, 3),
+            "max_ms": round(max(latencies) * 1000, 3) if latencies else 0,
+            "throughput_rps": round(throughput, 1),
+            "wall_seconds": round(mixed.wall_seconds, 3),
+            "histogram": latency_histogram(latencies),
+        },
+        "serve_errors": {"errors": errors},
+    }
+    payload = {
+        "machine": (machine_info if machine_info is not None
+                    else _machine_info()),
+        "records": records,
+        "speedups": {name: record["speedup"]
+                     for name, record in records.items()
+                     if "speedup" in record},
+        "plan": {
+            "url": url,
+            "requests": plan.requests,
+            "concurrency": plan.concurrency,
+            "storm": plan.storm,
+            "benchmarks": list(plan.benchmarks),
+            "widths": list(plan.widths),
+            "warm_set": len(plan.warm_set),
+        },
+    }
+    return payload
+
+
+def render_summary(payload: dict) -> str:
+    """Human-readable verdict for the CLI."""
+    dedup = payload["records"]["serve_dedup"]
+    warm = payload["records"]["serve_warm"]
+    latency = payload["records"]["serve_latency"]
+    errors = payload["records"]["serve_errors"]["errors"]
+    lines = [
+        f"storm: {dedup['storm_requests']} identical requests -> "
+        f"{dedup['machine_runs']} machine-run(s), "
+        f"dedup ratio {dedup['dedup_ratio']:.3f}",
+        f"mixed: {warm['requests']} warm requests -> "
+        f"{warm['machine_runs']} machine-run(s) "
+        f"({latency['throughput_rps']:,.0f} req/s "
+        f"over {latency['concurrency']} connections)",
+        f"latency: p50 {latency['p50_ms']:.2f}ms  "
+        f"p99 {latency['p99_ms']:.2f}ms  max {latency['max_ms']:.2f}ms",
+        f"errors: {errors}",
+    ]
+    ok = (errors == 0 and dedup["duplicate_machine_runs"] == 0
+          and warm["machine_runs"] == 0)
+    lines.append("verdict: " + ("OK" if ok else "FAILED "
+                 "(duplicate machine-runs, warm simulations, or errors)"))
+    return "\n".join(lines)
+
+
+def loadtest_ok(payload: dict) -> bool:
+    """The pass/fail bar the CLI exits on: zero duplicate machine-runs
+    in the storm, zero simulations in the warm phase, zero errors."""
+    records = payload["records"]
+    return (records["serve_errors"]["errors"] == 0
+            and records["serve_dedup"]["duplicate_machine_runs"] == 0
+            and records["serve_warm"]["machine_runs"] == 0)

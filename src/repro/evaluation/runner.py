@@ -234,12 +234,14 @@ class RunScheduler:
             self._programs[request.program_id] = program
         return program
 
-    def _encoded_for(self, request: RunRequest) -> bytes:
+    def encoded_for(self, request: RunRequest) -> bytes:
         """Canonical program bytes, built/encoded once per program_id.
 
         A width sweep issues many requests against the same program;
         memoizing the encoded form means one kernel build and one
         encode serve every key computation and every worker shipment.
+        The sim server (:mod:`repro.evaluation.simserver`) rides the
+        same memo to ship cold requests to its persistent pool.
         """
         encoded = self._encoded.get(request.program_id)
         if encoded is None:
@@ -249,7 +251,7 @@ class RunScheduler:
 
     def key_for(self, request: RunRequest) -> str:
         """The run-cache key a request resolves to (memoized encode)."""
-        return run_key_for_bytes(self._encoded_for(request), request.config)
+        return run_key_for_bytes(self.encoded_for(request), request.config)
 
     def _finish(self, request: RunRequest, key: Optional[str],
                 result: RunResult,
@@ -265,7 +267,7 @@ class RunScheduler:
         workers = min(self.jobs, len(pending))
         with ProcessPoolExecutor(max_workers=workers) as pool:
             futures = {pool.submit(_pool_worker, request,
-                                   self._encoded_for(request)):
+                                   self.encoded_for(request)):
                        (request, key)
                        for request, key in pending}
             remaining = set(futures)

@@ -1,0 +1,490 @@
+"""Simulation-as-a-service: the ``repro serve`` async run farm.
+
+``repro serve`` exposes the whole evaluation stack — request
+construction, content-addressed run caching, and machine simulation —
+behind one asyncio HTTP endpoint, so many clients (CI jobs, notebook
+sessions, sweep fleets) share a single simulation farm instead of each
+simulating locally.  Clients POST ``(benchmark, program_kind, width,
+engine, repeat_factor)`` jobs to ``/v1/runs`` and get back the exact
+:meth:`~repro.system.metrics.RunResult.to_dict` wire format the run
+cache and process pool already speak.
+
+The handler answers each request from the cheapest possible source:
+
+1. **memo / cache hit** — the key (the same engine-invariant
+   :func:`~repro.evaluation.runcache.run_key_for_bytes` address every
+   other consumer uses) is already answered: O(1), zero simulation.
+2. **coalesced** — an identical request is *in flight*: the handler
+   awaits the existing run instead of starting a second one
+   (single-flight, keyed by run key).  A thousand simultaneous
+   identical cold requests cost exactly one machine-run.
+3. **cold** — the request is fanned out to a bounded, persistent
+   ``ProcessPoolExecutor`` (``--jobs``) through the same
+   ``_pool_worker`` transport the :class:`~repro.evaluation.runner
+   .RunScheduler` uses, and the result is stored back into the cache
+   (first-writer-wins) so every later consumer — this server, a
+   ``repro sweep`` shard, a plain ``evaluate`` — answers warm.
+
+Protocol (all bodies JSON):
+
+==========================  ============================================
+``POST /v1/runs``           ``{"benchmark", "program_kind", "width",
+                            "engine", "repeat_factor"}`` ->
+                            ``{service, key, source, seconds, result}``
+                            where ``source`` is ``hit`` | ``coalesced``
+                            | ``cold`` and ``result`` is the telemetry-
+                            stripped ``RunResult.to_dict()`` payload —
+                            byte-identical to a direct scheduler run
+``GET /stats``              ``{service, format_version, jobs, backend,
+                            stats}`` — also the readiness probe
+==========================  ============================================
+
+Failure modes: malformed or unknown-benchmark requests get a 400
+without touching the pool; a crashed worker (the pool dies with it)
+gets a clean 500 and the pool is rebuilt for the next request; a client
+that disconnects mid-run abandons only its *reply* — the simulation
+completes, is cached, and answers the next identical request warm.
+``serve.*`` telemetry (docs/observability.md) attributes every request,
+and ``GET /stats`` serves the same counts unconditionally (telemetry
+off included) for load tests and CI smoke gates.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+import json
+import os
+import threading
+import time
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+from repro.evaluation.runcache import CACHE_FORMAT_VERSION, RunCache
+from repro.evaluation.runner import (
+    PROGRAM_KINDS,
+    RunRequest,
+    RunScheduler,
+    _pool_worker,
+)
+from repro.interp.executor import ENGINES
+from repro.kernels.suite import BENCHMARK_ORDER
+from repro.observability import telemetry as _telemetry
+from repro.simd.accelerator import config_for_width
+from repro.system.machine import MachineConfig
+from repro.system.metrics import RunResult
+
+#: Value of the ``service`` field in responses; clients check it so a
+#: ``--url`` pointed at some unrelated HTTP server reads as unreachable.
+SERVICE_NAME = "repro-sim-server"
+
+#: Widths a request may ask for.  Anything in this range simulates
+#: correctly (non-power-of-two widths simply abort translation and run
+#: scalar); the bound exists so a request cannot ask for an absurd
+#: vector file.
+MAX_WIDTH = 64
+
+#: In-process memo of recently answered keys (wire dicts), so a warm
+#: storm of identical requests never re-reads the cache entry from
+#: disk.  Bounded FIFO — the persistent cache remains the real store.
+MEMO_ENTRIES = 256
+
+
+class ServeRequestError(ValueError):
+    """A client request that cannot be turned into a RunRequest."""
+
+
+def parse_run_request(payload: dict) -> RunRequest:
+    """Validate one ``POST /v1/runs`` body into a :class:`RunRequest`.
+
+    Raises :class:`ServeRequestError` with a client-facing message on
+    anything malformed; nothing here touches the pool or the cache.
+    """
+    if not isinstance(payload, dict):
+        raise ServeRequestError("request body must be a JSON object")
+    unknown = set(payload) - {"benchmark", "program_kind", "width",
+                              "engine", "repeat_factor"}
+    if unknown:
+        raise ServeRequestError(
+            f"unknown field{'s' if len(unknown) > 1 else ''}: "
+            f"{', '.join(sorted(unknown))}")
+    benchmark = payload.get("benchmark")
+    if benchmark not in BENCHMARK_ORDER:
+        raise ServeRequestError(
+            f"unknown benchmark {benchmark!r}; "
+            f"choices: {', '.join(BENCHMARK_ORDER)}")
+    kind = payload.get("program_kind", "liquid")
+    if kind not in PROGRAM_KINDS:
+        raise ServeRequestError(
+            f"program_kind must be one of {PROGRAM_KINDS}, got {kind!r}")
+    engine = payload.get("engine", "fast")
+    if engine not in ENGINES:
+        raise ServeRequestError(
+            f"engine must be one of {ENGINES}, got {engine!r}")
+    repeat = payload.get("repeat_factor", 1)
+    if not isinstance(repeat, int) or isinstance(repeat, bool) \
+            or not 1 <= repeat <= 16:
+        raise ServeRequestError(
+            f"repeat_factor must be an integer in [1, 16], got {repeat!r}")
+    width = payload.get("width")
+    if kind == "baseline":
+        if width is not None:
+            raise ServeRequestError(
+                "baseline runs take no accelerator; omit 'width'")
+        accelerator = None
+    else:
+        if width is None:
+            width = 8
+        if not isinstance(width, int) or isinstance(width, bool) \
+                or not 2 <= width <= MAX_WIDTH:
+            raise ServeRequestError(
+                f"width must be an integer in [2, {MAX_WIDTH}], "
+                f"got {width!r}")
+        accelerator = config_for_width(width)
+    config = MachineConfig(accelerator=accelerator, engine=engine)
+    return RunRequest(benchmark, kind, config, repeat_factor=repeat)
+
+
+@dataclass
+class ServeStats:
+    """Where every ``/v1/runs`` request was answered from.
+
+    Served unconditionally through ``GET /stats`` (telemetry may be
+    off), so load tests and CI gates can assert "cold ran exactly once,
+    warm simulated nothing" without instrumenting the server.
+    """
+
+    requests: int = 0
+    hits: int = 0          # answered from memo or persistent cache
+    coalesced: int = 0     # awaited an identical in-flight run
+    cold: int = 0          # started a new simulation
+    executed: int = 0      # machine-runs completed by the pool
+    errors: int = 0        # 5xx responses (worker crash, pool failure)
+    bad_requests: int = 0  # 4xx responses (malformed job)
+    max_queue_depth: int = 0
+
+    def to_dict(self) -> dict:
+        return {
+            "requests": self.requests,
+            "hits": self.hits,
+            "coalesced": self.coalesced,
+            "cold": self.cold,
+            "executed": self.executed,
+            "errors": self.errors,
+            "bad_requests": self.bad_requests,
+            "max_queue_depth": self.max_queue_depth,
+        }
+
+
+@dataclass
+class _Inflight:
+    """One cold run in flight: the task plus its waiter count."""
+
+    task: asyncio.Task
+    waiters: int = 0
+    submitted: float = field(default_factory=time.perf_counter)
+
+
+class SimServer:
+    """The ``repro serve`` daemon: asyncio front end, process-pool back.
+
+    One event loop accepts and parses requests; cache reads/writes run
+    on the default thread executor (so a slow disk or a remote
+    ``--cache-url`` backend never stalls accept), and simulations run
+    on a bounded persistent :class:`ProcessPoolExecutor`.  ``port=0``
+    binds an ephemeral port — read the real one back from :attr:`url`
+    after :meth:`start`.
+
+    *worker* is a test seam: the pool entry point, defaulting to the
+    scheduler's ``_pool_worker`` (crash tests inject one that dies).
+    """
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 0,
+                 jobs: Optional[int] = None,
+                 cache: Optional[RunCache] = None,
+                 worker=None) -> None:
+        if jobs is None:
+            jobs = os.cpu_count() or 1
+        if jobs < 1:
+            raise ValueError(f"jobs must be >= 1, got {jobs}")
+        self.host = host
+        self.port = port
+        self.jobs = jobs
+        self.cache = cache
+        self.stats = ServeStats()
+        #: Key/encode memoization only — programs are built and encoded
+        #: once per program_id, exactly as a sweep does; this scheduler
+        #: never simulates (the pool below does).
+        self.scheduler = RunScheduler(jobs=1, cache=cache)
+        self._worker = worker or _pool_worker
+        self._memo: Dict[str, dict] = {}
+        self._inflight: Dict[str, _Inflight] = {}
+        self._pool: Optional[ProcessPoolExecutor] = None
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._stopping: Optional[asyncio.Event] = None
+        self._ready = threading.Event()
+        self._startup_error: Optional[BaseException] = None
+        self._thread: Optional[threading.Thread] = None
+
+    # -- lifecycle ---------------------------------------------------------
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    def serve_forever(self) -> None:
+        """Run the event loop in this thread (the CLI path)."""
+        asyncio.run(self._main())
+
+    def start(self) -> "SimServer":
+        """Serve on a daemon thread (the in-process/test harness path)."""
+        self._thread = threading.Thread(target=self._thread_main,
+                                        daemon=True)
+        self._thread.start()
+        if not self._ready.wait(timeout=15.0):
+            raise RuntimeError("sim server failed to start in time")
+        if self._startup_error is not None:
+            raise RuntimeError("sim server failed to start") \
+                from self._startup_error
+        return self
+
+    def shutdown(self) -> None:
+        loop = self._loop
+        if loop is not None and loop.is_running() \
+                and self._stopping is not None:
+            loop.call_soon_threadsafe(self._stopping.set)
+        if self._thread is not None:
+            self._thread.join(timeout=15.0)
+            self._thread = None
+
+    def _thread_main(self) -> None:
+        try:
+            asyncio.run(self._main())
+        except BaseException as exc:  # noqa: BLE001 - reported to start()
+            self._startup_error = exc
+            self._ready.set()
+
+    async def _main(self) -> None:
+        self._loop = asyncio.get_running_loop()
+        self._stopping = asyncio.Event()
+        server = await asyncio.start_server(self._handle_client,
+                                            self.host, self.port)
+        self.port = server.sockets[0].getsockname()[1]
+        self._ready.set()
+        try:
+            async with server:
+                await self._stopping.wait()
+        finally:
+            pool, self._pool = self._pool, None
+            if pool is not None:
+                pool.shutdown(wait=True, cancel_futures=True)
+
+    # -- pool --------------------------------------------------------------
+
+    def _executor(self) -> ProcessPoolExecutor:
+        if self._pool is None:
+            self._pool = ProcessPoolExecutor(max_workers=self.jobs)
+        return self._pool
+
+    def _reset_pool(self) -> None:
+        """Replace a broken pool so one crashed worker cannot wedge the
+        farm — the next cold request gets a fresh executor."""
+        pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.shutdown(wait=False, cancel_futures=True)
+
+    # -- HTTP plumbing -----------------------------------------------------
+
+    async def _handle_client(self, reader: asyncio.StreamReader,
+                             writer: asyncio.StreamWriter) -> None:
+        try:
+            while True:
+                request_line = await reader.readline()
+                if not request_line:
+                    break
+                try:
+                    method, path, _version = \
+                        request_line.decode("latin-1").split(None, 2)
+                except ValueError:
+                    break
+                headers = {}
+                while True:
+                    line = await reader.readline()
+                    if line in (b"\r\n", b"\n", b""):
+                        break
+                    name, _, value = line.decode("latin-1").partition(":")
+                    headers[name.strip().lower()] = value.strip()
+                length = int(headers.get("content-length") or 0)
+                body = await reader.readexactly(length) if length else b""
+                close = headers.get("connection", "").lower() == "close"
+                status, payload = await self._route(method, path, body)
+                data = json.dumps(payload,
+                                  separators=(",", ":")).encode("utf-8")
+                head_lines = [
+                    f"HTTP/1.1 {status} {_REASONS.get(status, 'Status')}",
+                    "Content-Type: application/json",
+                    f"Content-Length: {len(data)}",
+                ]
+                if close:
+                    head_lines.append("Connection: close")
+                head = "\r\n".join(head_lines) + "\r\n\r\n"
+                writer.write(head.encode("latin-1") + data)
+                await writer.drain()
+                if close:
+                    break
+        except (ConnectionError, asyncio.IncompleteReadError, OSError):
+            # The client went away.  Any run it started keeps going —
+            # other coalesced waiters (and the cache) still want it.
+            pass
+        except asyncio.CancelledError:
+            # Server shutdown cancelled this connection's handler while
+            # it waited for a next request; end the task quietly (the
+            # loop is exiting) instead of tripping the stream
+            # protocol's exception callback.
+            pass
+        finally:
+            with contextlib.suppress(OSError):
+                writer.close()
+                await writer.wait_closed()
+
+    async def _route(self, method: str, path: str,
+                     body: bytes) -> Tuple[int, dict]:
+        if method == "POST" and path == "/v1/runs":
+            return await self._handle_run(body)
+        if method == "GET" and path == "/stats":
+            return 200, self._stats_payload()
+        return 404, {"error": "unknown endpoint"}
+
+    def _stats_payload(self) -> dict:
+        return {
+            "service": SERVICE_NAME,
+            "format_version": CACHE_FORMAT_VERSION,
+            "jobs": self.jobs,
+            "inflight": len(self._inflight),
+            "backend": (self.cache.describe()
+                        if self.cache is not None else None),
+            "stats": self.stats.to_dict(),
+        }
+
+    # -- the run endpoint --------------------------------------------------
+
+    async def _handle_run(self, body: bytes) -> Tuple[int, dict]:
+        start = time.perf_counter()
+        tel = _telemetry.get()
+        self.stats.requests += 1
+        tel.count("serve.requests")
+        try:
+            payload = json.loads(body.decode("utf-8"))
+            request = parse_run_request(payload)
+        except (UnicodeDecodeError, ValueError) as exc:
+            self.stats.bad_requests += 1
+            tel.count("serve.bad_requests")
+            return 400, {"error": str(exc) or "malformed JSON body"}
+
+        key = self.scheduler.key_for(request)
+        wire = await self._load_warm(key)
+        if wire is not None:
+            self.stats.hits += 1
+            tel.count("serve.hits")
+            return 200, self._envelope(key, "hit", start, wire)
+
+        entry = self._inflight.get(key)
+        if entry is not None:
+            self.stats.coalesced += 1
+            tel.count("serve.coalesced")
+            source = "coalesced"
+        else:
+            loop = asyncio.get_running_loop()
+            entry = _Inflight(loop.create_task(self._simulate(key, request)))
+            self._inflight[key] = entry
+            self.stats.cold += 1
+            tel.count("serve.cold")
+            depth = len(self._inflight)
+            if depth > self.stats.max_queue_depth:
+                self.stats.max_queue_depth = depth
+            tel.observe("serve.queue_depth", depth)
+            source = "cold"
+        entry.waiters += 1
+        try:
+            # shield(): a dropped client must never cancel a run other
+            # waiters (and the cache) are counting on.
+            wire = await asyncio.shield(entry.task)
+        except Exception as exc:  # noqa: BLE001 - mapped to a clean 5xx
+            self.stats.errors += 1
+            tel.count("serve.errors")
+            return 500, {"error": f"simulation failed: {exc}"}
+        return 200, self._envelope(key, source, start, wire)
+
+    def _envelope(self, key: str, source: str, start: float,
+                  wire: dict) -> dict:
+        return {
+            "service": SERVICE_NAME,
+            "key": key,
+            "source": source,
+            "seconds": round(time.perf_counter() - start, 6),
+            "result": wire,
+        }
+
+    async def _load_warm(self, key: str) -> Optional[dict]:
+        """The memoized or cached wire dict for *key*, else None.
+
+        Cache reads go through the default thread executor so a remote
+        backend's round-trip never blocks the accept loop.  The
+        in-flight re-check is unnecessary for correctness (the inflight
+        map is only touched from the loop thread) but keeps the warm
+        path strictly read-only.
+        """
+        wire = self._memo.get(key)
+        if wire is not None:
+            return wire
+        if self.cache is None:
+            return None
+        loop = asyncio.get_running_loop()
+        hit = await loop.run_in_executor(None, self.cache.load, key)
+        if hit is None:
+            return None
+        wire = hit.to_dict()
+        wire.pop("telemetry", None)
+        self._remember(key, wire)
+        return wire
+
+    def _remember(self, key: str, wire: dict) -> None:
+        if len(self._memo) >= MEMO_ENTRIES:
+            # FIFO bound: drop the oldest insertion (dicts preserve
+            # insertion order); the persistent cache still has it.
+            self._memo.pop(next(iter(self._memo)))
+        self._memo[key] = wire
+
+    async def _simulate(self, key: str, request: RunRequest) -> dict:
+        """Run one cold request on the pool, cache it, return the wire.
+
+        Exactly one of these exists per key at a time (the single-flight
+        map); every error path removes the key so a failed run can be
+        retried cold instead of poisoning the key forever.
+        """
+        loop = asyncio.get_running_loop()
+        try:
+            encoded = self.scheduler.encoded_for(request)
+            try:
+                wire = await loop.run_in_executor(
+                    self._executor(), self._worker, request, encoded)
+            except BrokenProcessPool:
+                self._reset_pool()
+                raise
+            self.stats.executed += 1
+            _telemetry.get().count("serve.executed")
+            wire.pop("telemetry", None)
+            if self.cache is not None:
+                result = RunResult.from_dict(wire)
+                await loop.run_in_executor(None, self.cache.store,
+                                           key, result)
+            self._remember(key, wire)
+            return wire
+        finally:
+            self._inflight.pop(key, None)
+
+
+_REASONS = {200: "OK", 400: "Bad Request", 404: "Not Found",
+            500: "Internal Server Error"}

@@ -195,6 +195,54 @@ class TestFailOpen:
         assert counters.get("runcache.http.errors") == 2
         assert counters.get("runcache.http.requests") == 2
 
+    def test_failopen_warns_once_at_threshold(self, dead, caplog):
+        """Persistent unreachability surfaces exactly one warning (plus
+        a ``runcache.http.failopen`` count) at the consecutive-failure
+        threshold — not a warning per request, not silence forever."""
+        import logging
+
+        from repro.evaluation.cacheserver import FAILOPEN_THRESHOLD
+
+        tel = telemetry.enable()
+        try:
+            with caplog.at_level(logging.WARNING,
+                                 logger="repro.evaluation.cacheserver"):
+                for _ in range(FAILOPEN_THRESHOLD + 4):
+                    dead.load(KEY_A)
+            counters = dict(tel.to_dict()["counters"])
+        finally:
+            telemetry.disable()
+        warnings = [r for r in caplog.records
+                    if "failing open" in r.getMessage()]
+        assert len(warnings) == 1, \
+            "one warning at the threshold, silence after"
+        assert dead.url in warnings[0].getMessage()
+        assert counters.get("runcache.http.failopen") == 1
+        assert dead.consecutive_failures == FAILOPEN_THRESHOLD + 4
+
+    def test_failures_below_threshold_stay_quiet(self, dead, caplog):
+        import logging
+
+        from repro.evaluation.cacheserver import FAILOPEN_THRESHOLD
+
+        with caplog.at_level(logging.WARNING,
+                             logger="repro.evaluation.cacheserver"):
+            for _ in range(FAILOPEN_THRESHOLD - 1):
+                dead.load(KEY_A)
+        assert not [r for r in caplog.records
+                    if "failing open" in r.getMessage()]
+
+    def test_any_reply_rearms_the_detector(self, server):
+        """A successful round-trip resets the consecutive-failure count
+        and re-arms the one-shot warning, so a daemon that flaps warns
+        on each outage rather than only the first."""
+        backend = _http(server)
+        backend.consecutive_failures = 7
+        backend._failopen_reported = True
+        assert backend.load(KEY_A) is None  # a served miss, not an error
+        assert backend.consecutive_failures == 0
+        assert backend._failopen_reported is False
+
     def test_scheduler_survives_dead_backend(self, dead):
         """A sweep against a dead daemon degrades to local simulation."""
         from repro.evaluation.runner import RunScheduler

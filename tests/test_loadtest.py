@@ -1,0 +1,178 @@
+"""Load-test harness tests (``repro loadtest``).
+
+The harness's claims: the payload it writes is a well-formed BENCH
+document (``{machine, records, speedups}``) that `repro bench compare`
+can gate, the storm/warm ratios come from the *server's* ``/stats``
+deltas rather than client guesses, and the pass/fail bar catches
+duplicate machine-runs, warm-phase simulations, and errors.
+"""
+
+import copy
+
+import pytest
+
+from repro.evaluation.loadtest import (
+    LoadtestError,
+    LoadtestPlan,
+    STORM_REQUEST,
+    fetch_stats,
+    latency_histogram,
+    loadtest_ok,
+    percentile,
+    render_summary,
+    run_loadtest,
+)
+from repro.evaluation.runcache import RunCache
+from repro.evaluation.simserver import SERVICE_NAME, SimServer
+
+
+class TestReductions:
+    def test_percentile_nearest_rank(self):
+        latencies = [0.01 * n for n in range(1, 101)]
+        assert percentile(latencies, 0.50) == pytest.approx(0.50)
+        assert percentile(latencies, 0.99) == pytest.approx(0.99)
+        assert percentile(latencies, 1.00) == pytest.approx(1.00)
+        assert percentile([], 0.5) == 0.0
+        assert percentile([0.25], 0.99) == 0.25
+
+    def test_histogram_buckets_are_log2_ms(self):
+        histogram = latency_histogram([0.0005, 0.0015, 0.003, 0.010])
+        assert histogram == {"<1ms": 1, "<2ms": 1, "<4ms": 1, "<16ms": 1}
+
+    def test_histogram_sorted_by_bound(self):
+        histogram = latency_histogram([0.5, 0.0005, 0.01])
+        bounds = [int(label[1:-2]) for label in histogram]
+        assert bounds == sorted(bounds)
+
+
+class TestPlan:
+    def test_warm_set_spans_benchmarks_widths_and_a_baseline(self):
+        plan = LoadtestPlan(benchmarks=("FIR",), widths=(4, 8))
+        assert plan.warm_set == [
+            {"benchmark": "FIR", "width": 4},
+            {"benchmark": "FIR", "width": 8},
+            {"benchmark": "FIR", "program_kind": "baseline"},
+        ]
+
+    def test_storm_key_not_in_warm_set(self):
+        plan = LoadtestPlan()
+        assert STORM_REQUEST not in plan.warm_set
+
+    def test_mixed_payloads_are_seeded_and_warm_only(self):
+        plan = LoadtestPlan(requests=50, benchmarks=("FIR",), widths=(4,))
+        payloads = plan.mixed_payloads()
+        assert len(payloads) == 50
+        assert all(p in plan.warm_set for p in payloads)
+        assert payloads == LoadtestPlan(
+            requests=50, benchmarks=("FIR",), widths=(4,)).mixed_payloads()
+
+    @pytest.mark.parametrize("kwargs", [
+        {"requests": 0}, {"storm": 1}, {"concurrency": 0},
+    ])
+    def test_rejects_degenerate_plans(self, kwargs):
+        with pytest.raises(ValueError):
+            LoadtestPlan(**kwargs)
+
+
+class TestFetchStats:
+    def test_rejects_dead_url(self):
+        with pytest.raises(LoadtestError, match="no sim server"):
+            fetch_stats("http://127.0.0.1:9", timeout=2.0)
+
+    def test_rejects_non_sim_server(self, tmp_path):
+        """A --url pointed at the *cache* daemon (which also speaks
+        /stats) must read as 'not a sim server', not as a zero-run
+        success."""
+        from repro.evaluation.cacheserver import CacheServer
+        server = CacheServer(root=tmp_path / "cache", port=0)
+        server.start()
+        try:
+            with pytest.raises(LoadtestError, match="not a"):
+                fetch_stats(server.url)
+        finally:
+            server.shutdown()
+
+
+@pytest.fixture(scope="module")
+def loadtest_payload(tmp_path_factory):
+    """One small end-to-end loadtest against an in-process server,
+    shared by every assertion below (each run costs real simulations)."""
+    cache = RunCache(tmp_path_factory.mktemp("loadtest-cache"))
+    server = SimServer(jobs=2, cache=cache).start()
+    try:
+        plan = LoadtestPlan(requests=60, concurrency=8, storm=12,
+                            benchmarks=("FIR",), widths=(4,))
+        payload = run_loadtest(server.url, plan)
+    finally:
+        server.shutdown()
+    return payload
+
+
+class TestEndToEnd:
+    def test_payload_is_bench_schema(self, loadtest_payload):
+        assert set(loadtest_payload) == {"machine", "records",
+                                         "speedups", "plan"}
+        assert loadtest_payload["machine"]["cpu_count"] >= 1
+        records = loadtest_payload["records"]
+        assert set(records) == {"serve_dedup", "serve_warm",
+                                "serve_latency", "serve_errors"}
+        # Gated records expose "speedup"; latency rides along ungated.
+        assert set(loadtest_payload["speedups"]) == {"serve_dedup",
+                                                     "serve_warm"}
+        assert "speedup" not in records["serve_latency"]
+
+    def test_storm_cost_exactly_one_machine_run(self, loadtest_payload):
+        dedup = loadtest_payload["records"]["serve_dedup"]
+        assert dedup["machine_runs"] == 1
+        assert dedup["duplicate_machine_runs"] == 0
+        assert dedup["dedup_ratio"] == pytest.approx(1 - 1 / 12,
+                                                     abs=1e-4)
+        assert dedup["speedup"] == pytest.approx((12 + 1) / 2)
+        sources = dedup["sources"]
+        assert sources.get("cold", 0) == 1
+        assert sources.get("error", 0) == 0
+
+    def test_warm_phase_simulates_nothing(self, loadtest_payload):
+        warm = loadtest_payload["records"]["serve_warm"]
+        assert warm["requests"] == 60
+        assert warm["machine_runs"] == 0
+        assert warm["speedup"] == pytest.approx(61.0)
+        assert warm["sources"] == {"hit": 60}
+
+    def test_latency_record_is_populated(self, loadtest_payload):
+        latency = loadtest_payload["records"]["serve_latency"]
+        assert latency["requests"] == 60
+        assert 0 < latency["p50_ms"] <= latency["p99_ms"] \
+            <= latency["max_ms"]
+        assert latency["throughput_rps"] > 0
+        assert sum(latency["histogram"].values()) == 60
+
+    def test_verdict_passes_and_renders(self, loadtest_payload):
+        assert loadtest_payload["records"]["serve_errors"]["errors"] == 0
+        assert loadtest_ok(loadtest_payload)
+        summary = render_summary(loadtest_payload)
+        assert "verdict: OK" in summary
+        assert "dedup ratio" in summary
+
+    def test_verdict_fails_on_duplicate_machine_runs(self,
+                                                     loadtest_payload):
+        broken = copy.deepcopy(loadtest_payload)
+        broken["records"]["serve_dedup"]["duplicate_machine_runs"] = 3
+        assert not loadtest_ok(broken)
+        assert "FAILED" in render_summary(broken)
+
+    def test_verdict_fails_on_warm_simulations(self, loadtest_payload):
+        broken = copy.deepcopy(loadtest_payload)
+        broken["records"]["serve_warm"]["machine_runs"] = 2
+        assert not loadtest_ok(broken)
+
+    def test_verdict_fails_on_errors(self, loadtest_payload):
+        broken = copy.deepcopy(loadtest_payload)
+        broken["records"]["serve_errors"]["errors"] = 1
+        assert not loadtest_ok(broken)
+
+    def test_service_name_matches_server(self, loadtest_payload):
+        # The plan embeds the URL it drove; sanity-check the constant
+        # every client checks against.
+        assert SERVICE_NAME == "repro-sim-server"
+        assert loadtest_payload["plan"]["warm_set"] == 2
